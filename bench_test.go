@@ -1,0 +1,237 @@
+// Benchmarks regenerating the paper's evaluation artifacts (experiments
+// E4–E8 in DESIGN.md), one benchmark family per table or figure.  Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchtab prints the same experiments as formatted tables, and
+// EXPERIMENTS.md records the paper-claim-vs-measured comparison.
+package subgemini_test
+
+import (
+	"fmt"
+	"testing"
+
+	"subgemini/internal/baseline"
+	"subgemini/internal/bench"
+	"subgemini/internal/core"
+	"subgemini/internal/extract"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/sprecog"
+	"subgemini/internal/stdcell"
+)
+
+// findOnce runs one matching pass and reports derived metrics.
+func findOnce(b *testing.B, g *graph.Circuit, pat *graph.Circuit, want int) *core.Result {
+	b.Helper()
+	res, err := core.Find(g, pat, core.Options{Globals: bench.Rails})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if want >= 0 && len(res.Instances) != want {
+		b.Fatalf("found %d instances, want %d", len(res.Instances), want)
+	}
+	return res
+}
+
+// BenchmarkE4Results regenerates the E4 results table: one sub-benchmark
+// per (circuit, pattern) pair of the evaluation suite.
+func BenchmarkE4Results(b *testing.B) {
+	for _, w := range bench.Suite(1) {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			d := w.Build()
+			want := d.Expected(w.Pattern)
+			pat := w.Pattern.Pattern()
+			b.ResetTimer()
+			var matched int
+			for i := 0; i < b.N; i++ {
+				res := findOnce(b, d.C, pat, want)
+				matched = res.Report.MatchedDevices
+			}
+			b.ReportMetric(float64(d.C.NumDevices()), "devices")
+			b.ReportMetric(float64(want), "instances")
+			if matched > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(matched), "ns/matched-dev")
+			}
+		})
+	}
+}
+
+// BenchmarkE5Scaling regenerates the E5 linearity figure: the same pattern
+// in circuits of growing size.  The ns/matched-dev metric staying flat
+// across sizes within one series is the paper's headline claim.
+func BenchmarkE5Scaling(b *testing.B) {
+	type sweep struct {
+		series  string
+		pattern *stdcell.CellDef
+		build   func(n int) *gen.Design
+		params  []int
+	}
+	sweeps := []sweep{
+		{"FA-in-adder", stdcell.FA, gen.RippleAdder, []int{64, 256, 1024, 2048}},
+		{"NAND2-in-rand", stdcell.NAND2, func(n int) *gen.Design { return gen.RandomLogic(n, 32, 11) }, []int{250, 1000, 4000}},
+		{"6T-in-sram", stdcell.SRAM6T, func(n int) *gen.Design { return gen.SRAMArray(n, n) }, []int{8, 16, 32, 64}},
+	}
+	for _, sw := range sweeps {
+		for _, param := range sw.params {
+			name := fmt.Sprintf("%s/%d", sw.series, param)
+			b.Run(name, func(b *testing.B) {
+				d := sw.build(param)
+				pat := sw.pattern.Pattern()
+				b.ResetTimer()
+				var matched int
+				for i := 0; i < b.N; i++ {
+					res := findOnce(b, d.C, pat, -1)
+					matched = res.Report.MatchedDevices
+				}
+				if matched > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(matched), "ns/matched-dev")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE6Baseline regenerates the E6 comparison: SubGemini vs the
+// pruned DFS and vs the paper's exhaustive [6]-style DFS, including the
+// pass-transistor switch grid on which exhaustive search explodes.
+func BenchmarkE6Baseline(b *testing.B) {
+	cases := []struct {
+		name    string
+		build   func() *gen.Design
+		pattern func() *graph.Circuit
+	}{
+		{"adder16-FA", func() *gen.Design { return gen.RippleAdder(16) }, func() *graph.Circuit { return stdcell.FA.Pattern() }},
+		{"rand1000-NAND2", func() *gen.Design { return gen.RandomLogic(1000, 32, 11) }, func() *graph.Circuit { return stdcell.NAND2.Pattern() }},
+		{"switchgrid12-passchain12", func() *gen.Design { return gen.SwitchGrid(12, 12) }, func() *graph.Circuit { return gen.PassChainPattern(12) }},
+	}
+	for _, c := range cases {
+		d := c.build()
+		b.Run(c.name+"/subgemini", func(b *testing.B) {
+			pat := c.pattern()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				findOnce(b, d.C, pat, -1)
+			}
+		})
+		b.Run(c.name+"/prunedDFS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Find(d.C, c.pattern(), baseline.Options{Globals: bench.Rails}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/plainDFS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The step budget bounds the pathological case; an aborted
+				// run is still a valid lower-bound measurement.
+				if _, err := baseline.Find(d.C, c.pattern(), baseline.Options{
+					Globals: bench.Rails, Plain: true, MaxSteps: 50_000_000,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7SpecialSignals regenerates the E7 ablation: matching with the
+// supply rails treated as special signals versus as ordinary nets.
+func BenchmarkE7SpecialSignals(b *testing.B) {
+	d := gen.ArrayMultiplier(6)
+	b.Run("INV-mult6/rails-special", func(b *testing.B) {
+		g := d.C.Clone()
+		pat := stdcell.INV.Pattern()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Find(g, pat, core.Options{Globals: bench.Rails})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(res.Instances)), "instances")
+			}
+		}
+	})
+	b.Run("INV-mult6/rails-ordinary", func(b *testing.B) {
+		g := d.C.Clone()
+		pat := stdcell.INV.Pattern()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Find(g, pat, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(res.Instances)), "instances")
+			}
+		}
+	})
+}
+
+// BenchmarkParallel measures the FindParallel extension (not a paper
+// experiment): candidate verification fanned out across workers on a large
+// tiled design.
+func BenchmarkParallel(b *testing.B) {
+	d := gen.RippleAdder(2048)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			m, err := core.NewMatcher(d.C, core.Options{Globals: bench.Rails})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pat := stdcell.FA.Pattern()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := m.FindParallel(pat, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Instances) != 2048 {
+					b.Fatalf("found %d", len(res.Instances))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8EarlyAbort regenerates E8: a pattern with no instance must be
+// refuted by Phase I consistency checking alone.
+func BenchmarkE8EarlyAbort(b *testing.B) {
+	d := gen.RippleAdder(256)
+	pat := stdcell.SRAM6T.Pattern()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := findOnce(b, d.C, pat, 0)
+		if res.Report.Candidates != 0 {
+			b.Fatalf("Phase II examined %d candidates, want 0", res.Report.Candidates)
+		}
+	}
+}
+
+// BenchmarkE9Coverage times the ad hoc recognizer against SubGemini
+// library extraction on the same netlist (the E9 generality experiment's
+// performance side; coverage numbers are in EXPERIMENTS.md).
+func BenchmarkE9Coverage(b *testing.B) {
+	d := gen.ArrayMultiplier(6)
+	b.Run("adhoc-recognizer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sprecog.Recognize(d.C.Clone(), "VDD", "GND")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UnrecognizedDevices() != 0 {
+				b.Fatal("multiplier not fully recognized")
+			}
+		}
+	})
+	b.Run("subgemini-extraction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := d.C.Clone()
+			if _, err := extract.Cells(work, []*stdcell.CellDef{stdcell.FA, stdcell.AND2}, extract.Options{Globals: bench.Rails}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

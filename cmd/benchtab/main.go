@@ -1,0 +1,167 @@
+// Benchtab regenerates the paper's evaluation tables and figures
+// (DESIGN.md experiments E4–E9) as text tables.
+//
+// Usage:
+//
+//	benchtab [-table results|scaling|baseline|ablation|coverage|all] [-quick]
+//
+// Absolute times are machine-dependent; the shapes the paper claims —
+// instance counts, tight candidate vectors, flat time-per-matched-device,
+// and a large margin over the naive matcher — are what EXPERIMENTS.md
+// records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"subgemini/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, all")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		switch *table {
+		case name, "all":
+			if err := fn(); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	run("results", func() error { return results(*quick) })
+	run("scaling", func() error { return scaling(*quick) })
+	run("baseline", func() error { return baselineCmp() })
+	run("ablation", func() error { return ablation() })
+	run("coverage", func() error { return coverage() })
+}
+
+func coverage() error {
+	rows, err := bench.ExtractionCoverage()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E9: ad hoc series-parallel recognizer vs SubGemini library extraction ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tMOS devices\tadhoc gates (named)\tadhoc coverage\tsubgemini cells\tsubgemini coverage\tadhoc time\tsubgemini time\tworkload")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d (%d)\t%.0f%%\t%d\t%.0f%%\t%v\t%v\t%s\n",
+			r.Circuit, r.Devices, r.AdhocGates, r.AdhocNamed, r.AdhocCover*100,
+			r.SubgCells, r.SubgCover*100, round(r.AdhocTime), round(r.SubgTime), r.Description)
+	}
+	w.Flush()
+	fmt.Println("(the ad hoc method cannot name multi-stage cells and loses pass-transistor structure entirely; paper §I)")
+	fmt.Println()
+	return nil
+}
+
+func results(quick bool) error {
+	suite := bench.Suite(1)
+	if quick && len(suite) > 5 {
+		suite = suite[:5]
+	}
+	var rows []bench.Row
+	for _, w := range suite {
+		row, err := bench.Run(w)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println("== E4: results table (per circuit/pattern pair) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdevices\tnets\tpattern\tfound\texpected\t|CV|\tmatched devs\tphase1\tphase2\ttotal\tper matched dev")
+	for _, r := range rows {
+		status := ""
+		if r.Found != r.Expected {
+			status = "  <-- MISMATCH"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%v%s\n",
+			r.Circuit, r.Devices, r.Nets, r.Pattern, r.Found, r.Expected, r.CVSize,
+			r.Matched, round(r.P1), round(r.P2), round(r.Total), round(r.PerDevice), status)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func scaling(quick bool) error {
+	pts, err := bench.ScalingSeries(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E5: scaling figure (linearity in matched devices) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "series\tparam\tdevices\tinstances\tmatched devs\ttotal\tus per matched dev")
+	last := ""
+	for _, p := range pts {
+		if p.Series != last {
+			if last != "" {
+				fmt.Fprintln(w, "\t\t\t\t\t\t")
+			}
+			last = p.Series
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\t%.3f\n",
+			p.Series, p.Param, p.Devices, p.Instances, p.Matched, round(p.Total), p.PerDevice)
+	}
+	w.Flush()
+	fmt.Println("(linear scaling <=> the last column stays roughly flat within each series)")
+	fmt.Println()
+	return nil
+}
+
+func baselineCmp() error {
+	rows, err := bench.BaselineComparison(1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E6: SubGemini vs exhaustive DFS ([6]-style) and pruned DFS ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdevices\tpattern\tinstances\tsubgemini\tpruned DFS\tplain DFS\tplain steps\tspeedup vs plain")
+	for _, r := range rows {
+		plain := round(r.Plain)
+		steps := fmt.Sprintf("%d", r.PlainSteps)
+		if r.PlainAborted {
+			plain = ">" + plain
+			steps = ">" + steps + " (cut off)"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%v\t%v\t%s\t%s\t%.1fx\n",
+			r.Circuit, r.Devices, r.Pattern, r.Instances, round(r.SubGemini), round(r.Pruned), plain, steps, r.Speedup)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func ablation() error {
+	rows, err := bench.Ablation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("== E7/E8: special-signal ablation and early abort ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "case\t|CV|\tinstances\ttotal\tnote")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%s\n", r.Case, r.CVSize, r.Instances, round(r.Total), r.Note)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func round(d interface{ Microseconds() int64 }) string {
+	us := d.Microseconds()
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const src = `
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END
+`
+
+func writeTemp(t *testing.T, contents string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "c.sp")
+	if err := os.WriteFile(p, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGateExtractFlat(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src), "-cells", "NAND2,INV"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NAND2") || !strings.Contains(out.String(), "INV") {
+		t.Errorf("flat output missing cells:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "6 devices -> 2 devices") {
+		t.Errorf("summary missing:\n%s", errOut.String())
+	}
+}
+
+func TestGateExtractHier(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src), "-cells", "NAND2,INV", "-hier"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".SUBCKT NAND2", ".SUBCKT INV", "Xu1_NAND2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("hier output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateExtractVerilog(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src), "-cells", "NAND2,INV", "-verilog"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module main", "NAND2 ", ".Y(", "endmodule"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verilog output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateExtractOutputFile(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "out.sp")
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src), "-o", dst}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("output file empty")
+	}
+	if out.Len() != 0 {
+		t.Error("netlist also written to stdout despite -o")
+	}
+}
+
+func TestGateExtractErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("missing -circuit accepted")
+	}
+	if err := run([]string{"-circuit", "/nope"}, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-circuit", writeTemp(t, src), "-cells", "NOPE"}, &out, &errOut); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestGateExtractUserPatterns(t *testing.T) {
+	lib := `
+.GLOBAL VDD GND
+.SUBCKT MYINV IN OUT
+MP OUT IN VDD pmos
+MN OUT IN GND nmos
+.ENDS
+`
+	libPath := filepath.Join(t.TempDir(), "lib.sp")
+	if err := os.WriteFile(libPath, []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src), "-patterns", libPath}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// The user's MYINV claims the output inverter; the NAND2 stays at
+	// transistor level (the user library has no NAND).
+	if !strings.Contains(errOut.String(), "MYINV") {
+		t.Errorf("summary missing MYINV:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "MYINV") || !strings.Contains(out.String(), "nmos") {
+		t.Errorf("output missing mixed levels:\n%s", out.String())
+	}
+}
+
+func TestGateExtractDefaultLibrary(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-circuit", writeTemp(t, src)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// With the whole library, AND2 (NAND2+INV) wins over the pieces.
+	if !strings.Contains(errOut.String(), "AND2") {
+		t.Errorf("default library missed the AND2 composite:\n%s", errOut.String())
+	}
+	if err := run([]string{"-circuit", writeTemp(t, src), "-patterns", "/does/not/exist"}, &out, &errOut); err == nil {
+		t.Error("missing -patterns file accepted")
+	}
+}

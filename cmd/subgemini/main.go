@@ -1,0 +1,209 @@
+// Subgemini is the command-line pattern matcher: it finds every instance
+// of a subcircuit inside a flat netlist.
+//
+// Usage:
+//
+//	subgemini -circuit chip.sp -pattern cells.sp -subckt NAND2 [flags]
+//	subgemini -circuit chip.sp -cell NAND2 [flags]
+//
+// The circuit file's top-level cards form the main circuit (subcircuit
+// instances are flattened).  The pattern comes either from a .SUBCKT in
+// -pattern (selected with -subckt; if the file has exactly one definition,
+// -subckt may be omitted) or from the built-in cell library via -cell.
+//
+// Flags:
+//
+//	-globals VDD,GND   treat these nets as special signals (in addition
+//	                   to any .GLOBAL directives in the files)
+//	-nonoverlap        report only disjoint instances (extraction
+//	                   semantics) instead of all instances
+//	-max N             stop after N instances
+//	-v                 trace the phases to stderr
+//	-q                 print only the instance count
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"subgemini"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subgemini: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the CLI against the given argument list, so tests can drive
+// it without spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	flag := flag.NewFlagSet("subgemini", flag.ContinueOnError)
+	flag.SetOutput(stderr)
+	var (
+		circuitPath = flag.String("circuit", "", "netlist file with the main circuit (required)")
+		patternPath = flag.String("pattern", "", "netlist file holding the pattern .SUBCKT")
+		subcktName  = flag.String("subckt", "", "name of the pattern .SUBCKT in -pattern")
+		cellName    = flag.String("cell", "", "use a built-in library cell as the pattern")
+		globalsCSV  = flag.String("globals", "", "comma-separated special-signal nets")
+		bindCSV     = flag.String("bind", "", "port bindings PORT=NET[,PORT=NET...]: each pattern port matches only the named net")
+		nonOverlap  = flag.Bool("nonoverlap", false, "report only disjoint instances")
+		maxInst     = flag.Int("max", 0, "stop after this many instances (0 = no limit)")
+		verbose     = flag.Bool("v", false, "trace matching to stderr")
+		traceTable  = flag.Bool("tracetable", false, "print a Table-1-style per-pass label table for every Phase II candidate")
+		quiet       = flag.Bool("q", false, "print only the instance count")
+		asJSON      = flag.Bool("json", false, "print instances as JSON (pattern name -> image name maps)")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+	if *circuitPath == "" {
+		return fmt.Errorf("-circuit is required")
+	}
+	if (*patternPath == "") == (*cellName == "") {
+		return fmt.Errorf("exactly one of -pattern or -cell is required")
+	}
+
+	circuit, err := loadMain(*circuitPath)
+	if err != nil {
+		return err
+	}
+	pattern, err := loadPattern(*patternPath, *subcktName, *cellName)
+	if err != nil {
+		return err
+	}
+
+	opts := subgemini.Options{
+		MaxInstances: *maxInst,
+	}
+	if *globalsCSV != "" {
+		opts.Globals = strings.Split(*globalsCSV, ",")
+	}
+	if *bindCSV != "" {
+		opts.Bind = make(map[string]string)
+		for _, pair := range strings.Split(*bindCSV, ",") {
+			port, net, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("-bind entry %q is not PORT=NET", pair)
+			}
+			opts.Bind[port] = net
+		}
+	}
+	if *nonOverlap {
+		opts.Policy = subgemini.NonOverlapping
+	}
+	if *verbose {
+		opts.Trace = stderr
+	}
+	if *traceTable {
+		opts.TraceTable = stdout
+	}
+
+	res, err := subgemini.Find(circuit, pattern, opts)
+	if err != nil {
+		return err
+	}
+	if *quiet {
+		fmt.Fprintln(stdout, len(res.Instances))
+		return nil
+	}
+	if *asJSON {
+		return writeJSON(stdout, res)
+	}
+	fmt.Fprintf(stdout, "circuit %s: %d devices, %d nets\n", circuit.Name, circuit.NumDevices(), circuit.NumNets())
+	fmt.Fprintf(stdout, "pattern %s: %d devices\n", pattern.Name, pattern.NumDevices())
+	fmt.Fprintf(stdout, "%d instance(s)\n", len(res.Instances))
+	for i, inst := range res.Instances {
+		fmt.Fprintf(stdout, "#%d:", i+1)
+		for _, d := range inst.Devices() {
+			fmt.Fprintf(stdout, " %s", d.Name)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintln(stdout, "stats:", res.Report.String())
+	return nil
+}
+
+// writeJSON emits the instances as a JSON array of name maps.
+func writeJSON(w io.Writer, res *subgemini.Result) error {
+	type inst struct {
+		Devices map[string]string `json:"devices"`
+		Nets    map[string]string `json:"nets"`
+	}
+	out := make([]inst, 0, len(res.Instances))
+	for _, in := range res.Instances {
+		ji := inst{Devices: map[string]string{}, Nets: map[string]string{}}
+		for sd, gd := range in.DevMap {
+			ji.Devices[sd.Name] = gd.Name
+		}
+		for sn, gnet := range in.NetMap {
+			ji.Nets[sn.Name] = gnet.Name
+		}
+		out = append(out, ji)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func loadMain(path string) (*subgemini.Circuit, error) {
+	f, err := parseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.MainCircuit(base(path))
+}
+
+func loadPattern(path, subckt, cell string) (*subgemini.Circuit, error) {
+	if cell != "" {
+		def := subgemini.Cell(cell)
+		if def == nil {
+			return nil, fmt.Errorf("no library cell named %q (available: %s)", cell, cellNames())
+		}
+		return def.Pattern(), nil
+	}
+	f, err := parseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if subckt == "" {
+		if len(f.Subckts) != 1 {
+			return nil, fmt.Errorf("%s defines %d subcircuits; select one with -subckt", path, len(f.Subckts))
+		}
+		for name := range f.Subckts {
+			subckt = name
+		}
+	}
+	return f.Pattern(subckt)
+}
+
+func parseFile(path string) (*subgemini.NetlistFile, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return subgemini.ReadNetlist(r, path)
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return strings.TrimSuffix(path, ".sp")
+}
+
+func cellNames() string {
+	var names []string
+	for _, c := range subgemini.Cells() {
+		names = append(names, c.Name)
+	}
+	return strings.Join(names, ", ")
+}

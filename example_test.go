@@ -1,0 +1,150 @@
+package subgemini_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"subgemini"
+)
+
+// ExampleFind locates a NAND gate in a small transistor netlist.
+func ExampleFind() {
+	file, err := subgemini.ParseNetlist(`
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+.END`, "chip.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := file.MainCircuit("chip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := subgemini.Find(circuit, subgemini.Cell("NAND2").Pattern(),
+		subgemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instances:", len(res.Instances))
+	for _, d := range res.Instances[0].Devices() {
+		fmt.Println(" ", d.Name)
+	}
+	// Output:
+	// instances: 1
+	//   MP1
+	//   MP2
+	//   MN1
+	//   MN2
+}
+
+// ExampleFind_bind restricts a pattern port to a specific net: only the
+// inverter driven by net "en" is reported.
+func ExampleFind_bind() {
+	file, err := subgemini.ParseNetlist(`
+.GLOBAL VDD GND
+MP1 y1 en VDD pmos
+MN1 y1 en GND nmos
+MP2 y2 other VDD pmos
+MN2 y2 other GND nmos
+.END`, "two.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := file.MainCircuit("two")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := subgemini.Find(circuit, subgemini.Cell("INV").Pattern(), subgemini.Options{
+		Globals: []string{"VDD", "GND"},
+		Bind:    map[string]string{"A": "en"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instances:", len(res.Instances))
+	// Output:
+	// instances: 1
+}
+
+// ExampleCompare checks two netlists for isomorphism, Gemini-style.
+func ExampleCompare() {
+	parse := func(src string) *subgemini.Circuit {
+		f, err := subgemini.ParseNetlist(src, "x.sp")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := f.MainCircuit("x")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	a := parse(".GLOBAL VDD GND\nMP1 y a VDD pmos\nMN1 y a GND nmos\n")
+	b := parse(".GLOBAL VDD GND\nMNx out in GND nmos\nMPx out in VDD pmos\n")
+	res, err := subgemini.Compare(a, b, subgemini.CompareOptions{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("isomorphic:", res.Isomorphic)
+	// Output:
+	// isomorphic: true
+}
+
+// ExampleExtractCells converts a transistor netlist into a gate netlist.
+func ExampleExtractCells() {
+	file, err := subgemini.ParseNetlist(`
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END`, "chip.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := file.MainCircuit("chip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = subgemini.ExtractCells(circuit,
+		[]*subgemini.CellDef{subgemini.Cell("NAND2"), subgemini.Cell("INV")},
+		subgemini.ExtractOptions{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := subgemini.WriteNetlist(os.Stdout, circuit); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// * circuit chip: 2 devices, 6 nets
+	// .GLOBAL VDD GND
+	// Xu1_NAND2 a b y VDD GND NAND2
+	// Xu2_INV y z VDD GND INV
+	// .END
+}
+
+// ExampleCheckRules reviews a circuit for questionable constructs.
+func ExampleCheckRules() {
+	c := subgemini.New("bad")
+	vdd := c.AddNet("VDD")
+	en, x := c.AddNet("en"), c.AddNet("x")
+	classes := []subgemini.TermClass{subgemini.ClassDS, subgemini.ClassGate, subgemini.ClassDS}
+	if _, err := c.AddDevice("m1", "nmos", classes, []*subgemini.Net{vdd, en, x}); err != nil {
+		log.Fatal(err)
+	}
+	vios, err := subgemini.CheckRules(c, subgemini.StandardRules(), []string{"VDD", "GND"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vios {
+		fmt.Println(v.Rule.Name)
+	}
+	// Output:
+	// nmos-pullup
+}

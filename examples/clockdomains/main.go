@@ -1,0 +1,79 @@
+// Clock domains: use port binding to partition the flip-flops of a design
+// by the clock that drives them — the "further constraints on the
+// subcircuit" generalization of special signals the paper describes in
+// §V.A, applied to a practical question ("which registers are on phi2?").
+//
+// Run with:  go run ./examples/clockdomains
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subgemini"
+)
+
+func main() {
+	ckt := build()
+	fmt.Println("circuit:", ckt)
+
+	dff := subgemini.Cell("DFF")
+	rails := []string{"VDD", "GND"}
+
+	res, err := subgemini.Find(ckt, dff.Pattern(), subgemini.Options{Globals: rails})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal flip-flops: %d\n", len(res.Instances))
+
+	for _, clock := range []string{"phi1", "phi2"} {
+		res, err := subgemini.Find(ckt, dff.Pattern(), subgemini.Options{
+			Globals: rails,
+			Bind:    map[string]string{"CLK": clock},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("domain %s: %d flip-flop(s)\n", clock, len(res.Instances))
+		for _, inst := range res.Instances {
+			first := inst.Devices()[0]
+			fmt.Printf("   %s...\n", first.Name)
+		}
+	}
+
+	// Cross-domain transfers: flip-flops on phi2 whose D input is another
+	// register's output — candidates for synchronizer review.  Binding
+	// narrows both ports at once.
+	res, err = subgemini.Find(ckt, dff.Pattern(), subgemini.Options{
+		Globals: rails,
+		Bind:    map[string]string{"CLK": "phi2", "D": "q1"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphi2 flip-flops sampling q1 (domain crossing): %d\n", len(res.Instances))
+}
+
+// build makes a small two-phase design: two registers on phi1 feeding one
+// register on phi2, plus an unrelated phi2 register.
+func build() *subgemini.Circuit {
+	c := subgemini.New("twophase")
+	vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+	phi1, phi2 := c.AddNet("phi1"), c.AddNet("phi2")
+	dff := subgemini.Cell("DFF")
+
+	place := func(inst string, d, clk, q *subgemini.Net) {
+		dff.MustInstantiate(c, inst, map[string]*subgemini.Net{
+			"D": d, "CLK": clk, "Q": q, "VDD": vdd, "GND": gnd,
+		})
+	}
+	d0, q0 := c.AddNet("d0"), c.AddNet("q0")
+	d1, q1 := c.AddNet("d1"), c.AddNet("q1")
+	q2 := c.AddNet("q2")
+	d3, q3 := c.AddNet("d3"), c.AddNet("q3")
+	place("ra", d0, phi1, q0)
+	place("rb", d1, phi1, q1)
+	place("sync", q1, phi2, q2) // crosses from phi1 into phi2
+	place("rc", d3, phi2, q3)
+	return c
+}

@@ -1,0 +1,87 @@
+// Quickstart: parse a small transistor netlist, search it for NAND2 and
+// inverter patterns, and print where they are.
+//
+// Run with:  go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subgemini"
+)
+
+// A two-gate circuit: y = NAND(a, b), z = NOT(y), flat at transistor level.
+const circuitSrc = `
+* quickstart circuit
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END
+`
+
+// The NAND2 pattern as a .SUBCKT: A, B, Y are its external nets (ports);
+// n1 is internal, so a match may not have extra connections on it.
+const patternSrc = `
+.GLOBAL VDD GND
+.SUBCKT NAND2 A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y A n1 nmos
+MN2 n1 B GND nmos
+.ENDS
+`
+
+func main() {
+	file, err := subgemini.ParseNetlist(circuitSrc, "quickstart.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := file.MainCircuit("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("circuit:", circuit)
+
+	patFile, err := subgemini.ParseNetlist(patternSrc, "nand2.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nand2, err := patFile.Pattern("NAND2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := subgemini.Options{Globals: []string{"VDD", "GND"}}
+	res, err := subgemini.Find(circuit, nand2, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNAND2: %d instance(s)\n", len(res.Instances))
+	for i, inst := range res.Instances {
+		fmt.Printf("  #%d:", i+1)
+		for _, d := range inst.Devices() {
+			fmt.Printf(" %s", d.Name)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  stats:", res.Report.String())
+
+	// The built-in cell library provides common patterns directly.
+	res, err = subgemini.Find(circuit, subgemini.Cell("INV").Pattern(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nINV: %d instance(s)\n", len(res.Instances))
+	for i, inst := range res.Instances {
+		fmt.Printf("  #%d:", i+1)
+		for _, d := range inst.Devices() {
+			fmt.Printf(" %s", d.Name)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,107 @@
+// Technology mapping: find all possible coverings of a gate-level network
+// by library components — the §I application that tree-covering mappers
+// cannot handle on graphs with reconvergent fanout, but a general subgraph
+// matcher can.
+//
+// The circuit here is gate-level, not transistor-level: the "devices" are
+// NAND2 and INV gates.  SubGemini is technology-independent, so matching
+// works unchanged on any typed device graph.
+//
+// Run with:  go run ./examples/techmap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subgemini"
+)
+
+// Gate-level terminal classes: inputs of a NAND are interchangeable (class
+// 0); the output is its own class (1).
+var (
+	nandClasses = []subgemini.TermClass{0, 0, 1}
+	invClasses  = []subgemini.TermClass{0, 1}
+)
+
+// and2Pattern is the composite AND2 = NAND2 + INV with the intermediate
+// net internal: an AND2 covering is only valid where nothing else taps the
+// NAND output.
+func and2Pattern() *subgemini.Circuit {
+	p := subgemini.New("AND2MAP")
+	a, b, m, y := p.AddNet("A"), p.AddNet("B"), p.AddNet("m"), p.AddNet("Y")
+	p.MustAddDevice("g1", "nand2", nandClasses, []*subgemini.Net{a, b, m})
+	p.MustAddDevice("g2", "inv", invClasses, []*subgemini.Net{m, y})
+	for _, port := range []string{"A", "B", "Y"} {
+		if err := p.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func main() {
+	// y1 = AND(a,b) — coverable.
+	// t  = NAND(c,d) with fanout to BOTH an inverter and another NAND:
+	//      the inverter pair is NOT coverable as AND2 because t escapes.
+	c := subgemini.New("netlist")
+	a, b, cc, d := c.AddNet("a"), c.AddNet("b"), c.AddNet("c"), c.AddNet("d")
+	n1, y1 := c.AddNet("n1"), c.AddNet("y1")
+	t, y2, y3 := c.AddNet("t"), c.AddNet("y2"), c.AddNet("y3")
+	c.MustAddDevice("u1", "nand2", nandClasses, []*subgemini.Net{a, b, n1})
+	c.MustAddDevice("u2", "inv", invClasses, []*subgemini.Net{n1, y1})
+	c.MustAddDevice("u3", "nand2", nandClasses, []*subgemini.Net{cc, d, t})
+	c.MustAddDevice("u4", "inv", invClasses, []*subgemini.Net{t, y2})
+	c.MustAddDevice("u5", "nand2", nandClasses, []*subgemini.Net{t, a, y3})
+	fmt.Println("gate-level circuit:", c)
+
+	res, err := subgemini.Find(c, and2Pattern(), subgemini.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAND2 coverings found: %d (u1+u2 qualifies; u3+u4 does not — t has reconvergent fanout into u5)\n", len(res.Instances))
+	for i, inst := range res.Instances {
+		fmt.Printf("  covering #%d:", i+1)
+		for _, dev := range inst.Devices() {
+			fmt.Printf(" %s", dev.Name)
+		}
+		fmt.Println()
+	}
+
+	// A 2-input XOR built from four NANDs contains overlapping NAND-pair
+	// structures; MatchAll enumerates every covering option so a mapper
+	// can choose among them.
+	x := subgemini.New("xor4nand")
+	xa, xb := x.AddNet("A"), x.AddNet("B")
+	m := x.AddNet("m")
+	p, q, y := x.AddNet("p"), x.AddNet("q"), x.AddNet("y")
+	x.MustAddDevice("n1", "nand2", nandClasses, []*subgemini.Net{xa, xb, m})
+	x.MustAddDevice("n2", "nand2", nandClasses, []*subgemini.Net{xa, m, p})
+	x.MustAddDevice("n3", "nand2", nandClasses, []*subgemini.Net{xb, m, q})
+	x.MustAddDevice("n4", "nand2", nandClasses, []*subgemini.Net{p, q, y})
+
+	pair := subgemini.New("nandpair")
+	pa, pb, pc := pair.AddNet("A"), pair.AddNet("B"), pair.AddNet("C")
+	pm, py := pair.AddNet("m"), pair.AddNet("Y")
+	pair.MustAddDevice("g1", "nand2", nandClasses, []*subgemini.Net{pa, pb, pm})
+	pair.MustAddDevice("g2", "nand2", nandClasses, []*subgemini.Net{pm, pc, py})
+	for _, port := range []string{"A", "B", "C", "m", "Y"} {
+		// m is exported too: in the XOR the middle net fans out, so a
+		// covering must allow extra loads on it.
+		if err := pair.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	res, err = subgemini.Find(x, pair, subgemini.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nNAND-pair coverings in a 4-NAND XOR: %d\n", len(res.Instances))
+	for i, inst := range res.Instances {
+		fmt.Printf("  option #%d:", i+1)
+		for _, dev := range inst.Devices() {
+			fmt.Printf(" %s", dev.Name)
+		}
+		fmt.Println()
+	}
+}

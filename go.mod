@@ -1,0 +1,3 @@
+module subgemini
+
+go 1.22

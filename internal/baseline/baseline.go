@@ -1,0 +1,324 @@
+// Package baseline implements a straightforward depth-first subgraph
+// matcher of the kind SubGemini §IV contrasts itself with ("matching all
+// the vertices of S to vertices located in G by exhaustively searching from
+// the key vertex as in [6] ... can be very expensive").  It enumerates
+// embeddings device by device with backtracking, pruning only on device
+// type, terminal classes, net-degree feasibility, and injectivity.
+//
+// The package serves two purposes: it is the evaluation baseline for the
+// benchmark harness (experiment E6), and — because it is simple enough to
+// trust — it cross-checks the SubGemini core on small circuits in tests.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"subgemini/internal/core"
+	"subgemini/internal/graph"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Globals lists special-signal net names, with the same semantics as
+	// core.Options.Globals.
+	Globals []string
+	// MaxInstances stops the search after this many distinct instances
+	// (0 = no limit).
+	MaxInstances int
+	// Plain disables the net-degree feasibility pruning, leaving only
+	// type, terminal-class, and injectivity constraints during the search;
+	// degree conditions are then checked on complete embeddings only.
+	// This models the reference [6]-style exhaustive search the paper
+	// contrasts SubGemini with — a "wrong guess early on" is discovered
+	// arbitrarily late.  The default (false) is a modern pruned DFS.
+	Plain bool
+	// MaxSteps aborts the search after this many device-assignment
+	// attempts (0 = no limit).  Used by benchmarks to bound Plain runs.
+	MaxSteps int
+}
+
+// Result is the outcome of a baseline search: the distinct instances found
+// (distinct by image device set, so pattern automorphisms do not duplicate)
+// and how many embeddings were enumerated to find them.
+type Result struct {
+	Instances  []*core.Instance
+	Embeddings int
+	// Steps counts device-assignment attempts, the search-effort measure.
+	Steps int
+	// Aborted reports that MaxSteps was hit before the search finished.
+	Aborted bool
+}
+
+type matcher struct {
+	g, s   *graph.Circuit
+	opts   Options
+	order  []*graph.Device // pattern devices in BFS order
+	devMap []*graph.Device // pattern device index -> image
+	netMap []*graph.Net    // pattern net index -> image
+	usedD  []bool          // main-graph device already an image
+	usedN  []bool          // main-graph net already an image
+	seen   map[string]bool
+	res    *Result
+	done   bool
+}
+
+// Find enumerates instances of pattern s in circuit g.  As in the core
+// matcher, the effective special signals are the union of opts.Globals and
+// the globals already marked in either circuit, applied to both by name.
+func Find(g, s *graph.Circuit, opts Options) (*Result, error) {
+	for _, name := range opts.Globals {
+		g.MarkGlobal(name)
+		s.MarkGlobal(name)
+	}
+	for _, n := range g.Globals() {
+		s.MarkGlobal(n.Name)
+	}
+	for _, n := range s.Globals() {
+		g.MarkGlobal(n.Name)
+	}
+	if s.NumDevices() == 0 {
+		return nil, fmt.Errorf("baseline: pattern %s has no devices", s.Name)
+	}
+	m := &matcher{
+		g: g, s: s, opts: opts,
+		devMap: make([]*graph.Device, s.NumDevices()),
+		netMap: make([]*graph.Net, s.NumNets()),
+		usedD:  make([]bool, g.NumDevices()),
+		usedN:  make([]bool, g.NumNets()),
+		seen:   make(map[string]bool),
+		res:    &Result{},
+	}
+	// Pre-map globals by name; a missing global means no instance.
+	for _, n := range s.Nets {
+		if !n.Global {
+			continue
+		}
+		gn := g.NetByName(n.Name)
+		if gn == nil || !gn.Global {
+			return m.res, nil
+		}
+		m.netMap[n.Index] = gn
+	}
+	m.order = bfsOrder(s)
+	m.assign(0)
+	return m.res, nil
+}
+
+// bfsOrder orders pattern devices so each (after the first) shares a net
+// with an earlier one, keeping the candidate sets small.  Global nets do
+// not count as shared structure, matching the connectivity rule of the
+// core matcher.
+func bfsOrder(s *graph.Circuit) []*graph.Device {
+	order := make([]*graph.Device, 0, s.NumDevices())
+	inOrder := make([]bool, s.NumDevices())
+	netSeen := make([]bool, s.NumNets())
+	var queue []*graph.Device
+	push := func(d *graph.Device) {
+		if !inOrder[d.Index] {
+			inOrder[d.Index] = true
+			queue = append(queue, d)
+		}
+	}
+	push(s.Devices[0])
+	for len(queue) > 0 || len(order) < s.NumDevices() {
+		if len(queue) == 0 {
+			// Disconnected pattern (only possible through globals): start a
+			// new component.
+			for _, d := range s.Devices {
+				if !inOrder[d.Index] {
+					push(d)
+					break
+				}
+			}
+		}
+		d := queue[0]
+		queue = queue[1:]
+		order = append(order, d)
+		for _, pin := range d.Pins {
+			if pin.Net.Global || netSeen[pin.Net.Index] {
+				continue
+			}
+			netSeen[pin.Net.Index] = true
+			for _, conn := range pin.Net.Conns {
+				push(conn.Dev)
+			}
+		}
+	}
+	return order
+}
+
+// assign tries every image for the i'th pattern device in the BFS order.
+func (m *matcher) assign(i int) {
+	if m.done {
+		return
+	}
+	if i == len(m.order) {
+		m.record()
+		return
+	}
+	sd := m.order[i]
+	for _, cand := range m.candidates(sd) {
+		if m.usedD[cand.Index] || cand.Type != sd.Type || len(cand.Pins) != len(sd.Pins) {
+			continue
+		}
+		m.res.Steps++
+		if m.opts.MaxSteps > 0 && m.res.Steps > m.opts.MaxSteps {
+			m.res.Aborted = true
+			m.done = true
+			return
+		}
+		m.usedD[cand.Index] = true
+		m.devMap[sd.Index] = cand
+		m.tryPins(sd, cand, 0, func() { m.assign(i + 1) })
+		m.devMap[sd.Index] = nil
+		m.usedD[cand.Index] = false
+		if m.done {
+			return
+		}
+	}
+}
+
+// candidates returns plausible images for sd: if any of sd's nets is
+// already mapped, the devices on the image net; otherwise every main-graph
+// device.
+func (m *matcher) candidates(sd *graph.Device) []*graph.Device {
+	for _, pin := range sd.Pins {
+		img := m.netMap[pin.Net.Index]
+		if img == nil || pin.Net.Global {
+			continue
+		}
+		cands := make([]*graph.Device, 0, img.Degree())
+		for _, conn := range img.Conns {
+			cands = append(cands, conn.Dev)
+		}
+		return cands
+	}
+	return m.g.Devices
+}
+
+// tryPins matches sd's pins to gd's pins one by one, extending the net map,
+// then calls next; it undoes its work on return.  Pins must pair within
+// equal terminal classes; pins of one class are tried in every order
+// (source/drain interchange).
+func (m *matcher) tryPins(sd, gd *graph.Device, pi int, next func()) {
+	m.tryPinsUsed(sd, gd, pi, make([]bool, len(gd.Pins)), next)
+}
+
+func (m *matcher) tryPinsUsed(sd, gd *graph.Device, pi int, usedGPin []bool, next func()) {
+	if m.done {
+		return
+	}
+	if pi == len(sd.Pins) {
+		next()
+		return
+	}
+	sPin := sd.Pins[pi]
+	for j, gPin := range gd.Pins {
+		if usedGPin[j] || gPin.Class != sPin.Class {
+			continue
+		}
+		if !m.netConsistent(sPin.Net, gPin.Net) {
+			continue
+		}
+		mapped := false
+		if !sPin.Net.Global && m.netMap[sPin.Net.Index] == nil {
+			m.netMap[sPin.Net.Index] = gPin.Net
+			m.usedN[gPin.Net.Index] = true
+			mapped = true
+		}
+		usedGPin[j] = true
+		m.tryPinsUsed(sd, gd, pi+1, usedGPin, next)
+		usedGPin[j] = false
+		if mapped {
+			m.usedN[gPin.Net.Index] = false
+			m.netMap[sPin.Net.Index] = nil
+		}
+		if m.done {
+			return
+		}
+	}
+}
+
+// netConsistent checks whether mapping pattern net sn to main-graph net gn
+// is (still) possible.
+func (m *matcher) netConsistent(sn, gn *graph.Net) bool {
+	if img := m.netMap[sn.Index]; img != nil {
+		return img == gn
+	}
+	// sn unmapped: gn must be fresh and non-global.
+	if m.usedN[gn.Index] || gn.Global {
+		return false
+	}
+	if m.opts.Plain {
+		return true // degree conditions deferred to complete embeddings
+	}
+	if sn.Port {
+		return gn.Degree() >= sn.Degree()
+	}
+	return gn.Degree() == sn.Degree()
+}
+
+// degreesOK re-checks the degree conditions on a complete embedding; only
+// needed in Plain mode, where netConsistent defers them.
+func (m *matcher) degreesOK() bool {
+	for _, sn := range m.s.Nets {
+		if sn.Global {
+			continue
+		}
+		gn := m.netMap[sn.Index]
+		if gn == nil {
+			return false
+		}
+		if sn.Port {
+			if gn.Degree() < sn.Degree() {
+				return false
+			}
+		} else if gn.Degree() != sn.Degree() {
+			return false
+		}
+	}
+	return true
+}
+
+// record handles one complete embedding: de-duplicate by device set, check
+// induced-ness of internal nets (degree equality was already enforced when
+// the net was mapped), and store the instance.
+func (m *matcher) record() {
+	m.res.Embeddings++
+	if m.opts.Plain && !m.degreesOK() {
+		return
+	}
+	sig := m.signature()
+	if m.seen[sig] {
+		return
+	}
+	m.seen[sig] = true
+	inst := &core.Instance{
+		DevMap: make(map[*graph.Device]*graph.Device, len(m.devMap)),
+		NetMap: make(map[*graph.Net]*graph.Net, len(m.netMap)),
+	}
+	for _, sd := range m.s.Devices {
+		inst.DevMap[sd] = m.devMap[sd.Index]
+	}
+	for _, sn := range m.s.Nets {
+		inst.NetMap[sn] = m.netMap[sn.Index]
+	}
+	m.res.Instances = append(m.res.Instances, inst)
+	if m.opts.MaxInstances > 0 && len(m.res.Instances) >= m.opts.MaxInstances {
+		m.done = true
+	}
+}
+
+func (m *matcher) signature() string {
+	idx := make([]int, 0, len(m.devMap))
+	for _, gd := range m.devMap {
+		idx = append(idx, gd.Index)
+	}
+	sort.Ints(idx)
+	sig := make([]byte, 0, len(idx)*4)
+	for _, x := range idx {
+		sig = append(sig, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(sig)
+}

@@ -1,0 +1,189 @@
+package baseline_test
+
+import (
+	"subgemini/internal/baseline"
+	"testing"
+
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+var rails = []string{"VDD", "GND"}
+
+func TestFindInverters(t *testing.T) {
+	d := gen.InverterChain(5)
+	res, err := baseline.Find(d.C, stdcell.INV.Pattern(), baseline.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 5 {
+		t.Fatalf("found %d inverters, want 5", len(res.Instances))
+	}
+	if res.Embeddings < 5 {
+		t.Errorf("embeddings = %d, want >= 5", res.Embeddings)
+	}
+}
+
+// TestAutomorphicPatternDedupes: a NAND2 has an A/B input swap
+// automorphism, so the matcher enumerates two embeddings per instance but
+// must report one.
+func TestAutomorphicPatternDedupes(t *testing.T) {
+	g := graph.New("one")
+	nets := map[string]*graph.Net{}
+	for _, n := range []string{"A", "B", "Y", "VDD", "GND"} {
+		nets[n] = g.AddNet(n)
+	}
+	stdcell.NAND2.MustInstantiate(g, "u1", nets)
+	res, err := baseline.Find(g, stdcell.NAND2.Pattern(), baseline.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1", len(res.Instances))
+	}
+	// The pull-up pair is symmetric but the series pull-down orders A
+	// before B, so the full-cell automorphism count is 1; XOR2 below has a
+	// true A/B automorphism.
+	p := graph.New("pair")
+	x, y, ga, gb := p.AddNet("X"), p.AddNet("Y"), p.AddNet("GA"), p.AddNet("GB")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	p.MustAddDevice("MA", "nmos", cls, []*graph.Net{x, ga, y})
+	p.MustAddDevice("MB", "nmos", cls, []*graph.Net{x, gb, y})
+	for _, port := range []string{"X", "Y", "GA", "GB"} {
+		if err := p.MarkPort(port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2 := graph.New("pairg")
+	x2, y2, a2, b2 := g2.AddNet("X"), g2.AddNet("Y"), g2.AddNet("GA"), g2.AddNet("GB")
+	g2.MustAddDevice("MA", "nmos", cls, []*graph.Net{x2, a2, y2})
+	g2.MustAddDevice("MB", "nmos", cls, []*graph.Net{x2, b2, y2})
+	res, err = baseline.Find(g2, p, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Errorf("symmetric pair: %d instances, want 1", len(res.Instances))
+	}
+	if res.Embeddings < 2 {
+		t.Errorf("symmetric pair: %d embeddings, want >= 2 (automorphism)", res.Embeddings)
+	}
+}
+
+func TestMaxInstances(t *testing.T) {
+	d := gen.InverterChain(10)
+	res, err := baseline.Find(d.C, stdcell.INV.Pattern(), baseline.Options{Globals: rails, MaxInstances: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 3 {
+		t.Errorf("found %d instances, want 3 (capped)", len(res.Instances))
+	}
+}
+
+func TestFig7Baseline(t *testing.T) {
+	build := func() *graph.Circuit {
+		g := graph.New("nand")
+		nets := map[string]*graph.Net{}
+		for _, n := range []string{"A", "B", "Y", "VDD", "GND"} {
+			nets[n] = g.AddNet(n)
+		}
+		stdcell.NAND2.MustInstantiate(g, "u1", nets)
+		return g
+	}
+	res, err := baseline.Find(build(), stdcell.INV.Pattern(), baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Errorf("without globals: %d instances, want 1", len(res.Instances))
+	}
+	res, err = baseline.Find(build(), stdcell.INV.Pattern(), baseline.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 0 {
+		t.Errorf("with globals: %d instances, want 0", len(res.Instances))
+	}
+}
+
+func TestMissingGlobalMeansNoMatch(t *testing.T) {
+	g := graph.New("empty")
+	a, b, gnd := g.AddNet("a"), g.AddNet("b"), g.AddNet("GND")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	g.MustAddDevice("m", "nmos", cls, []*graph.Net{a, b, gnd})
+	// Pattern references VDD, which the circuit lacks entirely.
+	res, err := baseline.Find(g, stdcell.INV.Pattern(), baseline.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 0 {
+		t.Errorf("found %d instances, want 0", len(res.Instances))
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	if _, err := baseline.Find(graph.New("g"), graph.New("s"), baseline.Options{}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+// TestPlainMode: with degree pruning disabled the matcher enumerates more
+// embeddings but reports identical instances, and the step counter and
+// budget work.
+func TestPlainMode(t *testing.T) {
+	d := gen.SwitchGrid(4, 4)
+	pruned, err := baseline.Find(d.C.Clone(), gen.PassChainPattern(4), baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := baseline.Find(d.C.Clone(), gen.PassChainPattern(4), baseline.Options{Plain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Instances) != len(pruned.Instances) {
+		t.Errorf("plain found %d, pruned %d", len(plain.Instances), len(pruned.Instances))
+	}
+	if plain.Steps <= pruned.Steps {
+		t.Errorf("plain steps %d <= pruned steps %d; degree pruning had no effect", plain.Steps, pruned.Steps)
+	}
+	// A tiny budget aborts the plain search.
+	capped, err := baseline.Find(d.C.Clone(), gen.PassChainPattern(4), baseline.Options{Plain: true, MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Aborted {
+		t.Error("step budget not honored")
+	}
+}
+
+// TestDisconnectedPatternViaGlobals: baseline handles patterns whose
+// components touch only at global nets (the core matcher rejects them; the
+// DFS restarts BFS per component).
+func TestDisconnectedPatternViaGlobals(t *testing.T) {
+	s := graph.New("twoinv")
+	vdd, gnd := s.AddNet("VDD"), s.AddNet("GND")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	for _, sfx := range []string{"1", "2"} {
+		a, y := s.AddNet("a"+sfx), s.AddNet("y"+sfx)
+		s.MustAddDevice("mp"+sfx, "pmos", cls, []*graph.Net{y, a, vdd})
+		s.MustAddDevice("mn"+sfx, "nmos", cls, []*graph.Net{y, a, gnd})
+	}
+	for _, p := range []string{"a1", "y1", "a2", "y2"} {
+		if err := s.MarkPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := gen.InverterChain(4)
+	res, err := baseline.Find(g.C, s, baseline.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net maps are injective, so adjacent chain inverters (which share a
+	// net) cannot form a pair: only the C(4,2) − 3 = 3 non-adjacent pairs
+	// qualify.
+	if len(res.Instances) != 3 {
+		t.Errorf("found %d inverter pairs, want 3", len(res.Instances))
+	}
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"testing"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+)
+
+// TestBacktracking: the pass-transistor fabric forces wrong guesses that
+// must be undone (the search still converges to the planted chain).
+func TestBacktracking(t *testing.T) {
+	d := gen.SwitchGrid(6, 6)
+	res, err := core.Find(d.C, gen.PassChainPattern(6), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1 (report: %s)", len(res.Instances), res.Report.String())
+	}
+	if res.Report.Guesses == 0 {
+		t.Error("expected guesses in the symmetric fabric")
+	}
+}
+
+// TestMaxGuessDepth: an artificially tight guess budget makes deep
+// symmetric searches fail soundly (no instances, no error, no hang).
+func TestMaxGuessDepth(t *testing.T) {
+	d := gen.SwitchGrid(6, 8)
+	deep, err := core.Find(d.C.Clone(), gen.PassChainPattern(8), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deep.Instances) != 1 {
+		t.Fatalf("default depth found %d, want 1", len(deep.Instances))
+	}
+	shallow, err := core.Find(d.C.Clone(), gen.PassChainPattern(8), core.Options{MaxGuessDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shallow.Instances) > len(deep.Instances) {
+		t.Errorf("shallow depth found more instances (%d) than the full search (%d)",
+			len(shallow.Instances), len(deep.Instances))
+	}
+}

@@ -1,0 +1,185 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+var railOpts2 = []string{"VDD", "GND"}
+
+// TestBindSelectsInstances: in a ripple counter every DFF has a different
+// clock net (the previous stage's Q), so binding the CLK port selects
+// exactly one stage.
+func TestBindSelectsInstances(t *testing.T) {
+	d := gen.RippleCounter(4)
+
+	// Unbound: all four DFFs.
+	res, err := core.Find(d.C.Clone(), stdcell.DFF.Pattern(), core.Options{Globals: railOpts2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("unbound: %d DFFs, want 4", len(res.Instances))
+	}
+
+	// Bound to the primary clock: stage 0 only.
+	res, err = core.Find(d.C.Clone(), stdcell.DFF.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"CLK": "clk"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("bound to clk: %d DFFs, want 1", len(res.Instances))
+	}
+	if dff := res.Instances[0].DevMap[stdcell.DFF.Pattern().Devices[0]]; dff != nil {
+		// Mapping sanity is covered below by name prefix.
+		_ = dff
+	}
+	for _, gd := range res.Instances[0].Devices() {
+		if !strings.HasPrefix(gd.Name, "dff0.") {
+			t.Errorf("bound instance includes %s, want only dff0.* devices", gd.Name)
+		}
+	}
+
+	// Bound to stage 0's output (which clocks stage 1): stage 1 only.
+	res, err = core.Find(d.C.Clone(), stdcell.DFF.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"CLK": "q0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("bound to q0: %d DFFs, want 1", len(res.Instances))
+	}
+	for _, gd := range res.Instances[0].Devices() {
+		if !strings.HasPrefix(gd.Name, "dff1.") {
+			t.Errorf("bound instance includes %s, want only dff1.* devices", gd.Name)
+		}
+	}
+}
+
+// TestBindToSignal selects cells by what drives them: of three inverters,
+// two share the input net "en"; binding the A port to "en" finds exactly
+// those two and excludes the third.
+func TestBindToSignal(t *testing.T) {
+	g := graph.New("bysignal")
+	vdd, gnd := g.AddNet("VDD"), g.AddNet("GND")
+	en, other := g.AddNet("en"), g.AddNet("other")
+	y1, y2, y3 := g.AddNet("y1"), g.AddNet("y2"), g.AddNet("y3")
+	stdcell.INV.MustInstantiate(g, "e1", map[string]*graph.Net{"A": en, "Y": y1, "VDD": vdd, "GND": gnd})
+	stdcell.INV.MustInstantiate(g, "e2", map[string]*graph.Net{"A": en, "Y": y2, "VDD": vdd, "GND": gnd})
+	stdcell.INV.MustInstantiate(g, "o1", map[string]*graph.Net{"A": other, "Y": y3, "VDD": vdd, "GND": gnd})
+
+	res, err := core.Find(g.Clone(), stdcell.INV.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"A": "en"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 2 {
+		t.Fatalf("bound: %d inverters, want 2 (the en-driven ones)", len(res.Instances))
+	}
+	for _, inst := range res.Instances {
+		for _, gd := range inst.Devices() {
+			if !strings.HasPrefix(gd.Name, "e") {
+				t.Errorf("bound instance includes %s, want e1.*/e2.*", gd.Name)
+			}
+		}
+	}
+}
+
+// TestBindConflictWithGlobal: binding a port to a net that is also the
+// pattern's global would need two pattern nets to share one image, which
+// injective matching cannot express; the result is "no instances".
+func TestBindConflictWithGlobal(t *testing.T) {
+	g := graph.New("tied")
+	vdd, gnd := g.AddNet("VDD"), g.AddNet("GND")
+	y1 := g.AddNet("y1")
+	stdcell.INV.MustInstantiate(g, "tied", map[string]*graph.Net{"A": gnd, "Y": y1, "VDD": vdd, "GND": gnd})
+	res, err := core.Find(g, stdcell.INV.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"A": "GND"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 0 {
+		t.Errorf("found %d instances, want 0 (unsatisfiable alias constraint)", len(res.Instances))
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	g := gen.InverterChain(2)
+	cases := []struct {
+		name string
+		bind map[string]string
+	}{
+		{"unknown port", map[string]string{"NOPE": "n1"}},
+		{"not a port", map[string]string{"MISSING": "n1"}},
+		{"empty target", map[string]string{"A": ""}},
+	}
+	for _, tc := range cases {
+		_, err := core.Find(g.C.Clone(), stdcell.INV.Pattern(), core.Options{Globals: railOpts2, Bind: tc.bind})
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Binding a global is rejected.
+	_, err := core.Find(g.C.Clone(), stdcell.INV.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"VDD": "n1"},
+	})
+	if err == nil {
+		t.Error("binding a global accepted")
+	}
+}
+
+// TestBindMissingTarget: binding to a net that does not exist is "no
+// instances", not an error (the constraint is simply unsatisfiable).
+func TestBindMissingTarget(t *testing.T) {
+	g := gen.InverterChain(3)
+	res, err := core.Find(g.C, stdcell.INV.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"A": "no_such_net"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 0 {
+		t.Errorf("found %d instances, want 0", len(res.Instances))
+	}
+}
+
+// TestBindShrinksSearch: binding should shrink the candidate vector, not
+// just filter results afterwards.
+func TestBindShrinksSearch(t *testing.T) {
+	d := gen.ShiftRegister(32)
+	sin := "q10" // bind the D input to an interior stage output
+	unbound, err := core.Find(d.C.Clone(), stdcell.DFF.Pattern(), core.Options{Globals: railOpts2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := core.Find(d.C.Clone(), stdcell.DFF.Pattern(), core.Options{
+		Globals: railOpts2,
+		Bind:    map[string]string{"D": sin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound.Instances) != 1 {
+		t.Fatalf("bound: %d instances, want 1", len(bound.Instances))
+	}
+	if bound.Report.Candidates >= unbound.Report.Candidates {
+		t.Errorf("binding did not shrink the search: %d candidates vs %d unbound",
+			bound.Report.Candidates, unbound.Report.Candidates)
+	}
+}

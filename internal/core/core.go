@@ -1,0 +1,372 @@
+// Package core implements the SubGemini subgraph-isomorphism algorithm of
+// Ohlrich, Ebeling, Ginting and Sather (DAC 1993): finding every instance of
+// a subcircuit (the pattern S) inside a larger circuit (the main graph G).
+//
+// The algorithm runs in two phases.  Phase I applies partition refinement by
+// relabeling to both graphs, tracking a valid/corrupt bit on pattern
+// vertices so that labels of pattern vertices provably equal the labels of
+// their images in the main graph (Label Invariant 1).  It selects a key
+// vertex K in the pattern and a candidate vector CV of main-graph vertices
+// that might be images of K.  Phase II examines each candidate c, postulates
+// c = image(K), and spreads unique labels outward from the matched pair,
+// using only labels proven "safe", matching singleton partitions as they
+// emerge and guessing (with backtracking) when symmetry stalls progress
+// (Label Invariant 2).  Every complete mapping is verified edge-by-edge
+// before being reported, so label collisions can cost time but never
+// correctness.
+//
+// Special signals (Vdd, GND, clocks) may be declared global: they are
+// matched by name, never labeled, and never corrupt, which both constrains
+// matching (an inverter is not reported inside every NAND gate, paper
+// Fig. 7) and avoids labeling the highest-degree nets in the circuit.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/label"
+	"subgemini/internal/stats"
+)
+
+// OverlapPolicy controls how instances sharing devices are reported.
+type OverlapPolicy int
+
+const (
+	// MatchAll reports one instance per candidate-vector entry that
+	// verifies, even when instances share devices (rule-checking semantics).
+	MatchAll OverlapPolicy = iota
+	// NonOverlapping consumes the devices of each reported instance, so no
+	// device belongs to two instances (extraction semantics).  Candidates
+	// are retried after a success, so several instances whose key images
+	// coincide are still all found.
+	NonOverlapping
+)
+
+// Options configures a matching run.
+type Options struct {
+	// Globals lists net names treated as special signals in both circuits
+	// (paper §V.A).  A pattern net with one of these names only matches the
+	// identically named main-graph net.
+	Globals []string
+
+	// Bind constrains pattern ports to specific main-graph nets by name:
+	// Bind["CLK"] = "clk_phi1" makes the pattern's CLK port match only the
+	// net clk_phi1.  This generalizes special signals (§V.A: "the user may
+	// place further constraints on the subcircuit"): a bound port is
+	// pre-matched like a global but keeps port degree semantics (the
+	// target may have any number of extra connections).  Unlike globals,
+	// bindings are per-run and the names need not agree.
+	Bind map[string]string
+
+	// Policy selects overlap semantics; the zero value is MatchAll.
+	Policy OverlapPolicy
+
+	// MaxInstances stops the search after this many instances (0 = no
+	// limit).
+	MaxInstances int
+
+	// MaxGuessDepth bounds the Phase II guess recursion (0 = default 64).
+	// The bound is a safety valve; circuits in practice need a handful of
+	// nested guesses at most.
+	MaxGuessDepth int
+
+	// Seed perturbs the unique-label stream.  Runs with equal seeds are
+	// bit-for-bit reproducible.
+	Seed uint64
+
+	// Trace, when non-nil, receives a human-readable account of the run.
+	Trace io.Writer
+
+	// TraceTable, when non-nil, receives a Table-1-style rendering of every
+	// Phase II candidate verification: one row per vertex, one column per
+	// relabeling pass, with symbolic labels (KV, A, B, ...), '*' for safe
+	// vertices and brackets for matched ones — the presentation the paper
+	// uses to walk through its example.  Verbose; intended for small runs.
+	TraceTable io.Writer
+
+	// The Ablate* options disable individual design decisions so the
+	// benchmark harness can measure their contribution (DESIGN.md §4).
+	// They never change which instances are found, only how fast.
+
+	// AblateDegreeCheck disables the Phase II match-time degree
+	// feasibility check; false candidates in degree-uniform fabrics are
+	// then refuted only by the final verification.
+	AblateDegreeCheck bool
+
+	// AblateGlobalFold disables folding global-net pins into the Phase I
+	// initial device labels; rail-anchored patterns then start from
+	// type-only partitions.
+	AblateGlobalFold bool
+}
+
+func (o *Options) guessDepth() int {
+	if o.MaxGuessDepth <= 0 {
+		return 64
+	}
+	return o.MaxGuessDepth
+}
+
+func (o *Options) tracef(format string, args ...any) {
+	if o.Trace != nil {
+		fmt.Fprintf(o.Trace, format+"\n", args...)
+	}
+}
+
+// Instance is one verified embedding of the pattern in the main graph.
+type Instance struct {
+	// DevMap maps each pattern device to its image.
+	DevMap map[*graph.Device]*graph.Device
+	// NetMap maps each pattern net (including globals) to its image.
+	NetMap map[*graph.Net]*graph.Net
+}
+
+// Devices returns the image devices sorted by main-graph index.
+func (in *Instance) Devices() []*graph.Device {
+	ds := make([]*graph.Device, 0, len(in.DevMap))
+	for _, g := range in.DevMap {
+		ds = append(ds, g)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Index < ds[j].Index })
+	return ds
+}
+
+// signature canonically identifies the instance by its image device set, for
+// de-duplication when several pattern vertices share the key label.  buf is
+// a reusable scratch slice (may be nil); the second return value hands it
+// back to the caller.
+func (in *Instance) signature(buf []int) (string, []int) {
+	buf = buf[:0]
+	for _, g := range in.DevMap {
+		buf = append(buf, g.Index)
+	}
+	// Insertion sort: instances have tens of devices at most.
+	for i := 1; i < len(buf); i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	// Big-endian bytes make the string order of signatures equal the
+	// numeric order of device-index tuples, which FindParallel relies on
+	// for its canonical instance order.
+	sig := make([]byte, 0, len(buf)*4)
+	for _, x := range buf {
+		sig = append(sig, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+	}
+	return string(sig), buf
+}
+
+// String renders the instance as its sorted image device list.
+func (in *Instance) String() string {
+	s := "{"
+	for i, d := range in.Devices() {
+		if i > 0 {
+			s += " "
+		}
+		s += d.Name
+	}
+	return s + "}"
+}
+
+// Result is the outcome of a Find run.
+type Result struct {
+	Instances []*Instance
+	Report    stats.Report
+}
+
+// Summary renders a one-line account of the run for logs and CLIs.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%d instance(s); %s", len(r.Instances), r.Report.String())
+}
+
+// Find locates instances of pattern s inside main circuit g.
+//
+// The pattern's port nets (its external nets) must be marked with
+// graph.Net.Port before calling Find; internal pattern nets must not have
+// connections outside the instance for a match to be reported (induced
+// subgraph semantics, paper §II).  Find returns an error only for malformed
+// inputs (e.g. a pattern that is disconnected once global nets are
+// removed); "no instances" is a successful empty result.
+func Find(g, s *graph.Circuit, opts Options) (*Result, error) {
+	m, err := NewMatcher(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Find(s)
+}
+
+// Matcher holds the main circuit and options so several patterns can be
+// matched against the same circuit.  A Matcher is not safe for concurrent
+// use.
+type Matcher struct {
+	g    *graph.Circuit
+	opts Options
+
+	gSpace *label.Space
+	// consumed marks main-graph devices already claimed by an instance
+	// under the NonOverlapping policy.  It persists across Find calls so
+	// iterated extraction can run several patterns against one circuit.
+	consumed []bool
+
+	// typeLab caches type-name label hashes: circuits have a handful of
+	// distinct device types but the labels are consulted per device in
+	// every hot loop.
+	typeLab map[string]label.Value
+
+	// gInitLab caches the Phase I initial labels of the main graph, which
+	// depend only on the circuit and its global marks — both fixed at
+	// NewMatcher time — so repeated Find calls skip recomputing them.
+	gInitLab []label.Value
+}
+
+// typeLabel returns the cached label.TypeLabel of a device type.
+func (m *Matcher) typeLabel(typ string) label.Value {
+	if v, ok := m.typeLab[typ]; ok {
+		return v
+	}
+	v := label.TypeLabel(typ)
+	m.typeLab[typ] = v
+	return v
+}
+
+// NewMatcher prepares a matcher for the main circuit g.  The circuit's nets
+// named in opts.Globals are marked global.
+func NewMatcher(g *graph.Circuit, opts Options) (*Matcher, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil main circuit")
+	}
+	for _, d := range g.Devices {
+		if d.Type == graph.WildcardType {
+			return nil, fmt.Errorf("core: main circuit %s contains a wildcard device (%s); wildcards are for patterns only", g.Name, d.Name)
+		}
+	}
+	for _, name := range opts.Globals {
+		g.MarkGlobal(name)
+	}
+	return &Matcher{
+		g:        g,
+		opts:     opts,
+		gSpace:   label.NewSpace(g),
+		consumed: make([]bool, g.NumDevices()),
+		typeLab:  make(map[string]label.Value),
+	}, nil
+}
+
+// markGlobal marks a main-graph net global by name, invalidating the
+// cached Phase I initial labels (they fold in global marks).
+func (m *Matcher) markGlobal(name string) {
+	if n := m.g.NetByName(name); n != nil && !n.Global {
+		n.Global = true
+		m.gInitLab = nil
+	}
+}
+
+// ResetConsumed forgets which devices previous NonOverlapping runs claimed.
+func (m *Matcher) ResetConsumed() {
+	for i := range m.consumed {
+		m.consumed[i] = false
+	}
+}
+
+// Find locates instances of the pattern in the matcher's main circuit.
+//
+// The effective set of special signals is the union of Options.Globals and
+// the nets already marked global in either circuit (e.g. by a .GLOBAL
+// netlist directive); the union is applied to both circuits by name, so a
+// library pattern matched against a netlist with declared globals gets the
+// consistent Fig. 7 semantics without repeating the names in Options.
+func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	for _, n := range s.Globals() {
+		m.markGlobal(n.Name)
+	}
+	for _, n := range m.g.Globals() {
+		s.MarkGlobal(n.Name)
+	}
+	pat, err := newPattern(s, &m.opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Phase I: choose the key vertex and candidate vector.
+	t0 := time.Now()
+	p1 := newPhase1(m, pat, &res.Report)
+	key, cv := p1.run()
+	res.Report.Phase1Duration = time.Since(t0)
+	res.Report.CVSize = len(cv)
+	if p1.tracer != nil {
+		keyName := "(none)"
+		if len(cv) > 0 {
+			keyName = pat.space.Name(key)
+		}
+		p1.tracer.render(m.opts.TraceTable, keyName, len(cv))
+	}
+	if len(cv) == 0 {
+		m.opts.tracef("phase1: empty candidate vector, no instances")
+		return res, nil
+	}
+	res.Report.KeyVertex = pat.space.Name(key)
+	res.Report.KeyIsDevice = pat.space.IsDevice(key)
+	m.opts.tracef("phase1: key=%s |CV|=%d passes=%d", res.Report.KeyVertex, len(cv), res.Report.Phase1Passes)
+
+	// Phase II: verify each candidate.
+	t1 := time.Now()
+	p2, err := newPhase2(m, pat, &res.Report)
+	if err != nil {
+		// The pattern references a global net absent from G: no instance
+		// can exist.
+		m.opts.tracef("phase2: %v", err)
+		res.Report.Phase2Duration = time.Since(t1)
+		return res, nil
+	}
+	seen := make(map[string]bool)
+	var sigBuf []int
+	for _, c := range cv {
+		if m.opts.MaxInstances > 0 && len(res.Instances) >= m.opts.MaxInstances {
+			break
+		}
+		res.Report.Candidates++
+		for {
+			inst := p2.verifyCandidate(key, c)
+			if inst == nil {
+				break
+			}
+			var sig string
+			sig, sigBuf = inst.signature(sigBuf)
+			if !seen[sig] {
+				seen[sig] = true
+				res.Instances = append(res.Instances, inst)
+				res.Report.Instances++
+				res.Report.MatchedDevices += len(inst.DevMap)
+				m.opts.tracef("phase2: instance #%d at %s", len(res.Instances), m.gSpace.Name(c))
+			}
+			if m.opts.Policy == NonOverlapping {
+				for _, gd := range inst.DevMap {
+					m.consumed[gd.Index] = true
+				}
+			} else {
+				// MatchAll reports at most one instance per candidate; the
+				// candidate loop continues with the next c.
+				break
+			}
+			if m.opts.MaxInstances > 0 && len(res.Instances) >= m.opts.MaxInstances {
+				break
+			}
+			// NonOverlapping: retry the same candidate in case several
+			// disjoint instances share the key image (possible when the key
+			// is a shared net).
+		}
+	}
+	res.Report.Phase2Duration = time.Since(t1)
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"testing"
+
+	"subgemini/internal/baseline"
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/stdcell"
+)
+
+var rails = []string{"VDD", "GND"}
+
+// patternsUnderTest are matched against every generated design.  Composite
+// cells (BUF, AND2, OR2, HA) are excluded because combinations of prime
+// gates can form them accidentally — an XOR2 and an AND2 sharing their
+// inputs *are* a half adder — which the placed-cell census cannot predict.
+var patternsUnderTest = []*stdcell.CellDef{
+	stdcell.INV, stdcell.NAND2, stdcell.NAND3, stdcell.NAND4,
+	stdcell.NOR2, stdcell.NOR3, stdcell.NOR4,
+	stdcell.AOI21, stdcell.OAI21, stdcell.AOI22, stdcell.OAI22,
+	stdcell.XOR2, stdcell.XNOR2, stdcell.MUX2, stdcell.TINV,
+	stdcell.LATCH, stdcell.DFF, stdcell.SRAM6T, stdcell.FA,
+}
+
+// TestAccidentalHalfAdder pins the composite-cell effect down: the ALU
+// slice places an XOR2 and an AND2 on the same inputs, which together form
+// a structural HA instance per slice even though no HA was placed.
+func TestAccidentalHalfAdder(t *testing.T) {
+	d := gen.ALUDatapath(3)
+	res, err := core.Find(d.C, stdcell.HA.Pattern(), core.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 3 {
+		t.Errorf("found %d accidental half adders, want 3 (one per slice)", len(res.Instances))
+	}
+}
+
+// TestCoreMatchesCensus verifies that SubGemini's instance counts equal the
+// exact expected counts derived from the generator's placed-cell census and
+// the baseline-computed containment table.
+func TestCoreMatchesCensus(t *testing.T) {
+	designs := []*gen.Design{
+		gen.InverterChain(12),
+		gen.RippleAdder(4),
+		gen.ArrayMultiplier(3),
+		gen.RippleCounter(4),
+		gen.ShiftRegister(5),
+		gen.SRAMArray(3, 4),
+		gen.ALUDatapath(2),
+		gen.RandomLogic(40, 8, 1),
+		gen.RandomLogic(40, 8, 2),
+	}
+	for _, d := range designs {
+		if err := d.C.Validate(); err != nil {
+			t.Fatalf("%s: invalid generated circuit: %v", d.C.Name, err)
+		}
+		for _, pat := range patternsUnderTest {
+			res, err := core.Find(d.C.Clone(), pat.Pattern(), core.Options{Globals: rails})
+			if err != nil {
+				t.Fatalf("%s in %s: %v", pat.Name, d.C.Name, err)
+			}
+			want := d.Expected(pat)
+			if got := len(res.Instances); got != want {
+				t.Errorf("%s in %s: core found %d instances, census expects %d (report: %s)",
+					pat.Name, d.C.Name, got, want, res.Report.String())
+			}
+		}
+	}
+}
+
+// TestCoreMatchesBaseline cross-checks SubGemini against the exhaustive DFS
+// matcher instance-for-instance on small designs: both must report the same
+// image device sets.
+func TestCoreMatchesBaseline(t *testing.T) {
+	designs := []*gen.Design{
+		gen.InverterChain(6),
+		gen.RippleAdder(2),
+		gen.RippleCounter(2),
+		gen.SRAMArray(2, 2),
+		gen.RandomLogic(25, 6, 7),
+	}
+	for _, d := range designs {
+		for _, pat := range patternsUnderTest {
+			gc := d.C.Clone()
+			coreRes, err := core.Find(gc, pat.Pattern(), core.Options{Globals: rails})
+			if err != nil {
+				t.Fatalf("core: %s in %s: %v", pat.Name, d.C.Name, err)
+			}
+			baseRes, err := baseline.Find(gc, pat.Pattern(), baseline.Options{Globals: rails})
+			if err != nil {
+				t.Fatalf("baseline: %s in %s: %v", pat.Name, d.C.Name, err)
+			}
+			coreSets := instanceSets(coreRes.Instances)
+			baseSets := instanceSets(baseRes.Instances)
+			if len(coreSets) != len(baseSets) {
+				t.Errorf("%s in %s: core found %d instances, baseline %d",
+					pat.Name, d.C.Name, len(coreSets), len(baseSets))
+				continue
+			}
+			for sig := range baseSets {
+				if !coreSets[sig] {
+					t.Errorf("%s in %s: baseline instance %q missing from core results", pat.Name, d.C.Name, sig)
+				}
+			}
+		}
+	}
+}
+
+func instanceSets(instances []*core.Instance) map[string]bool {
+	sets := make(map[string]bool, len(instances))
+	for _, inst := range instances {
+		key := ""
+		for _, d := range inst.Devices() {
+			key += d.Name + "|"
+		}
+		sets[key] = true
+	}
+	return sets
+}
+
+// TestContainmentTable pins the containment facts the documentation cites,
+// which double as a regression test of the baseline matcher on every
+// library cell.
+func TestContainmentTable(t *testing.T) {
+	cases := []struct {
+		pattern, cell *stdcell.CellDef
+		want          int
+	}{
+		{stdcell.INV, stdcell.INV, 1},
+		{stdcell.INV, stdcell.BUF, 2},
+		{stdcell.INV, stdcell.NAND2, 0}, // Fig. 7 with special signals
+		{stdcell.INV, stdcell.XOR2, 2},  // the two input inverters
+		{stdcell.INV, stdcell.FA, 2},    // the two output inverters
+		{stdcell.INV, stdcell.DFF, 5},
+		{stdcell.INV, stdcell.LATCH, 3},
+		{stdcell.INV, stdcell.SRAM6T, 2}, // the cross-coupled pair
+		{stdcell.INV, stdcell.MUX2, 1},
+		{stdcell.NAND2, stdcell.AND2, 1},
+		{stdcell.NAND2, stdcell.NAND3, 0}, // series stacks differ
+		{stdcell.NOR2, stdcell.OR2, 1},
+		{stdcell.NOR2, stdcell.NOR3, 0},
+		{stdcell.MUX2, stdcell.LATCH, 1}, // input/feedback TG pair + enable inverter
+		{stdcell.MUX2, stdcell.DFF, 0},   // ckb degree differs from the MUX2 internal node
+		{stdcell.LATCH, stdcell.DFF, 0},  // likewise
+		{stdcell.DFF, stdcell.DFF, 1},
+		{stdcell.FA, stdcell.FA, 1},
+	}
+	for _, tc := range cases {
+		if got := gen.Containment(tc.pattern, tc.cell); got != tc.want {
+			t.Errorf("Containment(%s, %s) = %d, want %d", tc.pattern.Name, tc.cell.Name, got, tc.want)
+		}
+	}
+}

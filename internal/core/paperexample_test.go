@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"subgemini/internal/graph"
+)
+
+var mos3 = []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+
+// paperSubgraph reconstructs the example subcircuit of paper Fig. 1/2 and
+// Table 1: two p-devices D1, D2 and two n-devices D3, D4 around the single
+// internal net N4 (the eventual key vertex).  All other nets are external.
+//
+//	D1 pmos: ds=N1, g=N3, ds=N2        D3 nmos: ds=N2, g=N3, ds=N4
+//	D2 pmos: ds=N1, g=N5, ds=N2        D4 nmos: ds=N6, g=N5, ds=N4
+func paperSubgraph() *graph.Circuit {
+	s := graph.New("paperS")
+	n := func(name string) *graph.Net { return s.AddNet(name) }
+	n1, n2, n3, n4, n5, n6 := n("N1"), n("N2"), n("N3"), n("N4"), n("N5"), n("N6")
+	s.MustAddDevice("D1", "pmos", mos3, []*graph.Net{n1, n3, n2})
+	s.MustAddDevice("D2", "pmos", mos3, []*graph.Net{n1, n5, n2})
+	s.MustAddDevice("D3", "nmos", mos3, []*graph.Net{n2, n3, n4})
+	s.MustAddDevice("D4", "nmos", mos3, []*graph.Net{n6, n5, n4})
+	for _, port := range []string{"N1", "N2", "N3", "N5", "N6"} {
+		if err := s.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// paperMainGraph reconstructs the example main circuit: one true instance
+// of the subgraph at {D6, D7, D9, D11} plus the decoy devices D5, D8, D10,
+// arranged so the net N13 mimics the key vertex's Phase I label and lands
+// in the candidate vector alongside the true image N14 (paper §III: "the
+// two vertices in G marked A will become the candidate vector").
+func paperMainGraph() *graph.Circuit {
+	g := graph.New("paperG")
+	n := func(name string) *graph.Net { return g.AddNet(name) }
+	n7, n8, n9, n10, n11, n12 := n("N7"), n("N8"), n("N9"), n("N10"), n("N11"), n("N12")
+	n13, n14, n15 := n("N13"), n("N14"), n("N15")
+	g.MustAddDevice("D5", "pmos", mos3, []*graph.Net{n8, n12, n11})
+	g.MustAddDevice("D6", "pmos", mos3, []*graph.Net{n7, n8, n10})
+	g.MustAddDevice("D7", "pmos", mos3, []*graph.Net{n7, n9, n10})
+	g.MustAddDevice("D8", "nmos", mos3, []*graph.Net{n9, n12, n13})
+	g.MustAddDevice("D9", "nmos", mos3, []*graph.Net{n10, n8, n14})
+	g.MustAddDevice("D10", "nmos", mos3, []*graph.Net{n13, n12, n10})
+	g.MustAddDevice("D11", "nmos", mos3, []*graph.Net{n15, n9, n14})
+	return g
+}
+
+// TestPaperExamplePhase1 checks the Phase I outcome the paper walks
+// through: N4 is the key vertex (the only internal net survives
+// relabeling) and the candidate vector is exactly {N13, N14}.
+func TestPaperExamplePhase1(t *testing.T) {
+	g, s := paperMainGraph(), paperSubgraph()
+	m, err := NewMatcher(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := newPattern(s, &m.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep = &Result{}
+	p1 := newPhase1(m, pat, &rep.Report)
+	key, cv := p1.run()
+
+	if got := pat.space.Name(key); got != "N4" {
+		t.Errorf("key vertex = %s, want N4", got)
+	}
+	if len(cv) != 2 {
+		t.Fatalf("|CV| = %d, want 2", len(cv))
+	}
+	names := map[string]bool{}
+	for _, v := range cv {
+		names[m.gSpace.Name(v)] = true
+	}
+	if !names["N13"] || !names["N14"] {
+		t.Errorf("CV = %v, want {N13, N14}", names)
+	}
+}
+
+// TestPaperExamplePhase2 checks the end-to-end result on the worked
+// example: exactly one instance with the mapping Table 1 derives
+// (D1→D6, D2→D7, D3→D9, D4→D11), found despite the false candidate N13.
+func TestPaperExamplePhase2(t *testing.T) {
+	g, s := paperMainGraph(), paperSubgraph()
+	res, err := Find(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1 (report: %s)", len(res.Instances), res.Report.String())
+	}
+	want := map[string]string{"D1": "D6", "D2": "D7", "D3": "D9", "D4": "D11"}
+	for sd, gd := range res.Instances[0].DevMap {
+		if want[sd.Name] != gd.Name {
+			t.Errorf("image(%s) = %s, want %s", sd.Name, gd.Name, want[sd.Name])
+		}
+	}
+	wantNets := map[string]string{"N1": "N7", "N2": "N10", "N3": "N8", "N4": "N14", "N5": "N9", "N6": "N15"}
+	for sn, gnet := range res.Instances[0].NetMap {
+		if want, ok := wantNets[sn.Name]; ok && want != gnet.Name {
+			t.Errorf("image(%s) = %s, want %s", sn.Name, gnet.Name, want)
+		}
+	}
+	if res.Report.CVSize != 2 {
+		t.Errorf("CV size = %d, want 2", res.Report.CVSize)
+	}
+	// The paper's Table 1 verifies N14 in 7 passes; allow slack for the
+	// rejected candidate N13 but catch regressions toward brute force.
+	if res.Report.Phase2Passes > 16 {
+		t.Errorf("Phase II took %d passes across both candidates, want <= 16", res.Report.Phase2Passes)
+	}
+}
+
+// TestFig5Symmetry reproduces paper Fig. 5: a symmetric parallel transistor
+// pair forces Phase II to guess, but either choice is correct, so the match
+// succeeds without backtracking.
+func TestFig5Symmetry(t *testing.T) {
+	build := func(name string) *graph.Circuit {
+		c := graph.New(name)
+		x, y := c.AddNet("X"), c.AddNet("Y")
+		ga, gb := c.AddNet("GA"), c.AddNet("GB")
+		c.MustAddDevice("MA", "nmos", mos3, []*graph.Net{x, ga, y})
+		c.MustAddDevice("MB", "nmos", mos3, []*graph.Net{x, gb, y})
+		return c
+	}
+	s := build("pairS")
+	for _, p := range []string{"X", "GA", "GB"} {
+		if err := s.MarkPort(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Y is internal: the pair plus its shared node must be found exactly.
+	g := build("pairG")
+	// Give the external nets some context so the main graph is bigger than
+	// the pattern.
+	load := g.AddNet("load")
+	g.MustAddDevice("ML", "nmos", mos3, []*graph.Net{g.NetByName("X"), load, g.AddNet("Z")})
+
+	res, err := Find(g, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1 (report: %s)", len(res.Instances), res.Report.String())
+	}
+	if res.Report.Guesses == 0 {
+		t.Errorf("expected at least one guess for the symmetric pair, got none (report: %s)", res.Report.String())
+	}
+	if res.Report.Backtracks != 0 {
+		t.Errorf("expected no backtracking (either guess is correct), got %d", res.Report.Backtracks)
+	}
+}

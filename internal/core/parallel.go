@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/stats"
+)
+
+// FindParallel is Find with Phase II candidates verified concurrently.
+// Phase I is inherently sequential (one pass over both graphs) but cheap;
+// Phase II examines each candidate independently, so the candidate vector
+// is striped across workers, each with its own verification state.
+//
+// Only the MatchAll policy is supported: NonOverlapping serializes on the
+// consumed-device set by design.  Results are identical to Find up to
+// instance order, which is canonicalized (sorted by image device set), and
+// the run remains deterministic for a fixed worker count.
+//
+// workers <= 0 selects GOMAXPROCS.  The per-worker memory cost is O(|G|),
+// so very wide fan-out on very large graphs trades memory for latency.
+func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
+	if m.opts.Policy != MatchAll {
+		return nil, fmt.Errorf("core: FindParallel requires the MatchAll policy")
+	}
+	if m.opts.MaxInstances > 0 {
+		return nil, fmt.Errorf("core: FindParallel does not support MaxInstances (the cutoff would be nondeterministic)")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || m.opts.Trace != nil {
+		// Tracing interleaves arbitrarily across workers; a traced run
+		// falls back to the sequential matcher, which produces the same
+		// instances.
+		return m.Find(s)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	for _, n := range s.Globals() {
+		m.markGlobal(n.Name)
+	}
+	for _, n := range m.g.Globals() {
+		s.MarkGlobal(n.Name)
+	}
+	pat, err := newPattern(s, &m.opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	t0 := time.Now()
+	p1 := newPhase1(m, pat, &res.Report)
+	key, cv := p1.run()
+	res.Report.Phase1Duration = time.Since(t0)
+	res.Report.CVSize = len(cv)
+	if len(cv) == 0 {
+		return res, nil
+	}
+	res.Report.KeyVertex = pat.space.Name(key)
+	res.Report.KeyIsDevice = pat.space.IsDevice(key)
+
+	if workers > len(cv) {
+		workers = len(cv)
+	}
+	// Pre-warm the shared type-label cache so workers only read it (the
+	// cache map is not otherwise synchronized).
+	for _, d := range m.g.Devices {
+		m.typeLabel(d.Type)
+	}
+	for _, d := range pat.s.Devices {
+		m.typeLabel(d.Type)
+	}
+	t1 := time.Now()
+	type shard struct {
+		instances []*Instance
+		report    stats.Report
+		err       error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			p2, err := newPhase2(m, pat, &sh.report)
+			if err != nil {
+				sh.err = err
+				return
+			}
+			for i := w; i < len(cv); i += workers {
+				sh.report.Candidates++
+				if inst := p2.verifyCandidate(key, cv[i]); inst != nil {
+					sh.instances = append(sh.instances, inst)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Report.Phase2Duration = time.Since(t1)
+
+	// newPhase2 errors mean a pre-match constraint is unsatisfiable (a
+	// global or bind target missing): every worker reports the same thing,
+	// and the result is simply "no instances".
+	for w := range shards {
+		if shards[w].err != nil {
+			m.opts.tracef("phase2: %v", shards[w].err)
+			return res, nil
+		}
+	}
+	type keyed struct {
+		sig  string
+		inst *Instance
+	}
+	seen := make(map[string]bool)
+	var all []keyed
+	var sigBuf []int
+	var sig string
+	for w := range shards {
+		res.Report.Phase2Passes += shards[w].report.Phase2Passes
+		res.Report.Guesses += shards[w].report.Guesses
+		res.Report.Backtracks += shards[w].report.Backtracks
+		res.Report.VerifyCalls += shards[w].report.VerifyCalls
+		res.Report.Candidates += shards[w].report.Candidates
+		for _, inst := range shards[w].instances {
+			sig, sigBuf = inst.signature(sigBuf)
+			if !seen[sig] {
+				seen[sig] = true
+				all = append(all, keyed{sig, inst})
+			}
+		}
+	}
+	// Canonical order: by image device set (the signature encodes the
+	// sorted device indices, so sorting by it sorts by device set).
+	sort.Slice(all, func(i, j int) bool { return all[i].sig < all[j].sig })
+	res.Instances = make([]*Instance, len(all))
+	for i, k := range all {
+		res.Instances[i] = k.inst
+		res.Report.MatchedDevices += len(k.inst.DevMap)
+	}
+	res.Report.Instances = len(res.Instances)
+	return res, nil
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/label"
+	"subgemini/internal/stats"
+)
+
+// Vertex states used by Phase I.  Pattern vertices carry valid/corrupt bits
+// (paper §III); main-graph vertices carry active/pruned bits implementing
+// the "removed from consideration" consistency-check optimization (Fig. 4).
+// Global nets on both sides hold fixed name-derived labels, are never
+// relabeled, never corrupt, and never enter partitions or the candidate
+// vector (paper §V.A).
+type p1State uint8
+
+const (
+	p1Valid   p1State = iota // label provably equals the image's label
+	p1Corrupt                // label may differ from the image's label
+	p1Global                 // special signal: fixed label, outside the algorithm
+)
+
+type g1State uint8
+
+const (
+	g1Active g1State = iota // still a possible image of some valid pattern vertex
+	g1Pruned                // label matched no valid pattern partition; keeps last label
+	g1Global                // special signal
+)
+
+// phase1 carries the state of the candidate-vector generation phase.
+type phase1 struct {
+	m   *Matcher
+	pat *pattern
+	rep *stats.Report
+
+	sSpace, gSpace *label.Space
+	sLab, gLab     []label.Value
+	sNew, gNew     []label.Value
+	sState         []p1State
+	gState         []g1State
+
+	// tracer, when non-nil, records per-round state for the Fig. 2/4-style
+	// rendering (Options.TraceTable).
+	tracer *phase1Tracer
+}
+
+func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
+	p := &phase1{
+		m: m, pat: pat, rep: rep,
+		sSpace: pat.space,
+		gSpace: m.gSpace,
+	}
+	p.sLab = make([]label.Value, p.sSpace.Size())
+	p.sNew = make([]label.Value, p.sSpace.Size())
+	p.sState = make([]p1State, p.sSpace.Size())
+	p.gLab = make([]label.Value, p.gSpace.Size())
+	p.gNew = make([]label.Value, p.gSpace.Size())
+	p.gState = make([]g1State, p.gSpace.Size())
+
+	for _, d := range pat.s.Devices {
+		v := p.sSpace.DevVID(d)
+		if d.Type == graph.WildcardType {
+			// A wildcard's image may have any type, so its label carries no
+			// usable information (paper Invariant 1 cannot hold for it).
+			p.sState[v] = p1Corrupt
+			continue
+		}
+		p.sLab[v] = initialDeviceLabel(m, d)
+	}
+	for _, n := range pat.s.Nets {
+		v := p.sSpace.NetVID(n)
+		switch {
+		case n.Global:
+			p.sLab[v] = label.GlobalLabel(n.Name)
+			p.sState[v] = p1Global
+		case pat.bind[n] != "":
+			// Bound ports are pre-matched like specials; the label keys on
+			// the target net's name so both sides agree (paper §V.A:
+			// user-supplied constraints on the subcircuit).
+			p.sLab[v] = label.BindLabel(pat.bind[n])
+			p.sState[v] = p1Global
+		case n.Port:
+			// External nets have a different degree in the main graph, so
+			// their labels are corrupt from the start (paper Fig. 2).
+			p.sLab[v] = label.DegreeLabel(n.Degree())
+			p.sState[v] = p1Corrupt
+		default:
+			p.sLab[v] = label.DegreeLabel(n.Degree())
+		}
+	}
+	if m.gInitLab == nil {
+		m.gInitLab = make([]label.Value, p.gSpace.Size())
+		for _, d := range m.g.Devices {
+			m.gInitLab[p.gSpace.DevVID(d)] = initialDeviceLabel(m, d)
+		}
+		for _, n := range m.g.Nets {
+			v := p.gSpace.NetVID(n)
+			if n.Global {
+				m.gInitLab[v] = label.GlobalLabel(n.Name)
+			} else {
+				m.gInitLab[v] = label.DegreeLabel(n.Degree())
+			}
+		}
+	}
+	copy(p.gLab, m.gInitLab)
+	for _, n := range m.g.Nets {
+		if n.Global {
+			p.gState[p.gSpace.NetVID(n)] = g1Global
+		}
+	}
+	// Bind targets get the same fixed labels as their pattern ports,
+	// overriding the cached initial label for this run only.
+	for _, target := range pat.bind {
+		if gn := m.g.NetByName(target); gn != nil {
+			v := p.gSpace.NetVID(gn)
+			p.gLab[v] = label.BindLabel(target)
+			p.gState[v] = g1Global
+		}
+	}
+	return p
+}
+
+// initialDeviceLabel is the vertex-invariant label of a device: its type,
+// folded with the fixed labels of any global nets on its terminals.  Global
+// nets match by name, so a device's rail connections are invariant across
+// the pattern and the main graph; folding them in sharpens the initial
+// partitioning (a transistor sourcing from VDD never shares a partition
+// with one buried in a stack), which is what makes rail-anchored patterns
+// cheap to locate.
+func initialDeviceLabel(m *Matcher, d *graph.Device) label.Value {
+	acc := m.typeLabel(d.Type)
+	if m.opts.AblateGlobalFold {
+		return acc
+	}
+	for _, pin := range d.Pins {
+		if pin.Net.Global {
+			acc = label.Combine(acc, pin.Class, label.GlobalLabel(pin.Net.Name))
+		}
+	}
+	return acc
+}
+
+// run executes the optimized Phase I algorithm (paper §III) and returns the
+// key vertex and candidate vector.  An empty candidate vector means Phase I
+// proved no instance exists.
+func (p *phase1) run() (key label.VID, cv []label.VID) {
+	if p.m.opts.TraceTable != nil {
+		p.tracer = newPhase1Tracer(p)
+	}
+	// Consistency check on the initial labeling (paper Fig. 4 prunes after
+	// the initial labeling).
+	if !p.consistency(false) || !p.consistency(true) {
+		p.rep.EarlyAbort = true
+		return 0, nil
+	}
+	if p.tracer != nil {
+		p.tracer.snapshot("initial")
+	}
+
+	maxRounds := p.sSpace.Size() + 8
+	prevSig := p.partitionSignature()
+	for round := 0; round < maxRounds; round++ {
+		p.rep.Phase1Passes++
+
+		// Relabel all valid net vertices, then corrupt those with corrupt
+		// device neighbors.
+		p.relabelNets()
+		p.corruptNets()
+		if !p.consistency(false) {
+			p.rep.EarlyAbort = true
+			return 0, nil
+		}
+		if p.tracer != nil {
+			p.tracer.snapshot(fmt.Sprintf("nets %d", round+1))
+		}
+		if p.allCorrupt(false) {
+			break
+		}
+
+		// Relabel all valid device vertices, then corrupt those with
+		// corrupt net neighbors.
+		p.relabelDevices()
+		p.corruptDevices()
+		if !p.consistency(true) {
+			p.rep.EarlyAbort = true
+			return 0, nil
+		}
+		if p.tracer != nil {
+			p.tracer.snapshot(fmt.Sprintf("devs %d", round+1))
+		}
+		if p.allCorrupt(true) {
+			break
+		}
+
+		// Stability guard: when the valid partition structure of the
+		// pattern stops refining, further rounds cannot shrink the
+		// candidate vector (needed for patterns with no external nets,
+		// which never corrupt).
+		sig := p.partitionSignature()
+		if sig == prevSig {
+			break
+		}
+		prevSig = sig
+	}
+	return p.chooseCandidates()
+}
+
+// relabelNets applies the Fig. 3 relabeling function to every valid pattern
+// net and every active main-graph net simultaneously.
+func (p *phase1) relabelNets() {
+	for _, n := range p.pat.s.Nets {
+		v := p.sSpace.NetVID(n)
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		p.sNew[v] = p.relabelNetFrom(n, p.sSpace, p.sLab)
+	}
+	for _, n := range p.m.g.Nets {
+		v := p.gSpace.NetVID(n)
+		if p.gState[v] != g1Active {
+			continue
+		}
+		p.gNew[v] = p.relabelNetFrom(n, p.gSpace, p.gLab)
+	}
+	p.commitNets()
+}
+
+func (p *phase1) relabelNetFrom(n *graph.Net, sp *label.Space, lab []label.Value) label.Value {
+	acc := lab[sp.NetVID(n)]
+	for _, conn := range n.Conns {
+		class := conn.Dev.Pins[conn.Pin].Class
+		acc = label.Combine(acc, class, lab[sp.DevVID(conn.Dev)])
+	}
+	return acc
+}
+
+// relabelDevices is the device-side counterpart of relabelNets.
+func (p *phase1) relabelDevices() {
+	for _, d := range p.pat.s.Devices {
+		v := p.sSpace.DevVID(d)
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		p.sNew[v] = p.relabelDevFrom(d, p.sSpace, p.sLab)
+	}
+	for _, d := range p.m.g.Devices {
+		v := p.gSpace.DevVID(d)
+		if p.gState[v] != g1Active {
+			continue
+		}
+		p.gNew[v] = p.relabelDevFrom(d, p.gSpace, p.gLab)
+	}
+	p.commitDevices()
+}
+
+func (p *phase1) relabelDevFrom(d *graph.Device, sp *label.Space, lab []label.Value) label.Value {
+	acc := lab[sp.DevVID(d)]
+	for _, pin := range d.Pins {
+		acc = label.Combine(acc, pin.Class, lab[sp.NetVID(pin.Net)])
+	}
+	return acc
+}
+
+func (p *phase1) commitNets() {
+	for _, n := range p.pat.s.Nets {
+		v := p.sSpace.NetVID(n)
+		if p.sState[v] == p1Valid {
+			p.sLab[v] = p.sNew[v]
+		}
+	}
+	for _, n := range p.m.g.Nets {
+		v := p.gSpace.NetVID(n)
+		if p.gState[v] == g1Active {
+			p.gLab[v] = p.gNew[v]
+		}
+	}
+}
+
+func (p *phase1) commitDevices() {
+	for _, d := range p.pat.s.Devices {
+		v := p.sSpace.DevVID(d)
+		if p.sState[v] == p1Valid {
+			p.sLab[v] = p.sNew[v]
+		}
+	}
+	for _, d := range p.m.g.Devices {
+		v := p.gSpace.DevVID(d)
+		if p.gState[v] == g1Active {
+			p.gLab[v] = p.gNew[v]
+		}
+	}
+}
+
+// corruptNets marks valid pattern nets corrupt when any neighboring device
+// is corrupt; its label may then differ from its image's label.
+func (p *phase1) corruptNets() {
+	for _, n := range p.pat.s.Nets {
+		v := p.sSpace.NetVID(n)
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		for _, conn := range n.Conns {
+			if p.sState[p.sSpace.DevVID(conn.Dev)] == p1Corrupt {
+				p.sState[v] = p1Corrupt
+				break
+			}
+		}
+	}
+}
+
+// corruptDevices marks valid pattern devices corrupt when any neighboring
+// net is corrupt.  Global nets never corrupt their neighbors.
+func (p *phase1) corruptDevices() {
+	for _, d := range p.pat.s.Devices {
+		v := p.sSpace.DevVID(d)
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		for _, pin := range d.Pins {
+			if p.sState[p.sSpace.NetVID(pin.Net)] == p1Corrupt {
+				p.sState[v] = p1Corrupt
+				break
+			}
+		}
+	}
+}
+
+// allCorrupt reports whether every pattern vertex of the given kind (devices
+// if devs, otherwise non-global nets) has been invalidated.
+func (p *phase1) allCorrupt(devs bool) bool {
+	if devs {
+		for _, d := range p.pat.s.Devices {
+			if p.sState[p.sSpace.DevVID(d)] == p1Valid {
+				return false
+			}
+		}
+		return true
+	}
+	for _, n := range p.pat.s.Nets {
+		if p.sState[p.sSpace.NetVID(n)] == p1Valid {
+			return false
+		}
+	}
+	return true
+}
+
+// consistency compares valid pattern partitions of one vertex kind against
+// the active main-graph partitions with the same labels (paper §III).  It
+// prunes main-graph vertices whose labels match no valid pattern partition
+// and returns false when some main-graph partition is smaller than the
+// same-label pattern partition, which proves that no instance exists.
+func (p *phase1) consistency(devs bool) bool {
+	sCount := make(map[label.Value]int)
+	if devs {
+		for _, d := range p.pat.s.Devices {
+			v := p.sSpace.DevVID(d)
+			if p.sState[v] == p1Valid {
+				sCount[p.sLab[v]]++
+			}
+		}
+	} else {
+		for _, n := range p.pat.s.Nets {
+			v := p.sSpace.NetVID(n)
+			if p.sState[v] == p1Valid {
+				sCount[p.sLab[v]]++
+			}
+		}
+	}
+	if len(sCount) == 0 {
+		// Nothing valid on this side: no constraints to apply, and the
+		// main-graph side must be left untouched for contribution labels.
+		return true
+	}
+	gCount := make(map[label.Value]int)
+	prune := func(v label.VID) {
+		if p.gState[v] != g1Active {
+			return
+		}
+		if _, ok := sCount[p.gLab[v]]; !ok {
+			p.gState[v] = g1Pruned
+		} else {
+			gCount[p.gLab[v]]++
+		}
+	}
+	if devs {
+		for _, d := range p.m.g.Devices {
+			prune(p.gSpace.DevVID(d))
+		}
+	} else {
+		for _, n := range p.m.g.Nets {
+			prune(p.gSpace.NetVID(n))
+		}
+	}
+	for lab, cs := range sCount {
+		if gCount[lab] < cs {
+			return false
+		}
+	}
+	return true
+}
+
+// partitionSignature canonically encodes the valid partition structure of
+// the pattern, used by the stability guard.  Two rounds with the same
+// signature refine identically forever after.
+func (p *phase1) partitionSignature() string {
+	ids := make(map[label.Value]int)
+	sig := make([]byte, 0, p.sSpace.Size()*2)
+	for v := 0; v < p.sSpace.Size(); v++ {
+		sig = append(sig, byte(p.sState[v]))
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		id, ok := ids[p.sLab[v]]
+		if !ok {
+			id = len(ids)
+			ids[p.sLab[v]] = id
+		}
+		sig = append(sig, byte(id), byte(id>>8))
+	}
+	return string(sig)
+}
+
+// chooseCandidates picks the smallest active main-graph partition whose
+// label also labels valid pattern vertices; ties prefer smaller pattern
+// partitions, then lower labels for determinism.  The first pattern vertex
+// with the chosen label becomes the key vertex.
+func (p *phase1) chooseCandidates() (label.VID, []label.VID) {
+	type part struct {
+		lab    label.Value
+		dev    bool
+		sFirst label.VID
+		sCount int
+	}
+	sParts := make(map[label.Value]*part)
+	order := make([]*part, 0)
+	for v := 0; v < p.sSpace.Size(); v++ {
+		if p.sState[v] != p1Valid {
+			continue
+		}
+		lab := p.sLab[v]
+		pp, ok := sParts[lab]
+		if !ok {
+			pp = &part{lab: lab, dev: p.sSpace.IsDevice(label.VID(v)), sFirst: label.VID(v)}
+			sParts[lab] = pp
+			order = append(order, pp)
+		}
+		pp.sCount++
+	}
+	if len(order) == 0 {
+		return p.fallbackCandidates()
+	}
+	// Group active main-graph vertices by label, split by vertex kind so a
+	// cross-kind label collision cannot mix devices and nets.
+	gDev := make(map[label.Value][]label.VID)
+	gNet := make(map[label.Value][]label.VID)
+	for v := 0; v < p.gSpace.Size(); v++ {
+		if p.gState[v] != g1Active {
+			continue
+		}
+		if _, ok := sParts[p.gLab[v]]; !ok {
+			continue
+		}
+		if p.gSpace.IsDevice(label.VID(v)) {
+			gDev[p.gLab[v]] = append(gDev[p.gLab[v]], label.VID(v))
+		} else {
+			gNet[p.gLab[v]] = append(gNet[p.gLab[v]], label.VID(v))
+		}
+	}
+	var best *part
+	var bestCV []label.VID
+	for _, pp := range order {
+		var cands []label.VID
+		if pp.dev {
+			cands = gDev[pp.lab]
+		} else {
+			cands = gNet[pp.lab]
+		}
+		if len(cands) < pp.sCount {
+			// A main-graph partition smaller than its pattern partition
+			// proves no instance exists.
+			p.rep.EarlyAbort = true
+			return 0, nil
+		}
+		if best == nil ||
+			len(cands) < len(bestCV) ||
+			(len(cands) == len(bestCV) && pp.sCount < best.sCount) ||
+			(len(cands) == len(bestCV) && pp.sCount == best.sCount && pp.lab < best.lab) {
+			best = pp
+			bestCV = cands
+		}
+	}
+	if best == nil {
+		return 0, nil
+	}
+	sort.Slice(bestCV, func(i, j int) bool { return bestCV[i] < bestCV[j] })
+	return best.sFirst, bestCV
+}
+
+// fallbackCandidates handles patterns with no valid vertices at all (every
+// device a wildcard and every net external): the key is the first pattern
+// device and the candidate vector is every arity-compatible main-graph
+// device.  Complete, but with no Phase I filtering.
+func (p *phase1) fallbackCandidates() (label.VID, []label.VID) {
+	key := p.pat.s.Devices[0]
+	var cv []label.VID
+	for _, d := range p.m.g.Devices {
+		if len(d.Pins) != len(key.Pins) {
+			continue
+		}
+		if key.Type != graph.WildcardType && d.Type != key.Type {
+			continue
+		}
+		cv = append(cv, p.gSpace.DevVID(d))
+	}
+	return p.sSpace.DevVID(key), cv
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"subgemini/internal/label"
+)
+
+// tableTracer reproduces the presentation of the paper's Table 1: one row
+// per vertex, one column per Phase II relabeling pass, cells showing
+// symbolic labels (KV for the key pair's label, then A, B, C, ... in order
+// of first appearance).  A '*' marks a safe vertex and brackets mark a
+// matched one, mirroring the paper's boldface and boxes.
+type tableTracer struct {
+	p         *phase2
+	candidate string
+
+	passes  []passSnap
+	gSeen   map[label.VID]bool
+	gOrder  []label.VID
+	symbols map[label.Value]string
+}
+
+type passSnap struct {
+	sLab   []label.Value
+	sSafe  []bool
+	sMatch []bool
+	gLab   map[label.VID]label.Value
+	gSafe  map[label.VID]bool
+	gMatch map[label.VID]bool
+}
+
+func newTableTracer(p *phase2, candidate string) *tableTracer {
+	return &tableTracer{
+		p:         p,
+		candidate: candidate,
+		gSeen:     map[label.VID]bool{},
+		symbols:   map[label.Value]string{},
+	}
+}
+
+// snapshot records the state after one relabel/partition pass.
+func (t *tableTracer) snapshot() {
+	p := t.p
+	sn := passSnap{
+		sLab:   append([]label.Value(nil), p.sLab...),
+		sSafe:  append([]bool(nil), p.sSafe...),
+		sMatch: make([]bool, len(p.sMatch)),
+		gLab:   map[label.VID]label.Value{},
+		gSafe:  map[label.VID]bool{},
+		gMatch: map[label.VID]bool{},
+	}
+	for i, m := range p.sMatch {
+		sn.sMatch[i] = m != unmatched
+	}
+	for _, v := range p.touched {
+		if p.gLab[v] == 0 {
+			continue
+		}
+		if !t.gSeen[v] {
+			t.gSeen[v] = true
+			t.gOrder = append(t.gOrder, v)
+		}
+		sn.gLab[v] = p.gLab[v]
+		sn.gSafe[v] = p.gSafe[v]
+		sn.gMatch[v] = p.gMatch[v] != unmatched
+	}
+	t.passes = append(t.passes, sn)
+}
+
+// symbol assigns stable single-letter names in order of first appearance;
+// the first label observed (the key pair's) is called KV as in the paper.
+func (t *tableTracer) symbol(v label.Value) string {
+	if v == 0 {
+		return ""
+	}
+	if s, ok := t.symbols[v]; ok {
+		return s
+	}
+	var s string
+	if len(t.symbols) == 0 {
+		s = "KV"
+	} else {
+		n := len(t.symbols) - 1
+		for {
+			s = string(rune('A'+n%26)) + s
+			n = n/26 - 1
+			if n < 0 {
+				break
+			}
+		}
+	}
+	t.symbols[v] = s
+	return s
+}
+
+func (t *tableTracer) cell(lab label.Value, safe, matched bool) string {
+	s := t.symbol(lab)
+	if s == "" {
+		return ""
+	}
+	if safe {
+		s = "*" + s
+	}
+	if matched {
+		s = "[" + s + "]"
+	}
+	return s
+}
+
+// render writes the two per-pass tables (pattern then main graph), in the
+// style of the paper's Table 1.
+func (t *tableTracer) render(w io.Writer, verdict string) {
+	// Pre-assign symbols in pass/vertex order so naming is stable.
+	for _, sn := range t.passes {
+		for v := 0; v < len(sn.sLab); v++ {
+			t.symbol(sn.sLab[v])
+		}
+	}
+	fmt.Fprintf(w, "Phase II trace for candidate %s (%s, %d passes)\n", t.candidate, verdict, len(t.passes))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "vertex"
+	for i := range t.passes {
+		header += fmt.Sprintf("\tpass %d", i+1)
+	}
+	writeSide := func(title string, rows []label.VID, sSide bool) {
+		fmt.Fprintf(tw, "-- %s --%s\n", title, dashes(len(t.passes)))
+		fmt.Fprintln(tw, header)
+		for _, v := range rows {
+			var name string
+			if sSide {
+				name = t.p.sSpace.Name(v)
+			} else {
+				name = t.p.gSpace.Name(v)
+			}
+			line := name
+			for _, sn := range t.passes {
+				if sSide {
+					line += "\t" + t.cell(sn.sLab[v], sn.sSafe[v], sn.sMatch[v])
+				} else {
+					line += "\t" + t.cell(sn.gLab[v], sn.gSafe[v], sn.gMatch[v])
+				}
+			}
+			fmt.Fprintln(tw, line)
+		}
+	}
+	sRows := make([]label.VID, t.p.sSpace.Size())
+	for i := range sRows {
+		sRows[i] = label.VID(i)
+	}
+	writeSide("pattern S", sRows, true)
+	gRows := append([]label.VID(nil), t.gOrder...)
+	sort.Slice(gRows, func(i, j int) bool { return gRows[i] < gRows[j] })
+	writeSide("main graph G (touched vertices)", gRows, false)
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func dashes(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "\t"
+	}
+	return s
+}

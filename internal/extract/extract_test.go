@@ -1,0 +1,285 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+	"subgemini/internal/stdcell"
+)
+
+var rails = []string{"VDD", "GND"}
+
+func TestExtractOneCell(t *testing.T) {
+	d := gen.InverterChain(4)
+	count, err := One(d.C, stdcell.INV, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("extracted %d inverters, want 4", count)
+	}
+	if err := d.C.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.C.NumDevices(); got != 4 {
+		t.Fatalf("%d devices after extraction, want 4 gate devices", got)
+	}
+	for _, dev := range d.C.Devices {
+		if dev.Type != "INV" {
+			t.Errorf("device %s has type %s, want INV", dev.Name, dev.Type)
+		}
+		if len(dev.Pins) != 4 { // A, Y, VDD, GND
+			t.Errorf("device %s has %d pins, want 4", dev.Name, len(dev.Pins))
+		}
+	}
+	// The chain topology must survive: each INV output feeds the next input.
+	if d.C.NetByName("n1") == nil {
+		t.Error("intermediate net lost")
+	}
+}
+
+// TestExtractPartialOrder is the paper's §V.A scenario: extracting DFF
+// before INV (largest first) leaves the counter's explicit inverters, and
+// the DFF's five internal inverters are consumed by the DFF extraction.
+func TestExtractPartialOrder(t *testing.T) {
+	d := gen.RippleCounter(3)
+	res, err := Cells(d.C, []*stdcell.CellDef{stdcell.INV, stdcell.DFF}, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range res {
+		counts[e.Cell] = e.Count
+	}
+	if counts["DFF"] != 3 {
+		t.Errorf("extracted %d DFFs, want 3", counts["DFF"])
+	}
+	if counts["INV"] != 3 {
+		t.Errorf("extracted %d INVs, want 3 (the explicit ones only)", counts["INV"])
+	}
+	// Order must be DFF (18T) before INV (2T).
+	if res[0].Cell != "DFF" || res[1].Cell != "INV" {
+		t.Errorf("extraction order = %v, want DFF then INV", res)
+	}
+	if got := d.C.NumDevices(); got != 6 {
+		t.Errorf("%d devices remain, want 6 (3 DFF + 3 INV)", got)
+	}
+	if err := d.C.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractWrongOrderEatsGates shows why the partial order matters:
+// extracting INV first destroys every DFF (their internal inverters are
+// consumed), mirroring the paper's warning.
+func TestExtractWrongOrderEatsGates(t *testing.T) {
+	d := gen.RippleCounter(3)
+	if _, err := One(d.C, stdcell.INV, Options{Globals: rails}); err != nil {
+		t.Fatal(err)
+	}
+	count, err := One(d.C, stdcell.DFF, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("extracted %d DFFs after INV pass, want 0 (inverters already consumed)", count)
+	}
+}
+
+func TestExtractFullLibraryOnMixedDesign(t *testing.T) {
+	d := gen.ArrayMultiplier(3)
+	res, err := Cells(d.C, []*stdcell.CellDef{stdcell.FA, stdcell.AND2, stdcell.NAND2, stdcell.INV}, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range res {
+		counts[e.Cell] = e.Count
+	}
+	if counts["FA"] != 6 { // n(n-1) = 3*2
+		t.Errorf("FA = %d, want 6", counts["FA"])
+	}
+	if counts["AND2"] != 9 {
+		t.Errorf("AND2 = %d, want 9", counts["AND2"])
+	}
+	// AND2 ran before NAND2 (6T vs 4T), so no bare NAND2s remain; the FA's
+	// inverters went with the FA.
+	if counts["NAND2"] != 0 || counts["INV"] != 0 {
+		t.Errorf("NAND2 = %d INV = %d, want 0/0", counts["NAND2"], counts["INV"])
+	}
+	if got := d.C.NumDevices(); got != 15 {
+		t.Errorf("%d devices remain, want 15 gates", got)
+	}
+}
+
+func TestRuleCheck(t *testing.T) {
+	c := graph.New("bad")
+	vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+	x, y, en := c.AddNet("x"), c.AddNet("y"), c.AddNet("en")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	// An nmos pull-up (violation), a pmos pull-down (violation), and an
+	// innocent pass transistor.
+	c.MustAddDevice("m1", "nmos", cls, []*graph.Net{x, en, vdd})
+	c.MustAddDevice("m2", "pmos", cls, []*graph.Net{y, en, gnd})
+	c.MustAddDevice("m3", "nmos", cls, []*graph.Net{x, en, y})
+
+	vios, err := Check(c, StandardRules(), rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, v := range vios {
+		got[v.Rule.Name]++
+		if v.Describe() == "" {
+			t.Error("empty violation description")
+		}
+	}
+	if got["nmos-pullup"] != 1 {
+		t.Errorf("nmos-pullup: %d violations, want 1", got["nmos-pullup"])
+	}
+	if got["pmos-pulldown"] != 1 {
+		t.Errorf("pmos-pulldown: %d violations, want 1", got["pmos-pulldown"])
+	}
+	if got["gate-on-vdd"] != 0 || got["gate-on-gnd"] != 0 {
+		t.Errorf("gate rules fired unexpectedly: %v", got)
+	}
+	// Identify the offending device by name.
+	for _, v := range vios {
+		if v.Rule.Name == "nmos-pullup" && !strings.Contains(v.Describe(), "m1") {
+			t.Errorf("violation names %q, want m1", v.Describe())
+		}
+	}
+}
+
+func TestRuleCheckGateTies(t *testing.T) {
+	c := graph.New("ties")
+	vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+	a, b := c.AddNet("a"), c.AddNet("b")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	c.MustAddDevice("m1", "nmos", cls, []*graph.Net{a, vdd, b}) // gate on VDD
+	c.MustAddDevice("m2", "pmos", cls, []*graph.Net{a, gnd, b}) // gate on GND
+	vios, err := Check(c, StandardRules(), rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, v := range vios {
+		got[v.Rule.Name]++
+	}
+	if got["gate-on-vdd"] != 1 || got["gate-on-gnd"] != 1 {
+		t.Errorf("gate-tie rules: %v, want one each", got)
+	}
+}
+
+func TestCleanDesignHasNoViolations(t *testing.T) {
+	d := gen.RippleAdder(2)
+	vios, err := Check(d.C, StandardRules(), rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		for _, v := range vios {
+			t.Logf("unexpected: %s", v.Describe())
+		}
+		t.Errorf("clean CMOS design reported %d violations", len(vios))
+	}
+}
+
+func TestRailShortRule(t *testing.T) {
+	c := graph.New("short")
+	vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+	en := c.AddNet("en")
+	cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	// A pmos shorting the rails and an innocent inverter pair.
+	c.MustAddDevice("mshort", "pmos", cls, []*graph.Net{vdd, en, gnd})
+	y := c.AddNet("y")
+	c.MustAddDevice("mp", "pmos", cls, []*graph.Net{y, en, vdd})
+	c.MustAddDevice("mn", "nmos", cls, []*graph.Net{y, en, gnd})
+
+	vios, err := Check(c, StandardRules(), rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shorts := 0
+	for _, v := range vios {
+		if v.Rule.Name == "rail-short" {
+			shorts++
+			if !strings.Contains(v.Describe(), "mshort") {
+				t.Errorf("rail-short names %q, want mshort", v.Describe())
+			}
+		}
+	}
+	if shorts != 1 {
+		t.Errorf("rail-short fired %d times, want 1", shorts)
+	}
+}
+
+// TestSpecsFromNetlist extracts with a user-defined library written as
+// .SUBCKT definitions — no code changes needed to extend the library.
+func TestSpecsFromNetlist(t *testing.T) {
+	const lib = `
+.GLOBAL VDD GND
+.SUBCKT MYINV IN OUT
+MP OUT IN VDD pmos
+MN OUT IN GND nmos
+.ENDS
+.SUBCKT MYNAND A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y A n1 nmos
+MN2 n1 B GND nmos
+.ENDS
+`
+	f, err := netlist.ParseString(lib, "lib.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := SpecsFromNetlist(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("%d specs, want 2", len(specs))
+	}
+
+	d := gen.InverterChain(3)
+	res, err := Specs(d.C, specs, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range res {
+		counts[e.Cell] = e.Count
+	}
+	if counts["MYINV"] != 3 || counts["MYNAND"] != 0 {
+		t.Errorf("counts = %v, want MYINV=3 MYNAND=0", counts)
+	}
+	// The replacement devices carry the user's cell name and port count.
+	for _, dev := range d.C.Devices {
+		if dev.Type != "MYINV" {
+			t.Errorf("device %s has type %s, want MYINV", dev.Name, dev.Type)
+		}
+		if len(dev.Pins) != 2 { // IN, OUT — rails are global, not ports
+			t.Errorf("device %s has %d pins, want 2", dev.Name, len(dev.Pins))
+		}
+	}
+}
+
+func TestExtractPrefixOption(t *testing.T) {
+	d := gen.InverterChain(2)
+	if _, err := One(d.C, stdcell.INV, Options{Globals: rails, Prefix: "cellX"}); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, dev := range d.C.Devices {
+		if strings.HasPrefix(dev.Name, "cellX") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("%d devices carry the custom prefix, want 2", found)
+	}
+}

@@ -1,0 +1,45 @@
+package extract
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+	"subgemini/internal/stdcell"
+)
+
+// WriteHierarchical emits an extracted circuit as a hierarchical netlist:
+// one .SUBCKT definition (at transistor level) for every library cell type
+// used by the circuit's devices, followed by the circuit's own cards, in
+// which extracted gates appear as X instance lines.  Reparsing and
+// flattening the output reconstructs a circuit isomorphic to the original
+// transistor netlist, which is how the paper's reference [6] builds a
+// hierarchical representation from a flat one.
+func WriteHierarchical(w io.Writer, c *graph.Circuit) error {
+	// Collect the non-primitive device types in deterministic order.
+	used := map[string]bool{}
+	for _, d := range c.Devices {
+		switch d.Type {
+		case "nmos", "pmos", "res", "cap", "diode":
+		default:
+			used[d.Type] = true
+		}
+	}
+	types := make([]string, 0, len(used))
+	for t := range used {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		cell := stdcell.Get(t)
+		if cell == nil {
+			return fmt.Errorf("extract: circuit %s uses device type %q with no library definition", c.Name, t)
+		}
+		if err := netlist.WriteSubckt(w, cell.Pattern()); err != nil {
+			return err
+		}
+	}
+	return netlist.WriteCircuit(w, c)
+}

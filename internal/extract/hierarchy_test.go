@@ -1,0 +1,121 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/gemini"
+	"subgemini/internal/gen"
+	"subgemini/internal/netlist"
+	"subgemini/internal/stdcell"
+)
+
+// TestHierarchyRoundTrip is the end-to-end check of the paper's
+// hierarchical-representation application: flatten → extract → write
+// hierarchical netlist → reparse → flatten again must yield a circuit
+// isomorphic to the original transistor netlist.
+func TestHierarchyRoundTrip(t *testing.T) {
+	designs := []*gen.Design{
+		gen.RippleCounter(3),
+		gen.RippleAdder(2),
+		gen.SRAMArray(2, 3),
+	}
+	lib := []*stdcell.CellDef{
+		stdcell.DFF, stdcell.FA, stdcell.SRAM6T, stdcell.BUF, stdcell.INV,
+	}
+	for _, d := range designs {
+		original := d.C.Clone()
+		if _, err := Cells(d.C, lib, Options{Globals: rails}); err != nil {
+			t.Fatalf("%s: extract: %v", d.C.Name, err)
+		}
+		var buf strings.Builder
+		if err := WriteHierarchical(&buf, d.C); err != nil {
+			t.Fatalf("%s: write: %v", d.C.Name, err)
+		}
+		f, err := netlist.ParseString(buf.String(), d.C.Name+".sp")
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", d.C.Name, err, buf.String())
+		}
+		flat, err := f.MainCircuit(d.C.Name + "_reflat")
+		if err != nil {
+			t.Fatalf("%s: flatten: %v", d.C.Name, err)
+		}
+		res, err := gemini.Compare(original, flat, gemini.Options{Globals: rails})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Isomorphic {
+			t.Errorf("%s: round-trip not isomorphic: %s", d.C.Name, res.Reason)
+		}
+	}
+}
+
+// TestHierarchyRejectsUnknownTypes: a circuit with gate devices the library
+// does not define cannot be written hierarchically.
+func TestHierarchyRejectsUnknownTypes(t *testing.T) {
+	d := gen.InverterChain(2)
+	if _, err := One(d.C, stdcell.INV, Options{Globals: rails}); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the extracted type to something the library lacks.
+	d.C.Devices[0].Type = "MYSTERY"
+	var buf strings.Builder
+	if err := WriteHierarchical(&buf, d.C); err == nil {
+		t.Error("unknown device type accepted")
+	}
+}
+
+// TestHierarchyMixedLevels: devices the library does not cover stay at
+// transistor level alongside extracted gates.
+func TestHierarchyMixedLevels(t *testing.T) {
+	d := gen.SRAMArray(2, 2) // has bare precharge transistors
+	if _, err := Cells(d.C, []*stdcell.CellDef{stdcell.SRAM6T, stdcell.BUF}, Options{Globals: rails}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteHierarchical(&buf, d.C); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{".SUBCKT SRAM6T", ".SUBCKT BUF", "pmos"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The precharge transistors survive as M cards at top level.
+	if !strings.Contains(out, "Mmpre0") && !strings.Contains(out, "mpre0") {
+		t.Errorf("precharge transistor missing from:\n%s", out)
+	}
+}
+
+// TestHierarchyRoundTripRandom: the extract → write → reparse → flatten
+// loop preserves structure on random standard-cell designs across seeds.
+func TestHierarchyRoundTripRandom(t *testing.T) {
+	lib := stdcell.All()
+	for seed := int64(1); seed <= 5; seed++ {
+		d := gen.RandomLogic(30, 6, seed)
+		original := d.C.Clone()
+		if _, err := Cells(d.C, lib, Options{Globals: rails}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var buf strings.Builder
+		if err := WriteHierarchical(&buf, d.C); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		f, err := netlist.ParseString(buf.String(), "rt.sp")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		flat, err := f.MainCircuit("rt")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := gemini.Compare(original, flat, gemini.Options{Globals: rails})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Isomorphic {
+			t.Errorf("seed %d: round trip differs: %s", seed, res.Reason)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package extract
+
+import (
+	"fmt"
+
+	"subgemini/internal/core"
+	"subgemini/internal/graph"
+)
+
+// Rule is a questionable circuit construct described as a pattern circuit,
+// the library-based alternative to hard-coded rule checkers the paper
+// proposes in §I.  Patterns may use the global nets VDD and GND to anchor a
+// construct to the rails.
+type Rule struct {
+	Name        string
+	Description string
+	Pattern     *graph.Circuit
+}
+
+// Violation is one occurrence of a rule's construct.
+type Violation struct {
+	Rule     *Rule
+	Instance *core.Instance
+}
+
+// Describe summarizes the violation using the image devices.
+func (v *Violation) Describe() string {
+	s := v.Rule.Name + ":"
+	for _, d := range v.Instance.Devices() {
+		s += " " + d.Name
+	}
+	return s
+}
+
+// Check matches every rule pattern against the circuit and returns all
+// occurrences, overlapping ones included (a device may participate in
+// several violations).
+func Check(c *graph.Circuit, rules []*Rule, globals []string) ([]Violation, error) {
+	m, err := core.NewMatcher(c, core.Options{Globals: globals, Policy: core.MatchAll})
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for _, r := range rules {
+		res, err := m.Find(r.Pattern)
+		if err != nil {
+			return out, fmt.Errorf("extract: rule %s: %w", r.Name, err)
+		}
+		for _, inst := range res.Instances {
+			out = append(out, Violation{Rule: r, Instance: inst})
+		}
+	}
+	return out, nil
+}
+
+var mos3 = []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+
+// singleMOSRule builds a one-transistor rule pattern with one source/drain
+// terminal tied to a named global rail.
+func singleMOSRule(name, desc, mosType, rail string) *Rule {
+	p := graph.New(name)
+	railNet := p.AddNet(rail)
+	other := p.AddNet("x")
+	gate := p.AddNet("g")
+	p.MustAddDevice("M", mosType, mos3, []*graph.Net{railNet, gate, other})
+	for _, n := range []string{"x", "g"} {
+		if err := p.MarkPort(n); err != nil {
+			panic(err)
+		}
+	}
+	return &Rule{Name: name, Description: desc, Pattern: p}
+}
+
+// StandardRules returns the built-in rule library:
+//
+//	nmos-pullup:    an n-transistor sourcing from VDD (degraded high level)
+//	pmos-pulldown:  a p-transistor sinking to GND (degraded low level)
+//	gate-on-vdd:    a transistor gate hardwired to VDD
+//	gate-on-gnd:    a transistor gate hardwired to GND
+//
+// Callers can extend the slice with their own patterns; the rule checker is
+// entirely data-driven.
+func StandardRules() []*Rule {
+	gateOn := func(name, desc, mosType, rail string) *Rule {
+		p := graph.New(name)
+		railNet := p.AddNet(rail)
+		a := p.AddNet("a")
+		b := p.AddNet("b")
+		p.MustAddDevice("M", mosType, mos3, []*graph.Net{a, railNet, b})
+		for _, n := range []string{"a", "b"} {
+			if err := p.MarkPort(n); err != nil {
+				panic(err)
+			}
+		}
+		return &Rule{Name: name, Description: desc, Pattern: p}
+	}
+	return []*Rule{
+		singleMOSRule("nmos-pullup", "n-transistor passes a degraded high level from VDD", "nmos", "VDD"),
+		singleMOSRule("pmos-pulldown", "p-transistor passes a degraded low level to GND", "pmos", "GND"),
+		gateOn("gate-on-vdd", "transistor gate tied to VDD", "nmos", "VDD"),
+		gateOn("gate-on-gnd", "transistor gate tied to GND", "pmos", "GND"),
+		railShortRule(),
+	}
+}
+
+// railShortRule matches any transistor whose channel directly bridges VDD
+// and GND — a short regardless of device type, expressed with a wildcard
+// device so one rule covers nmos and pmos alike.
+func railShortRule() *Rule {
+	p := graph.New("rail-short")
+	vdd, gnd := p.AddNet("VDD"), p.AddNet("GND")
+	gate := p.AddNet("g")
+	p.MustAddDevice("M", graph.WildcardType, mos3, []*graph.Net{vdd, gate, gnd})
+	if err := p.MarkPort("g"); err != nil {
+		panic(err)
+	}
+	return &Rule{
+		Name:        "rail-short",
+		Description: "transistor channel connects VDD directly to GND",
+		Pattern:     p,
+	}
+}

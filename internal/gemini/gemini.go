@@ -1,0 +1,361 @@
+// Package gemini implements a Gemini-style graph-isomorphism checker for
+// circuit graphs (Ebeling & Zajicek, "Validating VLSI Circuit Layout by
+// Wirelist Comparison", the predecessor SubGemini builds on — paper refs
+// [3,4]).  Two circuits are compared by iterative partition refinement: all
+// vertices start with invariant labels (device type, net degree), labels are
+// refined by the Fig. 3 relabeling function, and the partition census of the
+// two graphs must stay identical.  When refinement stalls with ambiguous
+// partitions (automorphisms), a vertex pair is individuated with a unique
+// shared label and refinement resumes, backtracking if the guess fails.
+//
+// SubGemini uses this package in tests and in the extraction pipeline to
+// prove that a rebuilt or round-tripped circuit is isomorphic to the
+// original.
+package gemini
+
+import (
+	"fmt"
+	"sort"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/label"
+)
+
+// Options configures a comparison.
+type Options struct {
+	// Globals lists special-signal nets matched by name.
+	Globals []string
+	// PortsByName also pre-matches equally named port nets, the usual mode
+	// for wirelist comparison of two versions of one design.
+	PortsByName bool
+	// MaxGuessDepth bounds individuation recursion (0 = default 64).
+	MaxGuessDepth int
+	// Seed perturbs the unique-label stream.
+	Seed uint64
+}
+
+func (o *Options) depth() int {
+	if o.MaxGuessDepth <= 0 {
+		return 64
+	}
+	return o.MaxGuessDepth
+}
+
+// Result reports the comparison outcome.  When Isomorphic is true, DevMap
+// and NetMap give a witness mapping from circuit A onto circuit B; when
+// false, Reason describes the first inconsistency found.
+type Result struct {
+	Isomorphic bool
+	Reason     string
+	DevMap     map[*graph.Device]*graph.Device
+	NetMap     map[*graph.Net]*graph.Net
+}
+
+// Compare decides whether circuits a and b are isomorphic.
+func Compare(a, b *graph.Circuit, opts Options) (*Result, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("gemini: nil circuit")
+	}
+	for _, g := range opts.Globals {
+		a.MarkGlobal(g)
+		b.MarkGlobal(g)
+	}
+	if a.NumDevices() != b.NumDevices() || a.NumNets() != b.NumNets() {
+		return &Result{Reason: fmt.Sprintf("size mismatch: %d/%d devices, %d/%d nets",
+			a.NumDevices(), b.NumDevices(), a.NumNets(), b.NumNets())}, nil
+	}
+	c := &comparer{
+		a: label.NewSpace(a), b: label.NewSpace(b),
+		opts: &opts,
+		uniq: label.NewUniqueSource(opts.Seed),
+	}
+	c.la = make([]label.Value, c.a.Size())
+	c.lb = make([]label.Value, c.b.Size())
+	if reason := c.initLabels(); reason != "" {
+		return &Result{Reason: reason}, nil
+	}
+	ok, reason := c.refineLoop(0)
+	if !ok {
+		return &Result{Reason: reason}, nil
+	}
+	return c.buildResult()
+}
+
+type comparer struct {
+	a, b   *label.Space
+	la, lb []label.Value
+	opts   *Options
+	uniq   *label.UniqueSource
+}
+
+// initLabels assigns the invariant labels and pre-matches globals (and
+// optionally ports) by name.
+func (c *comparer) initLabels() string {
+	for _, d := range c.a.Circuit().Devices {
+		c.la[c.a.DevVID(d)] = label.TypeLabel(d.Type)
+	}
+	for _, d := range c.b.Circuit().Devices {
+		c.lb[c.b.DevVID(d)] = label.TypeLabel(d.Type)
+	}
+	byName := func(n *graph.Net) bool {
+		return n.Global || (c.opts.PortsByName && n.Port)
+	}
+	for _, n := range c.a.Circuit().Nets {
+		if byName(n) {
+			c.la[c.a.NetVID(n)] = label.GlobalLabel(n.Name)
+		} else {
+			c.la[c.a.NetVID(n)] = label.DegreeLabel(n.Degree())
+		}
+	}
+	for _, n := range c.b.Circuit().Nets {
+		if byName(n) {
+			other := c.a.Circuit().NetByName(n.Name)
+			if other == nil || !byName(other) {
+				return fmt.Sprintf("net %s is matched by name in B but has no counterpart in A", n.Name)
+			}
+			c.lb[c.b.NetVID(n)] = label.GlobalLabel(n.Name)
+		} else {
+			c.lb[c.b.NetVID(n)] = label.DegreeLabel(n.Degree())
+		}
+	}
+	for _, n := range c.a.Circuit().Nets {
+		if byName(n) && c.b.Circuit().NetByName(n.Name) == nil {
+			return fmt.Sprintf("net %s is matched by name in A but has no counterpart in B", n.Name)
+		}
+	}
+	return ""
+}
+
+// refineLoop relabels until the partitions are all singletons or stable,
+// individuating on stalls.  It returns false with a reason when the two
+// partition censuses diverge.
+func (c *comparer) refineLoop(depth int) (bool, string) {
+	maxRounds := c.a.Size() + 8
+	var prevSig string
+	for round := 0; round < maxRounds; round++ {
+		if reason := c.census(); reason != "" {
+			return false, reason
+		}
+		sig := c.signature()
+		if sig == prevSig {
+			break
+		}
+		prevSig = sig
+		c.relabel()
+	}
+	if reason := c.census(); reason != "" {
+		return false, reason
+	}
+	if c.allSingleton() {
+		return true, ""
+	}
+	return c.individuate(depth)
+}
+
+// relabel applies one simultaneous Fig. 3 pass to both graphs: nets from
+// device labels, then devices from the updated net labels.
+func (c *comparer) relabel() {
+	relabelNets := func(sp *label.Space, lab []label.Value) {
+		out := make([]label.Value, len(lab))
+		copy(out, lab)
+		for _, n := range sp.Circuit().Nets {
+			if n.Global || (c.opts.PortsByName && n.Port) {
+				continue // name-matched nets keep fixed labels
+			}
+			v := sp.NetVID(n)
+			acc := lab[v]
+			for _, conn := range n.Conns {
+				acc = label.Combine(acc, conn.Dev.Pins[conn.Pin].Class, lab[sp.DevVID(conn.Dev)])
+			}
+			out[v] = acc
+		}
+		copy(lab, out)
+	}
+	relabelDevs := func(sp *label.Space, lab []label.Value) {
+		out := make([]label.Value, len(lab))
+		copy(out, lab)
+		for _, d := range sp.Circuit().Devices {
+			v := sp.DevVID(d)
+			acc := lab[v]
+			for _, pin := range d.Pins {
+				acc = label.Combine(acc, pin.Class, lab[sp.NetVID(pin.Net)])
+			}
+			out[v] = acc
+		}
+		copy(lab, out)
+	}
+	relabelNets(c.a, c.la)
+	relabelNets(c.b, c.lb)
+	relabelDevs(c.a, c.la)
+	relabelDevs(c.b, c.lb)
+}
+
+// census verifies the two graphs have identical label multisets, split by
+// vertex kind; a mismatch is a proof of non-isomorphism.
+func (c *comparer) census() string {
+	count := func(sp *label.Space, lab []label.Value, dev bool) map[label.Value]int {
+		m := make(map[label.Value]int)
+		for v := 0; v < sp.Size(); v++ {
+			if sp.IsDevice(label.VID(v)) == dev {
+				m[lab[v]]++
+			}
+		}
+		return m
+	}
+	for _, dev := range []bool{true, false} {
+		ca, cb := count(c.a, c.la, dev), count(c.b, c.lb, dev)
+		for lab, n := range ca {
+			if cb[lab] != n {
+				kind := "net"
+				if dev {
+					kind = "device"
+				}
+				return fmt.Sprintf("%s partition census differs: a %s partition of size %d in A has size %d in B",
+					kind, kind, n, cb[lab])
+			}
+		}
+		if len(ca) != len(cb) {
+			return "partition census differs in partition count"
+		}
+	}
+	return ""
+}
+
+// signature canonically encodes A's partition structure for the stability
+// check.
+func (c *comparer) signature() string {
+	ids := make(map[label.Value]int)
+	sig := make([]byte, 0, c.a.Size()*2)
+	for v := 0; v < c.a.Size(); v++ {
+		id, ok := ids[c.la[v]]
+		if !ok {
+			id = len(ids)
+			ids[c.la[v]] = id
+		}
+		sig = append(sig, byte(id), byte(id>>8))
+	}
+	return string(sig)
+}
+
+func (c *comparer) allSingleton() bool {
+	seen := make(map[label.Value]bool, c.a.Size())
+	for v := 0; v < c.a.Size(); v++ {
+		if seen[c.la[v]] {
+			return false
+		}
+		seen[c.la[v]] = true
+	}
+	return true
+}
+
+// individuate resolves automorphism ambiguity: choose the smallest
+// non-singleton partition, pick its first vertex in A, and try pairing it
+// with each same-label vertex of B (paper [4]; same role as SubGemini's
+// Phase II guessing).
+func (c *comparer) individuate(depth int) (bool, string) {
+	if depth >= c.opts.depth() {
+		return false, "individuation depth limit reached"
+	}
+	partsA := make(map[label.Value][]label.VID)
+	for v := 0; v < c.a.Size(); v++ {
+		partsA[c.la[v]] = append(partsA[c.la[v]], label.VID(v))
+	}
+	var pick label.Value
+	best := 0
+	for lab, vs := range partsA {
+		if len(vs) > 1 && (best == 0 || len(vs) < best || (len(vs) == best && lab < pick)) {
+			pick, best = lab, len(vs)
+		}
+	}
+	av := partsA[pick][0]
+	var bCands []label.VID
+	for v := 0; v < c.b.Size(); v++ {
+		if c.lb[v] == pick {
+			bCands = append(bCands, label.VID(v))
+		}
+	}
+	sort.Slice(bCands, func(i, j int) bool { return bCands[i] < bCands[j] })
+	saveA := append([]label.Value(nil), c.la...)
+	saveB := append([]label.Value(nil), c.lb...)
+	var lastReason string
+	for _, bv := range bCands {
+		u := c.uniq.Next()
+		c.la[av] = u
+		c.lb[bv] = u
+		ok, reason := c.refineLoop(depth + 1)
+		if ok {
+			return true, ""
+		}
+		lastReason = reason
+		copy(c.la, saveA)
+		copy(c.lb, saveB)
+	}
+	return false, "all individuations failed: " + lastReason
+}
+
+// buildResult converts singleton partitions into a witness mapping and
+// verifies it edge-by-edge (labels are probabilistic; the verification makes
+// the checker sound).
+func (c *comparer) buildResult() (*Result, error) {
+	byLabel := make(map[label.Value]label.VID, c.b.Size())
+	for v := 0; v < c.b.Size(); v++ {
+		byLabel[c.lb[v]] = label.VID(v)
+	}
+	res := &Result{
+		Isomorphic: true,
+		DevMap:     make(map[*graph.Device]*graph.Device),
+		NetMap:     make(map[*graph.Net]*graph.Net),
+	}
+	for v := 0; v < c.a.Size(); v++ {
+		bv, ok := byLabel[c.la[v]]
+		if !ok || c.a.IsDevice(label.VID(v)) != c.b.IsDevice(bv) {
+			return &Result{Reason: "witness construction failed (label collision)"}, nil
+		}
+		if c.a.IsDevice(label.VID(v)) {
+			res.DevMap[c.a.Device(label.VID(v))] = c.b.Device(bv)
+		} else {
+			res.NetMap[c.a.Net(label.VID(v))] = c.b.Net(bv)
+		}
+	}
+	if reason := verifyWitness(res); reason != "" {
+		return &Result{Reason: reason}, nil
+	}
+	return res, nil
+}
+
+// verifyWitness checks the candidate isomorphism exactly.
+func verifyWitness(res *Result) string {
+	for ad, bd := range res.DevMap {
+		if ad.Type != bd.Type || len(ad.Pins) != len(bd.Pins) {
+			return fmt.Sprintf("device %s maps to %s of different type or arity", ad.Name, bd.Name)
+		}
+		aPins := make([]uint64, 0, len(ad.Pins))
+		bPins := make([]uint64, 0, len(bd.Pins))
+		for _, pin := range ad.Pins {
+			img, ok := res.NetMap[pin.Net]
+			if !ok {
+				return fmt.Sprintf("net %s has no image", pin.Net.Name)
+			}
+			aPins = append(aPins, uint64(pin.Class)<<48|uint64(img.Index))
+		}
+		for _, pin := range bd.Pins {
+			bPins = append(bPins, uint64(pin.Class)<<48|uint64(pin.Net.Index))
+		}
+		sort.Slice(aPins, func(i, j int) bool { return aPins[i] < aPins[j] })
+		sort.Slice(bPins, func(i, j int) bool { return bPins[i] < bPins[j] })
+		for i := range aPins {
+			if aPins[i] != bPins[i] {
+				return fmt.Sprintf("device %s connects differently than its image %s", ad.Name, bd.Name)
+			}
+		}
+	}
+	for an, bn := range res.NetMap {
+		if an.Degree() != bn.Degree() {
+			return fmt.Sprintf("net %s (degree %d) maps to %s (degree %d)", an.Name, an.Degree(), bn.Name, bn.Degree())
+		}
+		if an.Global != bn.Global || (an.Global && an.Name != bn.Name) {
+			return fmt.Sprintf("net %s / %s disagree on global status", an.Name, bn.Name)
+		}
+	}
+	return ""
+}

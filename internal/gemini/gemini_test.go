@@ -1,0 +1,217 @@
+package gemini
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+)
+
+var rails = []string{"VDD", "GND"}
+
+func TestCompareIsomorphicShuffle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		orig := gen.RandomLogic(40, 8, seed).C
+		orig.MarkGlobal("VDD")
+		orig.MarkGlobal("GND")
+		perm := permuteCircuit(orig, seed*100)
+		res, err := Compare(orig, perm, Options{Globals: rails})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Isomorphic {
+			t.Fatalf("seed %d: shuffled copy reported non-isomorphic: %s", seed, res.Reason)
+		}
+		if len(res.DevMap) != orig.NumDevices() || len(res.NetMap) != orig.NumNets() {
+			t.Errorf("seed %d: witness incomplete", seed)
+		}
+	}
+}
+
+func TestCompareDetectsEdits(t *testing.T) {
+	orig := gen.RandomLogic(25, 6, 9).C
+	orig.MarkGlobal("VDD")
+	orig.MarkGlobal("GND")
+	// Edit 1: change a device type.
+	mod := permuteCircuit(orig, 5)
+	mod.Devices[3].Type = flipType(mod.Devices[3].Type)
+	res, err := Compare(orig, mod, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic {
+		t.Error("device-type edit not detected")
+	}
+
+	// Edit 2: rewire one pin to a different net.
+	mod2 := permuteCircuit(orig, 6)
+	d := mod2.Devices[1]
+	old := d.Pins[0].Net
+	var other *graph.Net
+	for _, n := range mod2.Nets {
+		if n != old && !n.Global {
+			other = n
+			break
+		}
+	}
+	rewire(mod2, d, 0, other)
+	if err := mod2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Compare(orig, mod2, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic {
+		t.Error("rewired pin not detected")
+	}
+
+	// Edit 3: different sizes.
+	small := gen.RandomLogic(24, 6, 9).C
+	res, err = Compare(orig, small, Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic || res.Reason == "" {
+		t.Error("size mismatch not reported")
+	}
+}
+
+// TestCompareAutomorphic exercises individuation: a circuit of k identical
+// disconnected-but-for-rails inverters is highly automorphic.
+func TestCompareAutomorphic(t *testing.T) {
+	build := func(prefix string) *graph.Circuit {
+		c := graph.New(prefix)
+		vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+		c.MarkGlobal("VDD")
+		c.MarkGlobal("GND")
+		cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+		for i := 0; i < 6; i++ {
+			in := c.AddNet(prefix + "in" + string(rune('a'+i)))
+			out := c.AddNet(prefix + "out" + string(rune('a'+i)))
+			c.MustAddDevice(prefix+"mp"+string(rune('a'+i)), "pmos", cls, []*graph.Net{out, in, vdd})
+			c.MustAddDevice(prefix+"mn"+string(rune('a'+i)), "nmos", cls, []*graph.Net{out, in, gnd})
+		}
+		return c
+	}
+	res, err := Compare(build("x"), build("y"), Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("automorphic circuits reported different: %s", res.Reason)
+	}
+}
+
+func TestComparePortsByName(t *testing.T) {
+	build := func(swap bool) *graph.Circuit {
+		c := graph.New("buf")
+		vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+		c.MarkGlobal("VDD")
+		c.MarkGlobal("GND")
+		a, y, mid := c.AddNet("A"), c.AddNet("Y"), c.AddNet("mid")
+		if err := c.MarkPort("A"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.MarkPort("Y"); err != nil {
+			t.Fatal(err)
+		}
+		cls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+		in, out := a, mid
+		if swap {
+			// Same structure but ports play swapped roles: A drives the
+			// second stage instead of the first.
+			in, out = y, mid
+		}
+		c.MustAddDevice("mp1", "pmos", cls, []*graph.Net{out, in, vdd})
+		c.MustAddDevice("mn1", "nmos", cls, []*graph.Net{out, in, gnd})
+		second := y
+		if swap {
+			second = a
+		}
+		c.MustAddDevice("mp2", "pmos", cls, []*graph.Net{second, mid, vdd})
+		c.MustAddDevice("mn2", "nmos", cls, []*graph.Net{second, mid, gnd})
+		return c
+	}
+	// Structurally the swapped circuit is isomorphic...
+	res, err := Compare(build(false), build(true), Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("structural comparison failed: %s", res.Reason)
+	}
+	// ...but matching ports by name tells them apart.
+	res, err = Compare(build(false), build(true), Options{Globals: rails, PortsByName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic {
+		t.Error("port-name comparison missed the swapped roles")
+	}
+	// And identical circuits still match under PortsByName.
+	res, err = Compare(build(false), build(false), Options{Globals: rails, PortsByName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("identical circuits with named ports failed: %s", res.Reason)
+	}
+}
+
+func TestCompareNilCircuit(t *testing.T) {
+	if _, err := Compare(nil, graph.New("x"), Options{}); err == nil {
+		t.Error("nil circuit accepted")
+	}
+}
+
+// permuteCircuit rebuilds c with randomized vertex order and renamed
+// non-global nets and devices.
+func permuteCircuit(c *graph.Circuit, seed int64) *graph.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := graph.New(c.Name + "_perm")
+	rename := func(n *graph.Net) string {
+		if n.Global {
+			return n.Name
+		}
+		return "p_" + n.Name
+	}
+	for _, i := range rng.Perm(c.NumNets()) {
+		n := c.Nets[i]
+		nn := out.AddNet(rename(n))
+		nn.Port = n.Port
+		nn.Global = n.Global
+	}
+	for _, i := range rng.Perm(c.NumDevices()) {
+		d := c.Devices[i]
+		classes := make([]graph.TermClass, len(d.Pins))
+		nets := make([]*graph.Net, len(d.Pins))
+		for j, p := range d.Pins {
+			classes[j] = p.Class
+			nets[j] = out.AddNet(rename(p.Net))
+		}
+		out.MustAddDevice("p_"+d.Name, d.Type, classes, nets)
+	}
+	return out
+}
+
+func flipType(t string) string {
+	if t == "nmos" {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// rewire moves pin pi of device d onto net nn, fixing back-references.
+func rewire(c *graph.Circuit, d *graph.Device, pi int, nn *graph.Net) {
+	old := d.Pins[pi].Net
+	for k, conn := range old.Conns {
+		if conn.Dev == d && conn.Pin == pi {
+			old.Conns = append(old.Conns[:k], old.Conns[k+1:]...)
+			break
+		}
+	}
+	d.Pins[pi].Net = nn
+	nn.Conns = append(nn.Conns, graph.Conn{Dev: d, Pin: pi})
+}

@@ -1,0 +1,130 @@
+package gemini
+
+import (
+	"fmt"
+	"sort"
+
+	"subgemini/internal/netlist"
+)
+
+// CellReport is the comparison outcome for one .SUBCKT definition shared by
+// the two netlists.
+type CellReport struct {
+	Name       string
+	Isomorphic bool
+	Reason     string
+}
+
+// HierReport is the outcome of a hierarchical netlist comparison.
+type HierReport struct {
+	// Cells holds per-subcircuit results, sorted by name.
+	Cells []CellReport
+	// OnlyInA and OnlyInB list subcircuit names defined in one netlist
+	// only; these are reported, not compared (the flat top-level comparison
+	// still covers their expanded contents).
+	OnlyInA, OnlyInB []string
+	// Top is the flat comparison of the fully expanded top-level circuits.
+	Top *Result
+}
+
+// Isomorphic reports whether the designs match: the flattened tops are
+// isomorphic and every shared subcircuit definition matches.
+func (r *HierReport) Isomorphic() bool {
+	if r.Top == nil || !r.Top.Isomorphic {
+		return false
+	}
+	for _, c := range r.Cells {
+		if !c.Isomorphic {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a short human-readable account.
+func (r *HierReport) Summary() string {
+	s := ""
+	for _, c := range r.Cells {
+		verdict := "ok"
+		if !c.Isomorphic {
+			verdict = "DIFFERS: " + c.Reason
+		}
+		s += fmt.Sprintf("subckt %-16s %s\n", c.Name, verdict)
+	}
+	for _, n := range r.OnlyInA {
+		s += fmt.Sprintf("subckt %-16s only in first netlist\n", n)
+	}
+	for _, n := range r.OnlyInB {
+		s += fmt.Sprintf("subckt %-16s only in second netlist\n", n)
+	}
+	if r.Top != nil {
+		if r.Top.Isomorphic {
+			s += "top level         ok\n"
+		} else {
+			s += "top level         DIFFERS: " + r.Top.Reason + "\n"
+		}
+	}
+	return s
+}
+
+// CompareHierarchical compares two hierarchical netlists the way the paper's
+// §I describes hierarchical matching: shared subcircuit definitions are
+// compared cell-by-cell (with ports matched by name), which localizes a
+// mismatch to the cell that causes it, and the expanded top levels are
+// compared flat for overall equivalence.
+func CompareHierarchical(a, b *netlist.File, opts Options) (*HierReport, error) {
+	rep := &HierReport{}
+	names := map[string]int{} // bit 0: in a, bit 1: in b
+	for n := range a.Subckts {
+		names[n] |= 1
+	}
+	for n := range b.Subckts {
+		names[n] |= 2
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		switch names[n] {
+		case 1:
+			rep.OnlyInA = append(rep.OnlyInA, n)
+		case 2:
+			rep.OnlyInB = append(rep.OnlyInB, n)
+		default:
+			pa, err := a.Pattern(n)
+			if err != nil {
+				return nil, fmt.Errorf("gemini: first netlist, subckt %s: %w", n, err)
+			}
+			pb, err := b.Pattern(n)
+			if err != nil {
+				return nil, fmt.Errorf("gemini: second netlist, subckt %s: %w", n, err)
+			}
+			cellOpts := opts
+			cellOpts.PortsByName = true // cell interfaces match by port name
+			res, err := Compare(pa, pb, cellOpts)
+			if err != nil {
+				return nil, err
+			}
+			rep.Cells = append(rep.Cells, CellReport{Name: n, Isomorphic: res.Isomorphic, Reason: res.Reason})
+		}
+	}
+
+	if len(a.Top) > 0 && len(b.Top) > 0 {
+		ca, err := a.MainCircuit("a")
+		if err != nil {
+			return nil, err
+		}
+		cb, err := b.MainCircuit("b")
+		if err != nil {
+			return nil, err
+		}
+		res, err := Compare(ca, cb, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Top = res
+	}
+	return rep, nil
+}

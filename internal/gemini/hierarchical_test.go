@@ -1,0 +1,143 @@
+package gemini
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/netlist"
+)
+
+const hierA = `
+.GLOBAL VDD GND
+.SUBCKT INVX A Y
+MP Y A VDD pmos
+MN Y A GND nmos
+.ENDS
+.SUBCKT NANDX A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y A n1 nmos
+MN2 n1 B GND nmos
+.ENDS
+Xg1 a b w NANDX
+Xg2 w y INVX
+.END
+`
+
+// Same design, internal names and card order changed.
+const hierB = `
+.GLOBAL VDD GND
+.SUBCKT NANDX A B Y
+MN2 mid B GND nmos
+MN1 Y A mid nmos
+MP2 Y B VDD pmos
+MP1 Y A VDD pmos
+.ENDS
+.SUBCKT INVX A Y
+MN Y A GND nmos
+MP Y A VDD pmos
+.ENDS
+Xu2 net1 out INVX
+Xu1 in1 in2 net1 NANDX
+.END
+`
+
+// NANDX broken: the pull-down stack order swapped so A drives the bottom
+// transistor, which is a different circuit w.r.t. the named ports.
+const hierC = `
+.GLOBAL VDD GND
+.SUBCKT NANDX A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y B n1 nmos
+MN2 n1 A GND nmos
+.ENDS
+.SUBCKT INVX A Y
+MP Y A VDD pmos
+MN Y A GND nmos
+.ENDS
+Xg1 a b w NANDX
+Xg2 w y INVX
+.END
+`
+
+func parse(t *testing.T, src string) *netlist.File {
+	t.Helper()
+	f, err := netlist.ParseString(src, "h.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHierarchicalEquivalent(t *testing.T) {
+	rep, err := CompareHierarchical(parse(t, hierA), parse(t, hierB), Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Isomorphic() {
+		t.Fatalf("equivalent designs reported different:\n%s", rep.Summary())
+	}
+	if len(rep.Cells) != 2 {
+		t.Errorf("%d cell reports, want 2", len(rep.Cells))
+	}
+	if !strings.Contains(rep.Summary(), "top level         ok") {
+		t.Errorf("summary:\n%s", rep.Summary())
+	}
+}
+
+// TestHierarchicalLocalizesError is the §I point: the mismatch is pinned to
+// the NANDX cell, not just "the chips differ".
+func TestHierarchicalLocalizesError(t *testing.T) {
+	rep, err := CompareHierarchical(parse(t, hierA), parse(t, hierC), Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Isomorphic() {
+		t.Fatal("modified design reported equivalent")
+	}
+	var nand, inv *CellReport
+	for i := range rep.Cells {
+		switch rep.Cells[i].Name {
+		case "NANDX":
+			nand = &rep.Cells[i]
+		case "INVX":
+			inv = &rep.Cells[i]
+		}
+	}
+	if nand == nil || nand.Isomorphic {
+		t.Error("NANDX mismatch not localized")
+	}
+	if inv == nil || !inv.Isomorphic {
+		t.Error("INVX wrongly implicated")
+	}
+	// The expanded top levels are still structurally isomorphic (the swap
+	// is an automorphism of the flat graph once port names are ignored),
+	// which is exactly why hierarchical comparison catches what a flat one
+	// cannot.
+	if rep.Top == nil || !rep.Top.Isomorphic {
+		t.Error("flat top comparison expected to pass for this edit")
+	}
+}
+
+func TestHierarchicalOneSidedCells(t *testing.T) {
+	onlyA := `
+.SUBCKT EXTRA X
+MN1 X X GND nmos
+.ENDS
+` + hierA
+	rep, err := CompareHierarchical(parse(t, onlyA), parse(t, hierB), Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OnlyInA) != 1 || rep.OnlyInA[0] != "EXTRA" {
+		t.Errorf("OnlyInA = %v", rep.OnlyInA)
+	}
+	if !strings.Contains(rep.Summary(), "only in first netlist") {
+		t.Errorf("summary:\n%s", rep.Summary())
+	}
+	// One-sided definitions do not make the comparison fail by themselves.
+	if !rep.Isomorphic() {
+		t.Errorf("one-sided unused cell failed the comparison:\n%s", rep.Summary())
+	}
+}

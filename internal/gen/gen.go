@@ -1,0 +1,585 @@
+// Package gen builds parametric transistor-level CMOS circuits for tests
+// and benchmarks: ripple-carry adders, array multipliers, ripple counters,
+// shift registers, SRAM arrays, and random standard-cell logic.
+//
+// These generators substitute for the proprietary University of Washington
+// netlists the paper's evaluation ran on.  The matcher sees only the
+// bipartite device/net graph, so a generated 64-bit datapath exercises the
+// same code paths as a production netlist: repeated cell tiling, shared
+// power rails of very high degree, long carry chains, and buses.  Every
+// Design records which cells were placed, and the truth tables in truth.go
+// turn that census into exact expected instance counts for any library
+// pattern, which tests verify against the independent baseline matcher.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+// Design is a generated circuit plus the census of cells placed in it.
+type Design struct {
+	C *graph.Circuit
+	// Placed counts top-level cell instantiations by cell name.  It does
+	// not count cells contained inside other cells (an FA's two output
+	// inverters are not two placed INVs); Expected folds containment in.
+	Placed map[string]int
+}
+
+func newDesign(name string) (*Design, *graph.Net, *graph.Net) {
+	c := graph.New(name)
+	return &Design{C: c, Placed: map[string]int{}}, c.AddNet("VDD"), c.AddNet("GND")
+}
+
+func (d *Design) place(cell *stdcell.CellDef, inst string, conns map[string]*graph.Net) {
+	cell.MustInstantiate(d.C, inst, conns)
+	d.Placed[cell.Name]++
+}
+
+// InverterChain builds a chain of n inverters.
+func InverterChain(n int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("invchain%d", n))
+	prev := d.C.AddNet("in")
+	for i := 0; i < n; i++ {
+		next := d.C.AddNet(fmt.Sprintf("n%d", i+1))
+		d.place(stdcell.INV, fmt.Sprintf("inv%d", i), map[string]*graph.Net{
+			"A": prev, "Y": next, "VDD": vdd, "GND": gnd,
+		})
+		prev = next
+	}
+	return d
+}
+
+// InverterTree builds a complete binary tree of inverters of the given
+// depth (2^depth − 1 inverters): the root is driven by a primary input and
+// every inverter output drives two child inverters.  Optionally a chain of
+// chainLen extra inverters is planted below the leftmost leaf.
+//
+// This is the adversarial workload for exhaustive DFS matchers: when
+// searching for an inverter *chain* pattern, every root-to-descendant path
+// is a partial match that plain depth-first search abandons only at the
+// end (every tree-internal net has degree 6, the chain pattern's internal
+// nets have degree 4), while SubGemini's Phase I consistency check refutes
+// or localizes the pattern immediately.
+func InverterTree(depth, chainLen int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("invtree%d", depth))
+	root := d.C.AddNet("in")
+	type node struct {
+		in  *graph.Net
+		lvl int
+	}
+	queue := []node{{root, 0}}
+	serial := 0
+	var lastOut *graph.Net
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.lvl >= depth {
+			continue
+		}
+		out := d.C.AddNet(fmt.Sprintf("t%d", serial))
+		d.place(stdcell.INV, fmt.Sprintf("ti%d", serial), map[string]*graph.Net{
+			"A": n.in, "Y": out, "VDD": vdd, "GND": gnd,
+		})
+		serial++
+		lastOut = out
+		queue = append(queue, node{out, n.lvl + 1}, node{out, n.lvl + 1})
+	}
+	for i := 0; i < chainLen; i++ {
+		out := d.C.AddNet(fmt.Sprintf("c%d", i))
+		d.place(stdcell.INV, fmt.Sprintf("ci%d", i), map[string]*graph.Net{
+			"A": lastOut, "Y": out, "VDD": vdd, "GND": gnd,
+		})
+		lastOut = out
+	}
+	return d
+}
+
+// NandMesh builds an m×m DAG mesh of NAND2 gates with reconvergent fanout:
+// the gate at (i, j) takes the outputs of its north and west neighbors
+// (primary inputs on the top and left edges) and drives both the south and
+// east neighbors.  The number of distinct directed paths of length L
+// through the mesh grows like 2^L from every interior node, so an
+// exhaustive DFS searching for a NAND chain pattern blows up
+// combinatorially, while SubGemini's Phase I refutes the pattern from net
+// degrees alone.  A chain of chainLen NAND2s can be planted at the
+// (m−1, m−1) corner.
+func NandMesh(m, chainLen int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("nandmesh%d", m))
+	out := make([][]*graph.Net, m)
+	for i := range out {
+		out[i] = make([]*graph.Net, m)
+	}
+	netAt := func(i, j int, side string) *graph.Net {
+		if i < 0 || j < 0 {
+			return d.C.AddNet(fmt.Sprintf("pi_%s_%d_%d", side, i+1, j+1))
+		}
+		return out[i][j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			out[i][j] = d.C.AddNet(fmt.Sprintf("y_%d_%d", i, j))
+			d.place(stdcell.NAND2, fmt.Sprintf("g_%d_%d", i, j), map[string]*graph.Net{
+				"A": netAt(i-1, j, "n"), "B": netAt(i, j-1, "w"),
+				"Y": out[i][j], "VDD": vdd, "GND": gnd,
+			})
+		}
+	}
+	cur := out[m-1][m-1]
+	for i := 0; i < chainLen; i++ {
+		next := d.C.AddNet(fmt.Sprintf("c%d", i))
+		d.place(stdcell.NAND2, fmt.Sprintf("cg%d", i), map[string]*graph.Net{
+			"A": cur, "B": d.C.AddNet(fmt.Sprintf("cb%d", i)),
+			"Y": next, "VDD": vdd, "GND": gnd,
+		})
+		cur = next
+	}
+	return d
+}
+
+// NandChainPattern builds a pattern of k series NAND2 gates: each stage's
+// output drives one input of the next, the other input and the first
+// stage's inputs are external, and the k−1 intermediate nets are internal.
+func NandChainPattern(k int) *graph.Circuit {
+	p := graph.New(fmt.Sprintf("nandchain%d", k))
+	p.AddNet("VDD")
+	p.AddNet("GND")
+	cur := p.AddNet("in")
+	ports := []string{"in"}
+	for i := 0; i < k; i++ {
+		var next *graph.Net
+		if i == k-1 {
+			next = p.AddNet("out")
+			ports = append(ports, "out")
+		} else {
+			next = p.AddNet(fmt.Sprintf("m%d", i+1))
+		}
+		side := p.AddNet(fmt.Sprintf("b%d", i))
+		ports = append(ports, side.Name)
+		stdcell.NAND2.MustInstantiate(p, fmt.Sprintf("s%d", i), map[string]*graph.Net{
+			"A": cur, "B": side, "Y": next,
+			"VDD": p.NetByName("VDD"), "GND": p.NetByName("GND"),
+		})
+		cur = next
+	}
+	for _, port := range ports {
+		if err := p.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// SwitchGrid builds an m×m pass-transistor switch fabric (an FPGA-style
+// routing grid or analog crossbar): one net per grid node, one n-type pass
+// transistor per grid edge, each with a private gate control net.  This is
+// the kind of structure the paper's introduction says gate-oriented
+// extraction heuristics cannot handle, and it is adversarial for
+// exhaustive DFS: a source/drain path search branches three ways at every
+// interior node, so partial matches multiply as 3^length, while every
+// interior node has degree 3–4 and therefore refutes a degree-2 chain
+// net immediately under Phase I labeling or degree pruning.  A chain of
+// chainLen extra pass transistors can be planted at the (m−1, m−1) corner.
+func SwitchGrid(m, chainLen int) *Design {
+	d, _, _ := newDesign(fmt.Sprintf("switchgrid%d", m))
+	mosCls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	node := make([][]*graph.Net, m)
+	for i := range node {
+		node[i] = make([]*graph.Net, m)
+		for j := range node[i] {
+			node[i][j] = d.C.AddNet(fmt.Sprintf("n_%d_%d", i, j))
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j+1 < m {
+				g := d.C.AddNet(fmt.Sprintf("ch_%d_%d", i, j))
+				d.C.MustAddDevice(fmt.Sprintf("mh_%d_%d", i, j), "nmos", mosCls,
+					[]*graph.Net{node[i][j], g, node[i][j+1]})
+			}
+			if i+1 < m {
+				g := d.C.AddNet(fmt.Sprintf("cv_%d_%d", i, j))
+				d.C.MustAddDevice(fmt.Sprintf("mv_%d_%d", i, j), "nmos", mosCls,
+					[]*graph.Net{node[i][j], g, node[i+1][j]})
+			}
+		}
+	}
+	cur := node[m-1][m-1]
+	for i := 0; i < chainLen; i++ {
+		next := d.C.AddNet(fmt.Sprintf("p%d", i))
+		g := d.C.AddNet(fmt.Sprintf("cp%d", i))
+		d.C.MustAddDevice(fmt.Sprintf("mp%d", i), "nmos", mosCls, []*graph.Net{cur, g, next})
+		cur = next
+	}
+	return d
+}
+
+// PassChainPattern builds a pattern of k series pass transistors: a
+// source/drain chain whose k−1 intermediate nets are internal and whose
+// ends and gate nets are external.
+func PassChainPattern(k int) *graph.Circuit {
+	p := graph.New(fmt.Sprintf("passchain%d", k))
+	mosCls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	cur := p.AddNet("in")
+	ports := []string{"in"}
+	for i := 0; i < k; i++ {
+		var next *graph.Net
+		if i == k-1 {
+			next = p.AddNet("out")
+			ports = append(ports, "out")
+		} else {
+			next = p.AddNet(fmt.Sprintf("p%d", i+1))
+		}
+		g := p.AddNet(fmt.Sprintf("g%d", i))
+		ports = append(ports, g.Name)
+		p.MustAddDevice(fmt.Sprintf("m%d", i), "nmos", mosCls, []*graph.Net{cur, g, next})
+		cur = next
+	}
+	for _, port := range ports {
+		if err := p.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// ChainPattern builds a pattern of k series inverters with only the first
+// input and last output external; the k−1 intermediate nets are internal.
+func ChainPattern(k int) *graph.Circuit {
+	p := graph.New(fmt.Sprintf("chain%d", k))
+	p.AddNet("VDD")
+	p.AddNet("GND")
+	in := p.AddNet("in")
+	cur := in
+	for i := 0; i < k; i++ {
+		var next *graph.Net
+		if i == k-1 {
+			next = p.AddNet("out")
+		} else {
+			next = p.AddNet(fmt.Sprintf("m%d", i+1))
+		}
+		stdcell.INV.MustInstantiate(p, fmt.Sprintf("s%d", i), map[string]*graph.Net{
+			"A": cur, "Y": next, "VDD": p.NetByName("VDD"), "GND": p.NetByName("GND"),
+		})
+		cur = next
+	}
+	for _, port := range []string{"in", "out"} {
+		if err := p.MarkPort(port); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// RippleAdder builds a bits-wide ripple-carry adder from mirror full
+// adders: FA_i adds a_i, b_i and the previous carry.
+func RippleAdder(bits int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("adder%d", bits))
+	carry := d.C.AddNet("cin")
+	for i := 0; i < bits; i++ {
+		next := d.C.AddNet(fmt.Sprintf("c%d", i+1))
+		d.place(stdcell.FA, fmt.Sprintf("fa%d", i), map[string]*graph.Net{
+			"A":   d.C.AddNet(fmt.Sprintf("a%d", i)),
+			"B":   d.C.AddNet(fmt.Sprintf("b%d", i)),
+			"CI":  carry,
+			"S":   d.C.AddNet(fmt.Sprintf("s%d", i)),
+			"CO":  next,
+			"VDD": vdd, "GND": gnd,
+		})
+		carry = next
+	}
+	return d
+}
+
+// ArrayMultiplier builds an n×n array multiplier: n² AND2 partial-product
+// gates and n·(n-1) full adders arranged in carry-propagate rows.  Each
+// row's carry-in is a primary input so no cell port is tied to a rail
+// (tied-off cells are structurally different cells and would perturb the
+// instance census).
+func ArrayMultiplier(n int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("mult%d", n))
+	a := make([]*graph.Net, n)
+	b := make([]*graph.Net, n)
+	for i := 0; i < n; i++ {
+		a[i] = d.C.AddNet(fmt.Sprintf("a%d", i))
+		b[i] = d.C.AddNet(fmt.Sprintf("b%d", i))
+	}
+	pp := make([][]*graph.Net, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]*graph.Net, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = d.C.AddNet(fmt.Sprintf("pp_%d_%d", i, j))
+			d.place(stdcell.AND2, fmt.Sprintf("and_%d_%d", i, j), map[string]*graph.Net{
+				"A": a[i], "B": b[j], "Y": pp[i][j], "VDD": vdd, "GND": gnd,
+			})
+		}
+	}
+	// Row 0 sums are the partial products themselves; each later row adds
+	// its partial products to the previous row's sums.
+	sums := pp[0]
+	for i := 1; i < n; i++ {
+		carry := d.C.AddNet(fmt.Sprintf("rci%d", i))
+		next := make([]*graph.Net, n)
+		for j := 0; j < n; j++ {
+			next[j] = d.C.AddNet(fmt.Sprintf("s_%d_%d", i, j))
+			co := d.C.AddNet(fmt.Sprintf("co_%d_%d", i, j))
+			d.place(stdcell.FA, fmt.Sprintf("fa_%d_%d", i, j), map[string]*graph.Net{
+				"A": pp[i][j], "B": sums[j], "CI": carry,
+				"S": next[j], "CO": co,
+				"VDD": vdd, "GND": gnd,
+			})
+			carry = co
+		}
+		sums = next
+	}
+	return d
+}
+
+// RippleCounter builds a bits-wide asynchronous (ripple) counter: each
+// stage is a DFF whose D input is its inverted output and whose Q clocks
+// the next stage.
+func RippleCounter(bits int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("counter%d", bits))
+	clk := d.C.AddNet("clk")
+	for i := 0; i < bits; i++ {
+		q := d.C.AddNet(fmt.Sprintf("q%d", i))
+		db := d.C.AddNet(fmt.Sprintf("d%d", i))
+		d.place(stdcell.INV, fmt.Sprintf("inv%d", i), map[string]*graph.Net{
+			"A": q, "Y": db, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.DFF, fmt.Sprintf("dff%d", i), map[string]*graph.Net{
+			"D": db, "CLK": clk, "Q": q, "VDD": vdd, "GND": gnd,
+		})
+		clk = q
+	}
+	return d
+}
+
+// ShiftRegister builds a bits-long shift register: a DFF chain on a common
+// clock.
+func ShiftRegister(bits int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("shiftreg%d", bits))
+	clk := d.C.AddNet("clk")
+	data := d.C.AddNet("sin")
+	for i := 0; i < bits; i++ {
+		q := d.C.AddNet(fmt.Sprintf("q%d", i))
+		d.place(stdcell.DFF, fmt.Sprintf("dff%d", i), map[string]*graph.Net{
+			"D": data, "CLK": clk, "Q": q, "VDD": vdd, "GND": gnd,
+		})
+		data = q
+	}
+	return d
+}
+
+// ALUDatapath builds an n-bit accumulator datapath: per bit-slice, an
+// XOR2/AND2/OR2 logic block, a pair of MUX2s selecting the operation, a
+// full adder for the arithmetic path, a DFF accumulator register, and an
+// inverter buffering the XOR output.  This is the "datapath" workload
+// class of the paper's evaluation era: heterogeneous cells, wide shared
+// control nets (opcode and clock fan out to every slice), and a carry
+// chain coupling the slices.
+func ALUDatapath(bits int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("alu%d", bits))
+	clk := d.C.AddNet("clk")
+	op0, op1 := d.C.AddNet("op0"), d.C.AddNet("op1")
+	carry := d.C.AddNet("cin")
+	for i := 0; i < bits; i++ {
+		b := d.C.AddNet(fmt.Sprintf("b%d", i))
+		acc := d.C.AddNet(fmt.Sprintf("acc%d", i)) // register output, feeds back
+		xo := d.C.AddNet(fmt.Sprintf("xo%d", i))
+		an := d.C.AddNet(fmt.Sprintf("an%d", i))
+		orr := d.C.AddNet(fmt.Sprintf("or%d", i))
+		sum := d.C.AddNet(fmt.Sprintf("sum%d", i))
+		co := d.C.AddNet(fmt.Sprintf("co%d", i))
+		logicSel := d.C.AddNet(fmt.Sprintf("lsel%d", i))
+		next := d.C.AddNet(fmt.Sprintf("next%d", i))
+
+		d.place(stdcell.XOR2, fmt.Sprintf("xor%d", i), map[string]*graph.Net{
+			"A": acc, "B": b, "Y": xo, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.AND2, fmt.Sprintf("and%d", i), map[string]*graph.Net{
+			"A": acc, "B": b, "Y": an, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.OR2, fmt.Sprintf("or%d", i), map[string]*graph.Net{
+			"A": acc, "B": b, "Y": orr, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.FA, fmt.Sprintf("fa%d", i), map[string]*graph.Net{
+			"A": acc, "B": b, "CI": carry, "S": sum, "CO": co,
+			"VDD": vdd, "GND": gnd,
+		})
+		// Operation select: logic = op0 ? AND : OR; result = op1 ? logic : sum.
+		d.place(stdcell.MUX2, fmt.Sprintf("muxl%d", i), map[string]*graph.Net{
+			"A": orr, "B": an, "S": op0, "Y": logicSel, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.MUX2, fmt.Sprintf("muxo%d", i), map[string]*graph.Net{
+			"A": sum, "B": logicSel, "S": op1, "Y": next, "VDD": vdd, "GND": gnd,
+		})
+		d.place(stdcell.DFF, fmt.Sprintf("reg%d", i), map[string]*graph.Net{
+			"D": next, "CLK": clk, "Q": acc, "VDD": vdd, "GND": gnd,
+		})
+		// Buffer the XOR output so it has a load like the other blocks.
+		d.place(stdcell.INV, fmt.Sprintf("xinv%d", i), map[string]*graph.Net{
+			"A": xo, "Y": d.C.AddNet(fmt.Sprintf("xob%d", i)), "VDD": vdd, "GND": gnd,
+		})
+		carry = co
+	}
+	return d
+}
+
+// SRAMArray builds a rows×cols static RAM core: 6T bit cells on shared
+// word lines and bit lines, a word-line buffer per row, and two bare
+// precharge transistors per column (devices outside any library cell, as a
+// realistic netlist would have).
+func SRAMArray(rows, cols int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("sram%dx%d", rows, cols))
+	pre := d.C.AddNet("preb")
+	bl := make([]*graph.Net, cols)
+	blb := make([]*graph.Net, cols)
+	mosCls := []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+	for c := 0; c < cols; c++ {
+		bl[c] = d.C.AddNet(fmt.Sprintf("bl%d", c))
+		blb[c] = d.C.AddNet(fmt.Sprintf("blb%d", c))
+		d.C.MustAddDevice(fmt.Sprintf("mpre%d", c), "pmos", mosCls, []*graph.Net{bl[c], pre, vdd})
+		d.C.MustAddDevice(fmt.Sprintf("mpreb%d", c), "pmos", mosCls, []*graph.Net{blb[c], pre, vdd})
+	}
+	for r := 0; r < rows; r++ {
+		wl := d.C.AddNet(fmt.Sprintf("wl%d", r))
+		d.place(stdcell.BUF, fmt.Sprintf("wldrv%d", r), map[string]*graph.Net{
+			"A": d.C.AddNet(fmt.Sprintf("rsel%d", r)), "Y": wl, "VDD": vdd, "GND": gnd,
+		})
+		for c := 0; c < cols; c++ {
+			d.place(stdcell.SRAM6T, fmt.Sprintf("bit_%d_%d", r, c), map[string]*graph.Net{
+				"BL": bl[c], "BLB": blb[c], "WL": wl, "VDD": vdd, "GND": gnd,
+			})
+		}
+	}
+	return d
+}
+
+// Decoder builds a 2^n-output address decoder from input inverters and
+// NAND/INV output stages: each output k is the AND (NAND + INV) of the n
+// address lines or their complements according to k's bits.  n must be
+// between 2 and 4 (NAND2..NAND4 stages).
+func Decoder(n int) *Design {
+	if n < 2 || n > 4 {
+		panic(fmt.Sprintf("gen: Decoder supports 2..4 address bits, got %d", n))
+	}
+	d, vdd, gnd := newDesign(fmt.Sprintf("decoder%d", n))
+	addr := make([]*graph.Net, n)
+	addrB := make([]*graph.Net, n)
+	for i := 0; i < n; i++ {
+		addr[i] = d.C.AddNet(fmt.Sprintf("a%d", i))
+		addrB[i] = d.C.AddNet(fmt.Sprintf("ab%d", i))
+		d.place(stdcell.INV, fmt.Sprintf("ai%d", i), map[string]*graph.Net{
+			"A": addr[i], "Y": addrB[i], "VDD": vdd, "GND": gnd,
+		})
+	}
+	nand := map[int]*stdcell.CellDef{2: stdcell.NAND2, 3: stdcell.NAND3, 4: stdcell.NAND4}[n]
+	ports := []string{"A", "B", "C", "D"}[:n]
+	for k := 0; k < 1<<n; k++ {
+		yb := d.C.AddNet(fmt.Sprintf("yb%d", k))
+		y := d.C.AddNet(fmt.Sprintf("y%d", k))
+		conns := map[string]*graph.Net{"Y": yb, "VDD": vdd, "GND": gnd}
+		for i := 0; i < n; i++ {
+			if k&(1<<i) != 0 {
+				conns[ports[i]] = addr[i]
+			} else {
+				conns[ports[i]] = addrB[i]
+			}
+		}
+		d.place(nand, fmt.Sprintf("nd%d", k), conns)
+		d.place(stdcell.INV, fmt.Sprintf("oi%d", k), map[string]*graph.Net{
+			"A": yb, "Y": y, "VDD": vdd, "GND": gnd,
+		})
+	}
+	return d
+}
+
+// RegisterFile builds a words×bits register file: each bit cell is a DFF
+// with a write multiplexer (hold Q or take the write bus, selected by the
+// word's write line) and a tristate read driver onto the bit's shared read
+// line.  The workload has the memory-array shape of the paper's RAM-heavy
+// evaluation circuits but is built purely from library cells, so the
+// instance census is exact.
+func RegisterFile(words, bits int) *Design {
+	d, vdd, gnd := newDesign(fmt.Sprintf("regfile%dx%d", words, bits))
+	clk := d.C.AddNet("clk")
+	wsel := make([]*graph.Net, words)
+	rsel := make([]*graph.Net, words)
+	for w := 0; w < words; w++ {
+		wsel[w] = d.C.AddNet(fmt.Sprintf("wsel%d", w))
+		rsel[w] = d.C.AddNet(fmt.Sprintf("rsel%d", w))
+	}
+	for b := 0; b < bits; b++ {
+		wdata := d.C.AddNet(fmt.Sprintf("wdata%d", b))
+		rline := d.C.AddNet(fmt.Sprintf("rline%d", b))
+		for w := 0; w < words; w++ {
+			q := d.C.AddNet(fmt.Sprintf("q_%d_%d", w, b))
+			dIn := d.C.AddNet(fmt.Sprintf("d_%d_%d", w, b))
+			d.place(stdcell.MUX2, fmt.Sprintf("wm_%d_%d", w, b), map[string]*graph.Net{
+				"A": q, "B": wdata, "S": wsel[w], "Y": dIn, "VDD": vdd, "GND": gnd,
+			})
+			d.place(stdcell.DFF, fmt.Sprintf("ff_%d_%d", w, b), map[string]*graph.Net{
+				"D": dIn, "CLK": clk, "Q": q, "VDD": vdd, "GND": gnd,
+			})
+			d.place(stdcell.TINV, fmt.Sprintf("rd_%d_%d", w, b), map[string]*graph.Net{
+				"A": q, "EN": rsel[w], "Y": rline, "VDD": vdd, "GND": gnd,
+			})
+		}
+	}
+	return d
+}
+
+// randomCellSet is the palette RandomLogic draws from: prime cells only, so
+// the expected-instance arithmetic in truth.go stays exact (composite cells
+// like BUF or AND2 can arise accidentally from chains of prime gates, which
+// would make the census undercount them).
+var randomCellSet = []*stdcell.CellDef{
+	stdcell.INV, stdcell.NAND2, stdcell.NAND3, stdcell.NAND4,
+	stdcell.NOR2, stdcell.NOR3, stdcell.NOR4,
+	stdcell.AOI21, stdcell.OAI21, stdcell.AOI22, stdcell.OAI22,
+	stdcell.XOR2, stdcell.XNOR2, stdcell.MUX2, stdcell.TINV,
+}
+
+// RandomLogic builds a random combinational DAG of gates standard cells:
+// every gate draws distinct inputs from the primary inputs and earlier gate
+// outputs and drives a fresh output net.  The same seed reproduces the same
+// circuit.
+func RandomLogic(gates, inputs int, seed int64) *Design {
+	if inputs < 4 {
+		inputs = 4
+	}
+	d, vdd, gnd := newDesign(fmt.Sprintf("rand%d", gates))
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]*graph.Net, 0, inputs+gates)
+	for i := 0; i < inputs; i++ {
+		pool = append(pool, d.C.AddNet(fmt.Sprintf("in%d", i)))
+	}
+	for g := 0; g < gates; g++ {
+		cell := randomCellSet[rng.Intn(len(randomCellSet))]
+		conns := map[string]*graph.Net{"VDD": vdd, "GND": gnd}
+		out := d.C.AddNet(fmt.Sprintf("w%d", g))
+		picked := map[int]bool{}
+		for _, port := range cell.Ports {
+			switch port {
+			case "VDD", "GND":
+			case "Y":
+				conns[port] = out
+			default:
+				// Distinct random driver for each input port.
+				idx := rng.Intn(len(pool))
+				for picked[idx] {
+					idx = rng.Intn(len(pool))
+				}
+				picked[idx] = true
+				conns[port] = pool[idx]
+			}
+		}
+		d.place(cell, fmt.Sprintf("g%d", g), conns)
+		pool = append(pool, out)
+	}
+	return d
+}

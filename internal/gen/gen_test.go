@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"testing"
+
+	"subgemini/internal/gemini"
+	"subgemini/internal/stdcell"
+)
+
+func TestGeneratorsProduceValidCircuits(t *testing.T) {
+	designs := []*Design{
+		InverterChain(8),
+		ALUDatapath(3),
+		RegisterFile(3, 3),
+		Decoder(2),
+		Decoder(4),
+		RippleAdder(4),
+		ArrayMultiplier(3),
+		RippleCounter(4),
+		ShiftRegister(6),
+		SRAMArray(3, 5),
+		RandomLogic(50, 8, 3),
+	}
+	for _, d := range designs {
+		if err := d.C.Validate(); err != nil {
+			t.Errorf("%s: %v", d.C.Name, err)
+		}
+		if d.C.NetByName("VDD") == nil || d.C.NetByName("GND") == nil {
+			t.Errorf("%s: rails missing", d.C.Name)
+		}
+	}
+}
+
+func TestGeneratorSizes(t *testing.T) {
+	cases := []struct {
+		d       *Design
+		devices int
+		placed  map[string]int
+	}{
+		{InverterChain(10), 20, map[string]int{"INV": 10}},
+		{RippleAdder(8), 8 * 28, map[string]int{"FA": 8}},
+		{ArrayMultiplier(4), 16*6 + 12*28, map[string]int{"AND2": 16, "FA": 12}},
+		{RippleCounter(5), 5 * (2 + 18), map[string]int{"INV": 5, "DFF": 5}},
+		{ShiftRegister(7), 7 * 18, map[string]int{"DFF": 7}},
+		{SRAMArray(4, 8), 4*8*6 + 4*4 + 8*2, map[string]int{"SRAM6T": 32, "BUF": 4}},
+		{ALUDatapath(4), 4 * (12 + 6 + 6 + 28 + 6 + 6 + 18 + 2),
+			map[string]int{"XOR2": 4, "AND2": 4, "OR2": 4, "FA": 4, "MUX2": 8, "DFF": 4, "INV": 4}},
+		{RegisterFile(4, 3), 4 * 3 * (6 + 18 + 6),
+			map[string]int{"MUX2": 12, "DFF": 12, "TINV": 12}},
+		{Decoder(3), 3*2 + 8*(6+2), map[string]int{"INV": 11, "NAND3": 8}},
+	}
+	for _, tc := range cases {
+		if got := tc.d.C.NumDevices(); got != tc.devices {
+			t.Errorf("%s: %d devices, want %d", tc.d.C.Name, got, tc.devices)
+		}
+		for cell, want := range tc.placed {
+			if got := tc.d.Placed[cell]; got != want {
+				t.Errorf("%s: placed[%s] = %d, want %d", tc.d.C.Name, cell, got, want)
+			}
+		}
+	}
+}
+
+func TestTransistorCount(t *testing.T) {
+	d := SRAMArray(2, 2)
+	// 4 cells * 6 + 2 BUFs * 4 + 4 precharge pmos = 36, all MOS.
+	if got := d.TransistorCount(); got != 36 {
+		t.Errorf("TransistorCount = %d, want 36", got)
+	}
+	if got := d.C.NumDevices(); got != 36 {
+		t.Errorf("NumDevices = %d, want 36", got)
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	a := RandomLogic(30, 6, 42)
+	b := RandomLogic(30, 6, 42)
+	res, err := gemini.Compare(a.C, b.C, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("same seed produced non-isomorphic circuits: %s", res.Reason)
+	}
+	c := RandomLogic(30, 6, 43)
+	res, err = gemini.Compare(a.C, c.C, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Isomorphic {
+		t.Error("different seeds produced isomorphic circuits (suspicious)")
+	}
+	if got := a.C.NumDevices(); got < 30*2 {
+		t.Errorf("random logic too small: %d devices", got)
+	}
+	total := 0
+	for _, n := range a.Placed {
+		total += n
+	}
+	if total != 30 {
+		t.Errorf("placed %d gates, want 30", total)
+	}
+}
+
+func TestContainmentBasics(t *testing.T) {
+	// Every cell contains itself exactly once.
+	for _, c := range stdcell.All() {
+		if got := Containment(c, c); got != 1 {
+			t.Errorf("Containment(%s, %s) = %d, want 1", c.Name, c.Name, got)
+		}
+	}
+	// Memoization returns the same answer on repeat.
+	a := Containment(stdcell.INV, stdcell.DFF)
+	b := Containment(stdcell.INV, stdcell.DFF)
+	if a != b {
+		t.Errorf("memoized containment differs: %d vs %d", a, b)
+	}
+}
+
+func TestExpected(t *testing.T) {
+	d := RippleCounter(3)
+	// 3 placed INVs plus 5 contained in each of 3 DFFs.
+	if got, want := d.Expected(stdcell.INV), 3+3*5; got != want {
+		t.Errorf("Expected(INV) = %d, want %d", got, want)
+	}
+	if got := d.Expected(stdcell.DFF); got != 3 {
+		t.Errorf("Expected(DFF) = %d, want 3", got)
+	}
+	if got := d.Expected(stdcell.FA); got != 0 {
+		t.Errorf("Expected(FA) = %d, want 0", got)
+	}
+}
+
+func TestDecoderBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Decoder(5) did not panic")
+		}
+	}()
+	Decoder(5)
+}
+
+func TestDecoderOutputsDistinct(t *testing.T) {
+	d := Decoder(2)
+	// Each NAND must see a distinct input combination: nd0 ab0/ab1,
+	// nd3 a0/a1.
+	nd0 := d.C.DeviceByName("nd0.MP1")
+	nd3 := d.C.DeviceByName("nd3.MP1")
+	if nd0 == nil || nd3 == nil {
+		t.Fatal("decoder gates missing")
+	}
+	if nd0.Pins[1].Net == nd3.Pins[1].Net {
+		t.Error("decoder rows share an address phase")
+	}
+}

@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"sync"
+
+	"subgemini/internal/baseline"
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+// Containment returns how many instances of pattern exist inside a single
+// placed copy of cell, with VDD and GND treated as special signals (an FA
+// contains two INVs — its output inverters; a DFF contains one LATCH — its
+// slave; and every cell contains itself exactly once).
+//
+// The counts are computed with the independent baseline matcher on a
+// single-cell circuit and memoized; they are exact for this library because
+// every pattern instance inside a cell keeps its internal nets on
+// cell-internal nodes, so embedding the cell in a larger circuit neither
+// creates nor destroys such instances.
+func Containment(pattern, cell *stdcell.CellDef) int {
+	key := [2]string{pattern.Name, cell.Name}
+	containMu.Lock()
+	if n, ok := containMemo[key]; ok {
+		containMu.Unlock()
+		return n
+	}
+	containMu.Unlock()
+
+	ckt := graph.New("one_" + cell.Name)
+	vdd, gnd := ckt.AddNet("VDD"), ckt.AddNet("GND")
+	conns := map[string]*graph.Net{}
+	for _, p := range cell.Ports {
+		switch p {
+		case "VDD":
+			conns[p] = vdd
+		case "GND":
+			conns[p] = gnd
+		default:
+			conns[p] = ckt.AddNet(p)
+		}
+	}
+	cell.MustInstantiate(ckt, "u", conns)
+	res, err := baseline.Find(ckt, pattern.Pattern(), baseline.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		panic(err) // library cells are valid patterns; unreachable
+	}
+	n := len(res.Instances)
+
+	containMu.Lock()
+	containMemo[key] = n
+	containMu.Unlock()
+	return n
+}
+
+var (
+	containMu   sync.Mutex
+	containMemo = map[[2]string]int{}
+)
+
+// Expected returns the number of instances of pattern the matcher should
+// find in the design under MatchAll semantics with VDD/GND special: the
+// placed-cell census folded through the containment table.
+func (d *Design) Expected(pattern *stdcell.CellDef) int {
+	total := 0
+	for cellName, count := range d.Placed {
+		cell := stdcell.Get(cellName)
+		if cell == nil {
+			continue
+		}
+		total += count * Containment(pattern, cell)
+	}
+	return total
+}
+
+// TransistorCount returns the number of MOS devices in the design.
+func (d *Design) TransistorCount() int {
+	n := 0
+	for _, dev := range d.C.Devices {
+		if dev.Type == "nmos" || dev.Type == "pmos" {
+			n++
+		}
+	}
+	return n
+}

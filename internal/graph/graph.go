@@ -1,0 +1,359 @@
+// Package graph implements the bipartite circuit-graph model used by
+// SubGemini and Gemini (Ohlrich et al., DAC 1993, §II).
+//
+// A circuit graph is an undirected bipartite graph: device vertices
+// (transistors, gates, or arbitrary higher-level components) on one side and
+// net vertices (wires) on the other.  A device connects to nets through
+// terminals (pins); each terminal belongs to a terminal equivalence class
+// that captures interchangeability of connections — e.g. the two
+// source/drain terminals of a MOS transistor share one class while the gate
+// terminal has its own.  Representing nets as explicit vertices keeps the
+// edge count linear in the number of terminals and exposes circuit structure
+// to the partitioning algorithm.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermClass identifies a terminal equivalence class within a device type.
+// Two pins of the same device type with the same TermClass may be swapped
+// without changing the circuit (paper §II).  Class values are small integers
+// assigned by the device-type definition; they are compared only between
+// devices of the same type.
+type TermClass uint8
+
+// Pin is one terminal of a device: the class it belongs to and the net it
+// connects to.
+type Pin struct {
+	Class TermClass
+	Net   *Net
+}
+
+// WildcardType is the device type that, in a pattern, matches a device of
+// any type with the same terminal count and classes.  It never appears in
+// main circuits.
+const WildcardType = "*"
+
+// Device is a device vertex.  Type distinguishes devices by function
+// ("nmos", "pmos", or any higher-level component name); in a pattern it
+// may be WildcardType.  Pins are the device's terminals in declaration
+// order.
+type Device struct {
+	// Index is the position of the device in Circuit.Devices.  It is
+	// maintained by the Circuit mutators and used as a dense array key by
+	// the labeling machinery.
+	Index int
+	Name  string
+	Type  string
+	Pins  []Pin
+}
+
+// Conn is a back-reference from a net to one device terminal attached to it.
+type Conn struct {
+	Dev *Device
+	// Pin is the index into Dev.Pins of the terminal on this net.
+	Pin int
+}
+
+// Net is a net (wire) vertex.  Conns lists every device terminal attached to
+// the net; its length is the net's degree.  Note that two terminals of the
+// same device on one net contribute two entries (the degree counts pins, not
+// distinct devices — the finer invariant, applied consistently to both the
+// pattern and the main graph).
+type Net struct {
+	// Index is the position of the net in Circuit.Nets, maintained by the
+	// Circuit mutators.
+	Index int
+	Name  string
+	Conns []Conn
+
+	// Port marks the net as part of the circuit's external interface.  In a
+	// pattern (subcircuit) graph, port nets are the external nets of the
+	// paper: they may connect to arbitrary additional devices in the main
+	// graph, so their labels start corrupt in Phase I.
+	Port bool
+
+	// Global marks the net as a special signal (Vdd, GND, clk, ...).  Global
+	// nets are matched by name rather than by structure and are never
+	// labeled (paper §V.A).
+	Global bool
+}
+
+// Degree returns the number of device terminals attached to the net.
+func (n *Net) Degree() int { return len(n.Conns) }
+
+// Circuit is a circuit graph: a named collection of device and net vertices.
+// The zero value is not ready for use; call New.
+type Circuit struct {
+	Name    string
+	Devices []*Device
+	Nets    []*Net
+
+	netByName map[string]*Net
+	devByName map[string]*Device
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{
+		Name:      name,
+		netByName: make(map[string]*Net),
+		devByName: make(map[string]*Device),
+	}
+}
+
+// AddNet creates a net with the given name and returns it.  Adding a name
+// that already exists returns the existing net, so builders may freely call
+// AddNet to mean "ensure net".
+func (c *Circuit) AddNet(name string) *Net {
+	if n, ok := c.netByName[name]; ok {
+		return n
+	}
+	n := &Net{Index: len(c.Nets), Name: name}
+	c.Nets = append(c.Nets, n)
+	c.netByName[name] = n
+	return n
+}
+
+// NetByName returns the net with the given name, or nil if absent.
+func (c *Circuit) NetByName(name string) *Net { return c.netByName[name] }
+
+// DeviceByName returns the device with the given name, or nil if absent.
+func (c *Circuit) DeviceByName(name string) *Device { return c.devByName[name] }
+
+// AddDevice creates a device of the given type whose i'th terminal has class
+// classes[i] and connects to nets[i].  The two slices must have equal,
+// nonzero length and the device name must be unique within the circuit.
+func (c *Circuit) AddDevice(name, typ string, classes []TermClass, nets []*Net) (*Device, error) {
+	if len(classes) != len(nets) {
+		return nil, fmt.Errorf("graph: device %s: %d classes but %d nets", name, len(classes), len(nets))
+	}
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("graph: device %s: no terminals", name)
+	}
+	if _, dup := c.devByName[name]; dup {
+		return nil, fmt.Errorf("graph: duplicate device name %q", name)
+	}
+	d := &Device{Index: len(c.Devices), Name: name, Type: typ, Pins: make([]Pin, len(nets))}
+	for i, n := range nets {
+		if n == nil {
+			return nil, fmt.Errorf("graph: device %s: terminal %d has nil net", name, i)
+		}
+		d.Pins[i] = Pin{Class: classes[i], Net: n}
+		n.Conns = append(n.Conns, Conn{Dev: d, Pin: i})
+	}
+	c.Devices = append(c.Devices, d)
+	c.devByName[name] = d
+	return d, nil
+}
+
+// MustAddDevice is AddDevice that panics on error; intended for
+// programmatically generated circuits where the inputs are known valid.
+func (c *Circuit) MustAddDevice(name, typ string, classes []TermClass, nets []*Net) *Device {
+	d, err := c.AddDevice(name, typ, classes, nets)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MarkPort flags the named net as a port (external net).  It returns an
+// error if the net does not exist.
+func (c *Circuit) MarkPort(name string) error {
+	n := c.netByName[name]
+	if n == nil {
+		return fmt.Errorf("graph: port %q: no such net in %s", name, c.Name)
+	}
+	n.Port = true
+	return nil
+}
+
+// MarkGlobal flags the named net as a special signal.  Unlike MarkPort it is
+// a no-op when the net does not exist, because a circuit need not use every
+// declared global.
+func (c *Circuit) MarkGlobal(name string) {
+	if n := c.netByName[name]; n != nil {
+		n.Global = true
+	}
+}
+
+// Ports returns the port nets in index order.
+func (c *Circuit) Ports() []*Net {
+	var ps []*Net
+	for _, n := range c.Nets {
+		if n.Port {
+			ps = append(ps, n)
+		}
+	}
+	return ps
+}
+
+// Globals returns the global (special-signal) nets in index order.
+func (c *Circuit) Globals() []*Net {
+	var gs []*Net
+	for _, n := range c.Nets {
+		if n.Global {
+			gs = append(gs, n)
+		}
+	}
+	return gs
+}
+
+// NumDevices returns the number of device vertices.
+func (c *Circuit) NumDevices() int { return len(c.Devices) }
+
+// NumNets returns the number of net vertices.
+func (c *Circuit) NumNets() int { return len(c.Nets) }
+
+// NumPins returns the total number of device terminals, which equals the
+// number of edges in the bipartite graph.
+func (c *Circuit) NumPins() int {
+	total := 0
+	for _, d := range c.Devices {
+		total += len(d.Pins)
+	}
+	return total
+}
+
+// DeviceCounts returns a map from device type to the number of devices of
+// that type.
+func (c *Circuit) DeviceCounts() map[string]int {
+	m := make(map[string]int)
+	for _, d := range c.Devices {
+		m[d.Type]++
+	}
+	return m
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	counts := c.DeviceCounts()
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	s := fmt.Sprintf("%s: %d devices, %d nets", c.Name, len(c.Devices), len(c.Nets))
+	for _, t := range types {
+		s += fmt.Sprintf(", %s=%d", t, counts[t])
+	}
+	return s
+}
+
+// Validate checks structural invariants: index fields agree with slice
+// positions, net back-references match device pins, no device has zero pins,
+// and names are consistent with the lookup maps.  Generators and the parser
+// call Validate in tests; it is O(devices + pins).
+func (c *Circuit) Validate() error {
+	for i, d := range c.Devices {
+		if d.Index != i {
+			return fmt.Errorf("graph: device %s has index %d, want %d", d.Name, d.Index, i)
+		}
+		if len(d.Pins) == 0 {
+			return fmt.Errorf("graph: device %s has no pins", d.Name)
+		}
+		if c.devByName[d.Name] != d {
+			return fmt.Errorf("graph: device %s not in name map", d.Name)
+		}
+		for pi, p := range d.Pins {
+			if p.Net == nil {
+				return fmt.Errorf("graph: device %s pin %d has nil net", d.Name, pi)
+			}
+			found := false
+			for _, conn := range p.Net.Conns {
+				if conn.Dev == d && conn.Pin == pi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: device %s pin %d missing back-reference on net %s", d.Name, pi, p.Net.Name)
+			}
+		}
+	}
+	for i, n := range c.Nets {
+		if n.Index != i {
+			return fmt.Errorf("graph: net %s has index %d, want %d", n.Name, n.Index, i)
+		}
+		if c.netByName[n.Name] != n {
+			return fmt.Errorf("graph: net %s not in name map", n.Name)
+		}
+		for _, conn := range n.Conns {
+			if conn.Pin < 0 || conn.Pin >= len(conn.Dev.Pins) {
+				return fmt.Errorf("graph: net %s references pin %d of device %s (out of range)", n.Name, conn.Pin, conn.Dev.Name)
+			}
+			if conn.Dev.Pins[conn.Pin].Net != n {
+				return fmt.Errorf("graph: net %s back-reference to %s pin %d does not point back", n.Name, conn.Dev.Name, conn.Pin)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the circuit.  The copy shares no vertices
+// with the original, so callers may mutate either independently.
+func (c *Circuit) Clone() *Circuit {
+	cp := New(c.Name)
+	for _, n := range c.Nets {
+		nn := cp.AddNet(n.Name)
+		nn.Port = n.Port
+		nn.Global = n.Global
+	}
+	for _, d := range c.Devices {
+		classes := make([]TermClass, len(d.Pins))
+		nets := make([]*Net, len(d.Pins))
+		for i, p := range d.Pins {
+			classes[i] = p.Class
+			nets[i] = cp.Nets[p.Net.Index]
+		}
+		cp.MustAddDevice(d.Name, d.Type, classes, nets)
+	}
+	return cp
+}
+
+// RemoveDevices deletes the given devices (identified by pointer) and any
+// nets left with no connections, then reindexes.  It is used by iterated
+// extraction, which consumes matched devices and replaces them with a
+// higher-level component.  Devices not present in the circuit are ignored.
+func (c *Circuit) RemoveDevices(doomed map[*Device]bool) {
+	if len(doomed) == 0 {
+		return
+	}
+	keep := c.Devices[:0]
+	for _, d := range c.Devices {
+		if doomed[d] {
+			delete(c.devByName, d.Name)
+			continue
+		}
+		keep = append(keep, d)
+	}
+	c.Devices = keep
+	for i, d := range c.Devices {
+		d.Index = i
+	}
+	// Rebuild net connection lists from the surviving devices.
+	for _, n := range c.Nets {
+		n.Conns = n.Conns[:0]
+	}
+	for _, d := range c.Devices {
+		for pi, p := range d.Pins {
+			p.Net.Conns = append(p.Net.Conns, Conn{Dev: d, Pin: pi})
+		}
+	}
+	// Drop isolated nets (but keep ports and globals: they are part of the
+	// circuit's declared interface even when momentarily unconnected).
+	keptNets := c.Nets[:0]
+	for _, n := range c.Nets {
+		if len(n.Conns) == 0 && !n.Port && !n.Global {
+			delete(c.netByName, n.Name)
+			continue
+		}
+		keptNets = append(keptNets, n)
+	}
+	c.Nets = keptNets
+	for i, n := range c.Nets {
+		n.Index = i
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+var mos3 = []TermClass{ClassDS, ClassGate, ClassDS}
+
+func inverter(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("inv")
+	in, out := c.AddNet("IN"), c.AddNet("OUT")
+	vdd, gnd := c.AddNet("VDD"), c.AddNet("GND")
+	c.MustAddDevice("MP", "pmos", mos3, []*Net{out, in, vdd})
+	c.MustAddDevice("MN", "nmos", mos3, []*Net{out, in, gnd})
+	return c
+}
+
+func TestAddNetDedupes(t *testing.T) {
+	c := New("t")
+	a := c.AddNet("x")
+	b := c.AddNet("x")
+	if a != b {
+		t.Error("AddNet returned distinct nets for one name")
+	}
+	if c.NumNets() != 1 {
+		t.Errorf("NumNets = %d, want 1", c.NumNets())
+	}
+}
+
+func TestAddDeviceErrors(t *testing.T) {
+	c := New("t")
+	n := c.AddNet("n")
+	if _, err := c.AddDevice("d", "nmos", mos3, []*Net{n, n}); err == nil {
+		t.Error("mismatched classes/nets accepted")
+	}
+	if _, err := c.AddDevice("d", "nmos", nil, nil); err == nil {
+		t.Error("zero-terminal device accepted")
+	}
+	if _, err := c.AddDevice("d", "nmos", mos3, []*Net{n, n, n}); err != nil {
+		t.Fatalf("valid device rejected: %v", err)
+	}
+	if _, err := c.AddDevice("d", "nmos", mos3, []*Net{n, n, n}); err == nil {
+		t.Error("duplicate device name accepted")
+	}
+	if _, err := c.AddDevice("d2", "nmos", mos3, []*Net{n, nil, n}); err == nil {
+		t.Error("nil net accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := inverter(t)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	// Corrupt an index and check Validate notices.
+	c.Devices[0].Index = 5
+	if err := c.Validate(); err == nil {
+		t.Error("corrupt device index accepted")
+	}
+	c.Devices[0].Index = 0
+
+	c.Nets[1].Index = 9
+	if err := c.Validate(); err == nil {
+		t.Error("corrupt net index accepted")
+	}
+	c.Nets[1].Index = 1
+
+	// Break a back-reference.
+	saved := c.Nets[0].Conns
+	c.Nets[0].Conns = nil
+	if err := c.Validate(); err == nil {
+		t.Error("missing back-reference accepted")
+	}
+	c.Nets[0].Conns = saved
+	if err := c.Validate(); err != nil {
+		t.Fatalf("restored circuit rejected: %v", err)
+	}
+}
+
+func TestDegreeCountsPins(t *testing.T) {
+	c := New("t")
+	x, g := c.AddNet("x"), c.AddNet("g")
+	// Both source/drain terminals on one net: degree counts pins, so 2.
+	c.MustAddDevice("m", "nmos", mos3, []*Net{x, g, x})
+	if d := x.Degree(); d != 2 {
+		t.Errorf("degree = %d, want 2 (pins, not devices)", d)
+	}
+}
+
+func TestPortsAndGlobals(t *testing.T) {
+	c := inverter(t)
+	if err := c.MarkPort("IN"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkPort("nope"); err == nil {
+		t.Error("marking a missing port succeeded")
+	}
+	c.MarkGlobal("VDD")
+	c.MarkGlobal("missing") // must be a no-op
+	if got := len(c.Ports()); got != 1 {
+		t.Errorf("len(Ports) = %d, want 1", got)
+	}
+	if got := len(c.Globals()); got != 1 {
+		t.Errorf("len(Globals) = %d, want 1", got)
+	}
+}
+
+func TestCountsAndString(t *testing.T) {
+	c := inverter(t)
+	if c.NumDevices() != 2 || c.NumNets() != 4 || c.NumPins() != 6 {
+		t.Errorf("counts = %d devices, %d nets, %d pins; want 2, 4, 6",
+			c.NumDevices(), c.NumNets(), c.NumPins())
+	}
+	counts := c.DeviceCounts()
+	if counts["nmos"] != 1 || counts["pmos"] != 1 {
+		t.Errorf("DeviceCounts = %v", counts)
+	}
+	s := c.String()
+	for _, want := range []string{"inv", "2 devices", "4 nets", "nmos=1", "pmos=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := inverter(t)
+	if err := c.MarkPort("IN"); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkGlobal("VDD")
+	cp := c.Clone()
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if cp.NumDevices() != c.NumDevices() || cp.NumNets() != c.NumNets() {
+		t.Fatal("clone sizes differ")
+	}
+	if !cp.NetByName("IN").Port || !cp.NetByName("VDD").Global {
+		t.Error("clone lost port/global flags")
+	}
+	for i := range c.Devices {
+		if cp.Devices[i] == c.Devices[i] {
+			t.Error("clone shares device pointers with original")
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cp.AddNet("extra")
+	cp.MustAddDevice("m3", "nmos", mos3, []*Net{cp.Nets[0], cp.Nets[1], cp.Nets[2]})
+	if c.NumDevices() != 2 || c.NumNets() != 4 {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestRemoveDevices(t *testing.T) {
+	c := inverter(t)
+	c.MarkGlobal("VDD")
+	mp := c.DeviceByName("MP")
+	c.RemoveDevices(map[*Device]bool{mp: true})
+	if err := c.Validate(); err != nil {
+		t.Fatalf("invalid after removal: %v", err)
+	}
+	if c.NumDevices() != 1 {
+		t.Fatalf("NumDevices = %d, want 1", c.NumDevices())
+	}
+	if c.DeviceByName("MP") != nil {
+		t.Error("removed device still resolvable by name")
+	}
+	// VDD lost its only connection but is global, so it must survive.
+	if c.NetByName("VDD") == nil {
+		t.Error("global net dropped despite being part of the interface")
+	}
+	// OUT still has the nmos attached.
+	if got := c.NetByName("OUT").Degree(); got != 1 {
+		t.Errorf("OUT degree = %d, want 1", got)
+	}
+	// Removing nothing is a no-op.
+	before := c.NumDevices()
+	c.RemoveDevices(nil)
+	if c.NumDevices() != before {
+		t.Error("RemoveDevices(nil) changed the circuit")
+	}
+}
+
+func TestRemoveDevicesDropsIsolatedNets(t *testing.T) {
+	c := inverter(t)
+	c.RemoveDevices(map[*Device]bool{c.DeviceByName("MP"): true, c.DeviceByName("MN"): true})
+	if c.NumDevices() != 0 {
+		t.Fatalf("NumDevices = %d, want 0", c.NumDevices())
+	}
+	if c.NumNets() != 0 {
+		t.Errorf("NumNets = %d, want 0 (no ports or globals marked)", c.NumNets())
+	}
+}

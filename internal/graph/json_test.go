@@ -1,0 +1,75 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/gemini"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := gen.RippleCounter(2)
+	d.C.MarkGlobal("VDD")
+	d.C.MarkGlobal("GND")
+	var buf strings.Builder
+	if err := graph.EncodeJSON(&buf, d.C); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.DecodeJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.C.Name {
+		t.Errorf("name = %q, want %q", back.Name, d.C.Name)
+	}
+	if !back.NetByName("VDD").Global {
+		t.Error("global flag lost")
+	}
+	res, err := gemini.Compare(d.C, back, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("round trip not isomorphic: %s", res.Reason)
+	}
+	// Names must round-trip exactly, not just structure.
+	for _, dev := range d.C.Devices {
+		b := back.DeviceByName(dev.Name)
+		if b == nil || b.Type != dev.Type || len(b.Pins) != len(dev.Pins) {
+			t.Errorf("device %s lost or changed", dev.Name)
+		}
+	}
+}
+
+func TestJSONPortFlagsRoundTrip(t *testing.T) {
+	p := gen.ChainPattern(3)
+	var buf strings.Builder
+	if err := graph.EncodeJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.DecodeJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ports()) != len(p.Ports()) {
+		t.Errorf("ports = %d, want %d", len(back.Ports()), len(p.Ports()))
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"unknown field":  `{"name":"x","bogus":1}`,
+		"empty net name": `{"name":"x","nets":[{"name":""}]}`,
+		"undeclared net": `{"name":"x","nets":[{"name":"a"}],"devices":[{"name":"d","type":"res","pins":[{"class":0,"net":"zzz"}]}]}`,
+		"no pins":        `{"name":"x","nets":[{"name":"a"}],"devices":[{"name":"d","type":"res","pins":[]}]}`,
+		"dup device":     `{"name":"x","nets":[{"name":"a"}],"devices":[{"name":"d","type":"res","pins":[{"class":0,"net":"a"},{"class":0,"net":"a"}]},{"name":"d","type":"res","pins":[{"class":0,"net":"a"},{"class":0,"net":"a"}]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := graph.DecodeJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRandomConstruction: arbitrary sequences of construction
+// operations always leave the circuit structurally valid, and Clone always
+// produces an equally valid copy with identical census.
+func TestQuickRandomConstruction(t *testing.T) {
+	types := []string{"nmos", "pmos", "res", "cap", "gateX"}
+	prop := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := 5 + int(opsRaw%60)
+		c := New("rand")
+		c.AddNet("n0")
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(4) {
+			case 0: // new net
+				c.AddNet(randName(rng, "n"))
+			case 1, 2: // new device on random nets
+				if len(c.Nets) == 0 {
+					c.AddNet(randName(rng, "n"))
+				}
+				nPins := 2 + rng.Intn(3)
+				classes := make([]TermClass, nPins)
+				nets := make([]*Net, nPins)
+				for p := 0; p < nPins; p++ {
+					classes[p] = TermClass(rng.Intn(3))
+					nets[p] = c.Nets[rng.Intn(len(c.Nets))]
+				}
+				name := randName(rng, "d")
+				if c.DeviceByName(name) != nil {
+					continue
+				}
+				if _, err := c.AddDevice(name, types[rng.Intn(len(types))], classes, nets); err != nil {
+					t.Logf("seed %d: AddDevice: %v", seed, err)
+					return false
+				}
+			case 3: // remove a random device
+				if len(c.Devices) > 0 {
+					d := c.Devices[rng.Intn(len(c.Devices))]
+					c.RemoveDevices(map[*Device]bool{d: true})
+				}
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Logf("seed %d: invalid after ops: %v", seed, err)
+			return false
+		}
+		cp := c.Clone()
+		if err := cp.Validate(); err != nil {
+			t.Logf("seed %d: invalid clone: %v", seed, err)
+			return false
+		}
+		if cp.NumDevices() != c.NumDevices() || cp.NumNets() != c.NumNets() || cp.NumPins() != c.NumPins() {
+			t.Logf("seed %d: clone census differs", seed)
+			return false
+		}
+		a, b := c.DeviceCounts(), cp.DeviceCounts()
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randName(rng *rand.Rand, prefix string) string {
+	return prefix + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('0'+rng.Intn(10)))
+}
+
+// TestQuickRemoveAllDevices: removing every device in random order always
+// empties the circuit cleanly.
+func TestQuickRemoveAllDevices(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("r")
+		mos := []TermClass{ClassDS, ClassGate, ClassDS}
+		for i := 0; i < 12; i++ {
+			a := c.AddNet(randName(rng, "x"))
+			b := c.AddNet(randName(rng, "y"))
+			g := c.AddNet(randName(rng, "g"))
+			name := randName(rng, "m")
+			if c.DeviceByName(name) != nil {
+				continue
+			}
+			c.MustAddDevice(name, "nmos", mos, []*Net{a, g, b})
+		}
+		for c.NumDevices() > 0 {
+			d := c.Devices[rng.Intn(len(c.Devices))]
+			c.RemoveDevices(map[*Device]bool{d: true})
+			if err := c.Validate(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return c.NumNets() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import "fmt"
+
+// TypeDef describes a device type: its terminal names in card order and the
+// terminal equivalence class of each terminal.  Terminals with equal class
+// values are interchangeable (paper §II: "nets connected to the source/drain
+// terminals may be interchanged without affecting the circuit's function").
+type TypeDef struct {
+	Name     string
+	PinNames []string
+	Classes  []TermClass
+}
+
+// NumPins returns the number of terminals of the type.
+func (t *TypeDef) NumPins() int { return len(t.PinNames) }
+
+// PinIndex returns the index of the named terminal, or -1 if absent.
+func (t *TypeDef) PinIndex(name string) int {
+	for i, p := range t.PinNames {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TypeTable maps device type names to their definitions.  A table is
+// consulted by the netlist parser to assign terminal classes and by
+// extraction to synthesize pins for replacement components.
+type TypeTable struct {
+	defs map[string]*TypeDef
+}
+
+// NewTypeTable returns a table preloaded with the primitive CMOS device
+// types:
+//
+//	nmos, pmos:  D G S B  — D and S share a class, G and B have their own
+//	res, cap:    A B      — both terminals share a class
+//	diode:       A C      — distinct classes
+//
+// MOS transistors are modeled with an explicit bulk terminal because the
+// generators tie bulk to the rails; parsers accept 3-terminal MOS cards and
+// default bulk to the source net.
+func NewTypeTable() *TypeTable {
+	t := &TypeTable{defs: make(map[string]*TypeDef)}
+	for _, mos := range []string{"nmos", "pmos"} {
+		t.MustDefine(&TypeDef{
+			Name:     mos,
+			PinNames: []string{"D", "G", "S", "B"},
+			Classes:  []TermClass{ClassDS, ClassGate, ClassDS, ClassBulk},
+		})
+	}
+	t.MustDefine(&TypeDef{Name: "res", PinNames: []string{"A", "B"}, Classes: []TermClass{0, 0}})
+	t.MustDefine(&TypeDef{Name: "cap", PinNames: []string{"A", "B"}, Classes: []TermClass{0, 0}})
+	t.MustDefine(&TypeDef{Name: "diode", PinNames: []string{"A", "C"}, Classes: []TermClass{0, 1}})
+	return t
+}
+
+// Terminal classes for MOS transistors.
+const (
+	ClassDS   TermClass = 0 // source/drain (interchangeable)
+	ClassGate TermClass = 1
+	ClassBulk TermClass = 2
+)
+
+// Define registers a type definition, rejecting duplicates and malformed
+// definitions.
+func (t *TypeTable) Define(def *TypeDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("graph: type definition with empty name")
+	}
+	if len(def.PinNames) == 0 || len(def.PinNames) != len(def.Classes) {
+		return fmt.Errorf("graph: type %s: %d pin names, %d classes", def.Name, len(def.PinNames), len(def.Classes))
+	}
+	if _, dup := t.defs[def.Name]; dup {
+		return fmt.Errorf("graph: duplicate type definition %q", def.Name)
+	}
+	t.defs[def.Name] = def
+	return nil
+}
+
+// MustDefine is Define that panics on error.
+func (t *TypeTable) MustDefine(def *TypeDef) {
+	if err := t.Define(def); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the definition for a type name, or nil if unknown.
+func (t *TypeTable) Lookup(name string) *TypeDef { return t.defs[name] }

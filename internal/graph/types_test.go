@@ -1,0 +1,55 @@
+package graph
+
+import "testing"
+
+func TestTypeTableBuiltins(t *testing.T) {
+	tbl := NewTypeTable()
+	for _, name := range []string{"nmos", "pmos", "res", "cap", "diode"} {
+		def := tbl.Lookup(name)
+		if def == nil {
+			t.Fatalf("builtin type %s missing", name)
+		}
+		if def.NumPins() != len(def.Classes) {
+			t.Errorf("%s: %d pins, %d classes", name, def.NumPins(), len(def.Classes))
+		}
+	}
+	mos := tbl.Lookup("nmos")
+	if mos.PinIndex("G") != 1 || mos.PinIndex("nope") != -1 {
+		t.Errorf("PinIndex wrong: G=%d nope=%d", mos.PinIndex("G"), mos.PinIndex("nope"))
+	}
+	// Source and drain share a class; gate does not.
+	if mos.Classes[0] != mos.Classes[2] {
+		t.Error("drain and source must share a terminal class")
+	}
+	if mos.Classes[1] == mos.Classes[0] {
+		t.Error("gate must not share the source/drain class")
+	}
+}
+
+func TestTypeTableDefineErrors(t *testing.T) {
+	tbl := NewTypeTable()
+	if err := tbl.Define(&TypeDef{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := tbl.Define(&TypeDef{Name: "x", PinNames: []string{"A"}, Classes: nil}); err == nil {
+		t.Error("mismatched pins/classes accepted")
+	}
+	if err := tbl.Define(&TypeDef{Name: "nmos", PinNames: []string{"A"}, Classes: []TermClass{0}}); err == nil {
+		t.Error("duplicate definition accepted")
+	}
+	if err := tbl.Define(&TypeDef{Name: "adder", PinNames: []string{"A", "B"}, Classes: []TermClass{0, 1}}); err != nil {
+		t.Errorf("valid definition rejected: %v", err)
+	}
+	if tbl.Lookup("adder") == nil {
+		t.Error("defined type not found")
+	}
+}
+
+func TestMustDefinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDefine did not panic on invalid definition")
+		}
+	}()
+	NewTypeTable().MustDefine(&TypeDef{Name: ""})
+}

@@ -1,0 +1,120 @@
+// Package label provides the labeling primitives shared by SubGemini's two
+// phases and by the Gemini graph-isomorphism checker.
+//
+// Partitioning is done implicitly via labeling (paper §II): vertices with
+// equal labels are in the same partition, and partitions are refined by
+// relabeling each vertex from its old label plus the labels of its
+// neighbors, weighted by the terminal class of the connection (Fig. 3):
+//
+//	new(v) = old(v) + Σ_{u ∈ N(v)} classMul(class(v,u)) · label(u)
+//
+// Labels are 64-bit integers that approximate exact partition-refinement
+// labels; as in the paper, collisions are possible but vanishingly rare, and
+// the matcher remains sound because every reported mapping is verified
+// edge-by-edge afterwards.
+package label
+
+import "subgemini/internal/graph"
+
+// Value is a vertex label.  Zero is reserved to mean "no information yet"
+// (used by Phase II before labels have spread to a vertex); all hashing
+// helpers avoid returning zero.
+type Value uint64
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap bijective
+// mixer with excellent avalanche behaviour, used to derive all label
+// constants deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nonzero maps 0 to an arbitrary fixed value so label constants never
+// collide with the reserved "unlabeled" value.
+func nonzero(x uint64) Value {
+	if x == 0 {
+		return Value(0x1b873593_cc9e2d51)
+	}
+	return Value(x)
+}
+
+// hashBytes hashes a byte string through splitmix64 with per-position
+// mixing.  It is not a cryptographic hash; it only needs to spread distinct
+// short names across 64 bits.
+func hashBytes(domain uint64, s string) Value {
+	h := splitmix64(domain)
+	for i := 0; i < len(s); i++ {
+		h = splitmix64(h ^ uint64(s[i])<<1)
+	}
+	return nonzero(h)
+}
+
+// Domain separators keep the different label families disjoint even for
+// equal underlying inputs (e.g. a device type named "3" vs a net of
+// degree 3).
+const (
+	domType   = 0x5347_0001
+	domDegree = 0x5347_0002
+	domGlobal = 0x5347_0003
+	domClass  = 0x5347_0004
+	domUnique = 0x5347_0005
+	domBind   = 0x5347_0006
+)
+
+// TypeLabel returns the initial Phase-I label of a device vertex: a hash of
+// its type name (paper §III: "all device vertices are labeled according to
+// their type").
+func TypeLabel(typ string) Value { return hashBytes(domType, typ) }
+
+// DegreeLabel returns the initial Phase-I label of a net vertex: a hash of
+// its degree (paper §III: "all net vertices are labeled according to their
+// degree").
+func DegreeLabel(degree int) Value {
+	return nonzero(splitmix64(domDegree ^ uint64(degree)*0x100000001b3))
+}
+
+// GlobalLabel returns the fixed label of a special-signal net (paper §V.A).
+// Globals are matched by name, so the label depends only on the name and is
+// identical in the pattern and the main graph.
+func GlobalLabel(name string) Value { return hashBytes(domGlobal, name) }
+
+// BindLabel returns the fixed label of a bound pattern port and of its
+// main-graph target net.  The label depends only on the target name, so
+// the pattern side and the main-graph side agree by construction.
+func BindLabel(target string) Value { return hashBytes(domBind, target) }
+
+// ClassMul returns the multiplier applied to a neighbor's label for a
+// connection through the given terminal class (the s and g constants of
+// Fig. 3).  The result is forced odd so multiplication is a bijection
+// modulo 2^64.
+func ClassMul(class graph.TermClass) uint64 {
+	return splitmix64(domClass+uint64(class)*0x9e3779b9) | 1
+}
+
+// UniqueSource hands out a deterministic stream of unique labels, used for
+// the "random, unique label" the paper assigns to matched vertex pairs in
+// Phase II.  Determinism (rather than true randomness) makes runs
+// reproducible; uniqueness within a run is what the algorithm needs.
+type UniqueSource struct {
+	seed uint64
+	ctr  uint64
+}
+
+// NewUniqueSource returns a source seeded deterministically.
+func NewUniqueSource(seed uint64) *UniqueSource {
+	return &UniqueSource{seed: splitmix64(domUnique ^ seed)}
+}
+
+// Next returns the next unique label.
+func (u *UniqueSource) Next() Value {
+	u.ctr++
+	return nonzero(splitmix64(u.seed + u.ctr*0x9e3779b97f4a7c15))
+}
+
+// Combine folds one weighted neighbor label into an accumulating label, per
+// the Fig. 3 relabeling function.
+func Combine(acc Value, class graph.TermClass, neighbor Value) Value {
+	return acc + Value(ClassMul(class)*uint64(neighbor))
+}

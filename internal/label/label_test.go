@@ -1,0 +1,94 @@
+package label
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subgemini/internal/graph"
+)
+
+func TestHashersDeterministicAndDistinct(t *testing.T) {
+	if TypeLabel("nmos") != TypeLabel("nmos") {
+		t.Error("TypeLabel not deterministic")
+	}
+	if TypeLabel("nmos") == TypeLabel("pmos") {
+		t.Error("TypeLabel collides on nmos/pmos")
+	}
+	if DegreeLabel(2) == DegreeLabel(3) {
+		t.Error("DegreeLabel collides on 2/3")
+	}
+	if GlobalLabel("VDD") == GlobalLabel("GND") {
+		t.Error("GlobalLabel collides on VDD/GND")
+	}
+	// Domain separation: a type named "3" must not collide with degree 3.
+	if TypeLabel("3") == DegreeLabel(3) {
+		t.Error("domain separation failed between type and degree labels")
+	}
+	if TypeLabel("VDD") == GlobalLabel("VDD") {
+		t.Error("domain separation failed between type and global labels")
+	}
+}
+
+func TestLabelsNeverZero(t *testing.T) {
+	if err := quick.Check(func(s string, d int, c uint8) bool {
+		if d < 0 {
+			d = -d
+		}
+		return TypeLabel(s) != 0 && DegreeLabel(d) != 0 && GlobalLabel(s) != 0 &&
+			ClassMul(graph.TermClass(c)) != 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassMulOdd(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		if ClassMul(graph.TermClass(c))%2 == 0 {
+			t.Fatalf("ClassMul(%d) is even; multiplication would not be a bijection mod 2^64", c)
+		}
+	}
+	if ClassMul(graph.ClassDS) == ClassMul(graph.ClassGate) {
+		t.Error("source/drain and gate classes share a multiplier")
+	}
+}
+
+func TestUniqueSource(t *testing.T) {
+	u := NewUniqueSource(1)
+	seen := make(map[Value]bool)
+	for i := 0; i < 100000; i++ {
+		v := u.Next()
+		if v == 0 {
+			t.Fatal("UniqueSource produced the reserved zero label")
+		}
+		if seen[v] {
+			t.Fatalf("UniqueSource repeated a label after %d draws", i)
+		}
+		seen[v] = true
+	}
+	// Same seed reproduces the same stream; different seeds diverge.
+	a, b, c := NewUniqueSource(7), NewUniqueSource(7), NewUniqueSource(8)
+	if a.Next() != b.Next() {
+		t.Error("equal seeds produced different streams")
+	}
+	if a.Next() == c.Next() {
+		t.Error("different seeds produced the same second draw")
+	}
+}
+
+func TestCombineUsesClassAndNeighbor(t *testing.T) {
+	base := Value(17)
+	n1, n2 := TypeLabel("nmos"), TypeLabel("pmos")
+	if Combine(base, graph.ClassDS, n1) == Combine(base, graph.ClassGate, n1) {
+		t.Error("Combine ignores the terminal class")
+	}
+	if Combine(base, graph.ClassDS, n1) == Combine(base, graph.ClassDS, n2) {
+		t.Error("Combine ignores the neighbor label")
+	}
+	// Commutativity within one class: the relabeling function must not
+	// depend on neighbor enumeration order.
+	x := Combine(Combine(base, graph.ClassDS, n1), graph.ClassDS, n2)
+	y := Combine(Combine(base, graph.ClassDS, n2), graph.ClassDS, n1)
+	if x != y {
+		t.Error("Combine is order-dependent within a class")
+	}
+}

@@ -1,0 +1,54 @@
+package label
+
+import "subgemini/internal/graph"
+
+// VID identifies a vertex (device or net) of one circuit in a single dense
+// integer space: devices occupy [0, NumDevices) and nets occupy
+// [NumDevices, NumDevices+NumNets).  Dense ids let the phase algorithms use
+// flat slices instead of maps for labels, validity bits, and match state.
+type VID int
+
+// Space maps between (device|net, index) pairs and dense VIDs for one
+// circuit.  A Space is immutable once created; create a new one if the
+// circuit's vertex sets change.
+type Space struct {
+	c       *graph.Circuit
+	numDevs int
+}
+
+// NewSpace returns the vertex space of c.
+func NewSpace(c *graph.Circuit) *Space {
+	return &Space{c: c, numDevs: c.NumDevices()}
+}
+
+// Circuit returns the underlying circuit.
+func (s *Space) Circuit() *graph.Circuit { return s.c }
+
+// Size returns the total number of vertices.
+func (s *Space) Size() int { return s.numDevs + s.c.NumNets() }
+
+// NumDevices returns the number of device vertices.
+func (s *Space) NumDevices() int { return s.numDevs }
+
+// DevVID returns the VID of a device.
+func (s *Space) DevVID(d *graph.Device) VID { return VID(d.Index) }
+
+// NetVID returns the VID of a net.
+func (s *Space) NetVID(n *graph.Net) VID { return VID(s.numDevs + n.Index) }
+
+// IsDevice reports whether v identifies a device vertex.
+func (s *Space) IsDevice(v VID) bool { return int(v) < s.numDevs }
+
+// Device returns the device identified by v; v must be a device VID.
+func (s *Space) Device(v VID) *graph.Device { return s.c.Devices[v] }
+
+// Net returns the net identified by v; v must be a net VID.
+func (s *Space) Net(v VID) *graph.Net { return s.c.Nets[int(v)-s.numDevs] }
+
+// Name returns a human-readable name for v, for diagnostics.
+func (s *Space) Name(v VID) string {
+	if s.IsDevice(v) {
+		return s.Device(v).Name
+	}
+	return s.Net(v).Name
+}

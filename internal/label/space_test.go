@@ -1,0 +1,43 @@
+package label
+
+import (
+	"testing"
+
+	"subgemini/internal/graph"
+)
+
+func TestSpace(t *testing.T) {
+	c := graph.New("t")
+	a, b := c.AddNet("a"), c.AddNet("b")
+	cls := []graph.TermClass{0, 0}
+	d1 := c.MustAddDevice("d1", "res", cls, []*graph.Net{a, b})
+	d2 := c.MustAddDevice("d2", "cap", cls, []*graph.Net{a, b})
+
+	sp := NewSpace(c)
+	if sp.Size() != 4 || sp.NumDevices() != 2 {
+		t.Fatalf("Size=%d NumDevices=%d, want 4, 2", sp.Size(), sp.NumDevices())
+	}
+	if sp.Circuit() != c {
+		t.Error("Circuit() does not return the underlying circuit")
+	}
+	for _, d := range []*graph.Device{d1, d2} {
+		v := sp.DevVID(d)
+		if !sp.IsDevice(v) || sp.Device(v) != d || sp.Name(v) != d.Name {
+			t.Errorf("device round-trip failed for %s", d.Name)
+		}
+	}
+	for _, n := range []*graph.Net{a, b} {
+		v := sp.NetVID(n)
+		if sp.IsDevice(v) || sp.Net(v) != n || sp.Name(v) != n.Name {
+			t.Errorf("net round-trip failed for %s", n.Name)
+		}
+	}
+	// VIDs must be dense and disjoint.
+	seen := map[VID]bool{}
+	for _, v := range []VID{sp.DevVID(d1), sp.DevVID(d2), sp.NetVID(a), sp.NetVID(b)} {
+		if v < 0 || int(v) >= sp.Size() || seen[v] {
+			t.Fatalf("VID %d not dense/unique", v)
+		}
+		seen[v] = true
+	}
+}

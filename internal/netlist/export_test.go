@@ -1,0 +1,4 @@
+package netlist
+
+// ElementNameForTest exposes elementName to the external test package.
+func ElementNameForTest(kind byte, name string) string { return elementName(kind, name) }

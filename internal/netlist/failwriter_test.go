@@ -1,0 +1,98 @@
+package netlist_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"subgemini/internal/netlist"
+)
+
+// failAfter returns write errors once n bytes have been accepted, to
+// exercise every error-propagation path in the writers.
+type failAfter struct {
+	n       int
+	written int
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errInjected
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteCircuitPropagatesWriterErrors(t *testing.T) {
+	f, err := netlist.ParseString(nandSrcExt, "nand.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.MainCircuit("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep the failure point across the whole output so header, global,
+	// device, and trailer writes all hit the error at least once.
+	var full strings.Builder
+	if err := netlist.WriteCircuit(&full, c); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n += 17 {
+		if err := netlist.WriteCircuit(&failAfter{n: n}, c); !errors.Is(err, errInjected) {
+			t.Fatalf("failure at byte %d not propagated: %v", n, err)
+		}
+	}
+	// A writer that accepts everything succeeds.
+	if err := netlist.WriteCircuit(&failAfter{n: full.Len()}, c); err != nil {
+		t.Fatalf("full-size writer failed: %v", err)
+	}
+}
+
+func TestWriteSubcktPropagatesWriterErrors(t *testing.T) {
+	f, err := netlist.ParseString(nandSrcExt, "nand.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Pattern("NAND2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteSubckt(&failAfter{n: 3}, p); !errors.Is(err, errInjected) {
+		t.Fatalf("subckt write failure not propagated: %v", err)
+	}
+}
+
+// TestFourTerminalRoundTrip: 4-terminal MOS cards survive write + reparse
+// with bulk intact.
+func TestFourTerminalRoundTrip(t *testing.T) {
+	f, err := netlist.ParseString("M1 d g s b nmos\nM2 x y z w pmos\n", "m4.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.MainCircuit("m4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := netlist.WriteCircuit(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := netlist.ParseString(buf.String(), "rt.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f2.MainCircuit("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := back.DeviceByName("M1")
+	if m1 == nil || len(m1.Pins) != 4 {
+		t.Fatalf("M1 after round trip: %+v", m1)
+	}
+	if m1.Pins[3].Net.Name != "b" {
+		t.Errorf("bulk net = %s, want b", m1.Pins[3].Net.Name)
+	}
+}

@@ -1,0 +1,56 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts can be built into a valid circuit or is rejected with an error —
+// never a silent corruption.  `go test` runs the seed corpus; `go test
+// -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		nandSrc,
+		"",
+		"*",
+		"+ dangling",
+		".GLOBAL\n",
+		".SUBCKT X a\nM1 a a a nmos\n.ENDS\nX1 w X\n",
+		"M1 a b c nmos\nM1 a b c nmos\n", // duplicate names
+		"R1 a a\n",                       // self-loop resistor
+		"M1 a b c d e f g nmos\n",
+		".suBcKt weird P\nC1 P x\n.ends\nXw q weird\n",
+		strings.Repeat("M1 a b c nmos\n", 3),
+		"X1 a b c MISSING\n.SUBCKT MISSING x\n.ENDS\n", // arity mismatch
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := ParseString(src, "fuzz.sp")
+		if err != nil {
+			return // rejected inputs are fine
+		}
+		// Anything parsed must either build into a structurally valid
+		// circuit or fail with an error.
+		if len(file.Top) > 0 {
+			c, err := file.MainCircuit("fuzz")
+			if err != nil {
+				return
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("parser accepted input producing an invalid circuit: %v\ninput: %q", err, src)
+			}
+		}
+		for name := range file.Subckts {
+			p, err := file.Pattern(name)
+			if err != nil {
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("pattern %s invalid: %v\ninput: %q", name, err, src)
+			}
+		}
+	})
+}

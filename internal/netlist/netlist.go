@@ -1,0 +1,204 @@
+// Package netlist reads and writes circuits in a SPICE-like netlist format
+// and flattens hierarchical descriptions into the flat circuit graphs the
+// matcher operates on.
+//
+// Supported syntax (a pragmatic SPICE subset):
+//
+//   - comment                     full-line comment ('*' or ';')
+//     .GLOBAL VDD GND               declare special-signal nets
+//     .SUBCKT NAME P1 P2 ...        begin a subcircuit definition
+//     .ENDS [NAME]                  end a subcircuit definition
+//     Mname D G S [B] model         MOS transistor (3- or 4-terminal)
+//     Rname A B [value]             resistor
+//     Cname A B [value]             capacitor
+//     Dname A C [model]             diode
+//     Xname n1 n2 ... SUBNAME       subcircuit instance (ports positional)
+//   - ...                         continuation of the previous card
+//
+// Keywords and element letters are case-insensitive; net, device, and
+// subcircuit names are case-sensitive.  MOS model names containing "p"
+// ("pmos", "pfet", "p") map to device type pmos, otherwise nmos; other
+// element values are accepted and ignored (the graph model is unweighted).
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Card is one parsed element or instance line.
+type Card struct {
+	// Line is the 1-based source line for diagnostics.
+	Line int
+	// Kind is the element letter, upper-cased: 'M', 'R', 'C', 'D', or 'X'.
+	Kind byte
+	// Name is the full element name, e.g. "M1" or "Xadd0".
+	Name string
+	// Nets lists the positional net connections.
+	Nets []string
+	// Ref is the model (for 'M'/'D') or subcircuit name (for 'X'); empty
+	// when the card had no trailing name.
+	Ref string
+}
+
+// Subckt is a parsed .SUBCKT definition.
+type Subckt struct {
+	Name  string
+	Ports []string
+	Cards []Card
+}
+
+// File is a parsed netlist: subcircuit definitions, top-level cards, and
+// global net declarations.
+type File struct {
+	Subckts map[string]*Subckt
+	Top     []Card
+	Globals []string
+}
+
+// Parse reads a netlist.  name is used in error messages.
+func Parse(r io.Reader, name string) (*File, error) {
+	f := &File{Subckts: make(map[string]*Subckt)}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var cur *Subckt
+	var lines []string // logical lines after continuation joining
+	var lineNos []int
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		raw := scanner.Text()
+		if i := strings.IndexByte(raw, ';'); i >= 0 {
+			raw = raw[:i]
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == '*' {
+			continue
+		}
+		if line[0] == '+' {
+			if len(lines) == 0 {
+				return nil, fmt.Errorf("%s:%d: continuation with no preceding card", name, lineNo)
+			}
+			lines[len(lines)-1] += " " + strings.TrimSpace(line[1:])
+			continue
+		}
+		lines = append(lines, line)
+		lineNos = append(lineNos, lineNo)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+
+	for i, line := range lines {
+		ln := lineNos[i]
+		fields := strings.Fields(line)
+		head := strings.ToUpper(fields[0])
+		switch {
+		case head == ".GLOBAL":
+			f.Globals = append(f.Globals, fields[1:]...)
+		case head == ".SUBCKT":
+			if cur != nil {
+				return nil, fmt.Errorf("%s:%d: nested .SUBCKT", name, ln)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%s:%d: .SUBCKT needs a name", name, ln)
+			}
+			if _, dup := f.Subckts[fields[1]]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate .SUBCKT %s", name, ln, fields[1])
+			}
+			cur = &Subckt{Name: fields[1], Ports: fields[2:]}
+		case head == ".ENDS":
+			if cur == nil {
+				return nil, fmt.Errorf("%s:%d: .ENDS outside .SUBCKT", name, ln)
+			}
+			if len(fields) > 1 && fields[1] != cur.Name {
+				return nil, fmt.Errorf("%s:%d: .ENDS %s does not close .SUBCKT %s", name, ln, fields[1], cur.Name)
+			}
+			f.Subckts[cur.Name] = cur
+			cur = nil
+		case head == ".END":
+			// Accepted and ignored.
+		case head[0] == '.':
+			return nil, fmt.Errorf("%s:%d: unsupported directive %s", name, ln, fields[0])
+		default:
+			card, err := parseCard(fields, ln, name)
+			if err != nil {
+				return nil, err
+			}
+			if cur != nil {
+				cur.Cards = append(cur.Cards, card)
+			} else {
+				f.Top = append(f.Top, card)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("%s: .SUBCKT %s not closed by .ENDS", name, cur.Name)
+	}
+	return f, nil
+}
+
+// ParseString parses a netlist held in a string.
+func ParseString(src, name string) (*File, error) {
+	return Parse(strings.NewReader(src), name)
+}
+
+func parseCard(fields []string, ln int, src string) (Card, error) {
+	kind := upperByte(fields[0][0])
+	c := Card{Line: ln, Kind: kind, Name: fields[0]}
+	args := fields[1:]
+	switch kind {
+	case 'M':
+		// Mname D G S [B] model — the model is mandatory so we can tell the
+		// 3- and 4-terminal forms apart.
+		switch len(args) {
+		case 4:
+			c.Nets, c.Ref = args[:3], args[3]
+		case 5:
+			c.Nets, c.Ref = args[:4], args[4]
+		default:
+			return c, fmt.Errorf("%s:%d: %s: MOS card needs 3 or 4 nets plus a model", src, ln, fields[0])
+		}
+	case 'R', 'C':
+		if len(args) < 2 || len(args) > 3 {
+			return c, fmt.Errorf("%s:%d: %s: needs 2 nets and an optional value", src, ln, fields[0])
+		}
+		c.Nets = args[:2]
+	case 'D':
+		if len(args) < 2 || len(args) > 3 {
+			return c, fmt.Errorf("%s:%d: %s: needs 2 nets and an optional model", src, ln, fields[0])
+		}
+		c.Nets = args[:2]
+		if len(args) == 3 {
+			c.Ref = args[2]
+		}
+	case 'X':
+		if len(args) < 2 {
+			return c, fmt.Errorf("%s:%d: %s: instance needs nets and a subcircuit name", src, ln, fields[0])
+		}
+		c.Nets, c.Ref = args[:len(args)-1], args[len(args)-1]
+	default:
+		return c, fmt.Errorf("%s:%d: unsupported element %q", src, ln, fields[0])
+	}
+	return c, nil
+}
+
+func upperByte(b byte) byte {
+	if 'a' <= b && b <= 'z' {
+		return b - 'a' + 'A'
+	}
+	return b
+}
+
+// MOSType maps a SPICE MOS model name to the graph device type: models
+// whose lower-cased name starts with 'p' become "pmos", everything else
+// "nmos".
+func MOSType(model string) string {
+	if m := strings.ToLower(model); strings.HasPrefix(m, "p") {
+		return "pmos"
+	}
+	return "nmos"
+}

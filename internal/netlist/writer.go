@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"subgemini/internal/graph"
+)
+
+// WriteCircuit emits a flat circuit as top-level netlist cards, preceded by
+// a .GLOBAL line for its global nets.  Devices of the primitive types
+// (nmos, pmos, res, cap, diode) map back to their element cards; any other
+// device type — e.g. a gate produced by extraction — is written as an X
+// instance card referencing the type name.
+func WriteCircuit(w io.Writer, c *graph.Circuit) error {
+	bw := &errWriter{w: w}
+	bw.printf("* circuit %s: %d devices, %d nets\n", c.Name, c.NumDevices(), c.NumNets())
+	if globals := c.Globals(); len(globals) > 0 {
+		names := make([]string, len(globals))
+		for i, g := range globals {
+			names[i] = g.Name
+		}
+		bw.printf(".GLOBAL %s\n", strings.Join(names, " "))
+	}
+	for _, d := range c.Devices {
+		writeDevice(bw, d)
+	}
+	bw.printf(".END\n")
+	return bw.err
+}
+
+// WriteSubckt emits a pattern circuit as a .SUBCKT definition whose ports
+// are the circuit's port nets in index order.
+func WriteSubckt(w io.Writer, c *graph.Circuit) error {
+	bw := &errWriter{w: w}
+	ports := c.Ports()
+	names := make([]string, len(ports))
+	for i, p := range ports {
+		names[i] = p.Name
+	}
+	if globals := c.Globals(); len(globals) > 0 {
+		gnames := make([]string, len(globals))
+		for i, g := range globals {
+			gnames[i] = g.Name
+		}
+		bw.printf(".GLOBAL %s\n", strings.Join(gnames, " "))
+	}
+	bw.printf(".SUBCKT %s %s\n", c.Name, strings.Join(names, " "))
+	for _, d := range c.Devices {
+		writeDevice(bw, d)
+	}
+	bw.printf(".ENDS %s\n", c.Name)
+	return bw.err
+}
+
+func writeDevice(bw *errWriter, d *graph.Device) {
+	nets := make([]string, len(d.Pins))
+	for i, p := range d.Pins {
+		nets[i] = p.Net.Name
+	}
+	joined := strings.Join(nets, " ")
+	switch d.Type {
+	case "nmos", "pmos":
+		bw.printf("%s %s %s\n", elementName('M', d.Name), joined, d.Type)
+	case "res":
+		bw.printf("%s %s\n", elementName('R', d.Name), joined)
+	case "cap":
+		bw.printf("%s %s\n", elementName('C', d.Name), joined)
+	case "diode":
+		bw.printf("%s %s\n", elementName('D', d.Name), joined)
+	default:
+		bw.printf("%s %s %s\n", elementName('X', d.Name), joined, d.Type)
+	}
+}
+
+// elementName ensures the device name carries the right SPICE element
+// letter, prefixing one when the stored name does not already start with it.
+func elementName(kind byte, name string) string {
+	if len(name) > 0 && upperByte(name[0]) == kind {
+		return name
+	}
+	return string(kind) + name
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

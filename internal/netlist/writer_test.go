@@ -1,0 +1,110 @@
+package netlist_test
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/gemini"
+	"subgemini/internal/netlist"
+)
+
+// TestWriteCircuitRoundTrip writes a flattened circuit back out, reparses
+// it, and proves the result isomorphic to the original with the Gemini
+// checker (names may gain element-letter prefixes; structure must not
+// change).
+const nandSrcExt = `
+* two-input NAND and an inverter on its output
+.GLOBAL VDD GND
+.SUBCKT NAND2 A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y A n1 nmos
+MN2 n1 B GND nmos
+.ENDS NAND2
+.SUBCKT INV A Y
+MP Y A VDD pmos
+MN Y A GND nmos
+.ENDS
+Xg1 a b w NAND2
+Xg2 w y INV
+.END
+`
+
+func TestWriteCircuitRoundTrip(t *testing.T) {
+	f, err := netlist.ParseString(nandSrcExt, "nand.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := f.MainCircuit("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := netlist.WriteCircuit(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("emitted:\n%s", buf.String())
+	f2, err := netlist.ParseString(buf.String(), "roundtrip.sp")
+	if err != nil {
+		t.Fatalf("reparse failed: %v", err)
+	}
+	back, err := f2.MainCircuit("top2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gemini.Compare(orig, back, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("round-tripped circuit not isomorphic: %s", res.Reason)
+	}
+}
+
+func TestWriteSubcktRoundTrip(t *testing.T) {
+	f, err := netlist.ParseString(nandSrcExt, "nand.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := f.Pattern("NAND2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := netlist.WriteSubckt(&buf, pat); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{".SUBCKT NAND2", ".ENDS NAND2", ".GLOBAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	f2, err := netlist.ParseString(out, "pat.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f2.Pattern("NAND2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gemini.Compare(pat, back, gemini.Options{Globals: []string{"VDD", "GND"}, PortsByName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("round-tripped pattern not isomorphic: %s", res.Reason)
+	}
+}
+
+func TestElementNamePrefixing(t *testing.T) {
+	if got := netlist.ElementNameForTest('M', "M1"); got != "M1" {
+		t.Errorf("elementName kept-prefix: %q", got)
+	}
+	if got := netlist.ElementNameForTest('M', "inv.MP"); got != "Minv.MP" {
+		t.Errorf("elementName add-prefix: %q", got)
+	}
+	if got := netlist.ElementNameForTest('X', "u1_NAND2"); got != "Xu1_NAND2" {
+		t.Errorf("elementName X: %q", got)
+	}
+}

@@ -1,0 +1,514 @@
+// Package sprecog implements a classical ad hoc CMOS gate recognizer of
+// the kind SubGemini's introduction contrasts itself with (paper §I,
+// refs [1,5,7]): "channel graphs and signal flow are often used to extract
+// simple gates from a transistor layout.  Such techniques, however, do not
+// generalize to different subcircuit structures and do not transfer to
+// other technologies."
+//
+// The recognizer partitions a transistor netlist into channel-connected
+// components (transistors joined through source/drain nets, with the
+// supply rails acting as barriers), finds each component's output net, and
+// reduces the pull-up and pull-down networks by series/parallel graph
+// contraction.  A component whose pull-down reduces to a series-parallel
+// expression with a dual pull-up is a recognized static CMOS gate, named
+// by its canonical function (INV, NAND3, AOI22, ...).
+//
+// The limits are exactly the ones the paper describes — and they are what
+// experiment E9 measures: transmission gates, latches, flip-flops, SRAM
+// cells, and pass-transistor fabrics are not series-parallel static gates
+// and come back unrecognized, while SubGemini's library matching handles
+// them with the same algorithm it uses for NANDs.
+package sprecog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"subgemini/internal/graph"
+)
+
+// Gate is one recognized static CMOS gate.
+type Gate struct {
+	// Output is the gate's output net.
+	Output *graph.Net
+	// Inputs are the gate input nets, sorted by name.
+	Inputs []*graph.Net
+	// Function is the canonical boolean expression, e.g. "!((a*b)+c)".
+	Function string
+	// Kind names the gate when the structure matches a standard shape
+	// (INV, NAND2..4, NOR2..4, AOI21, AOI22, OAI21, OAI22); otherwise
+	// "CMOS" for a recognized but non-standard complex gate.
+	Kind string
+	// Devices are the transistors forming the gate.
+	Devices []*graph.Device
+}
+
+// Result is the outcome of a recognition pass.
+type Result struct {
+	// Gates lists the recognized static gates.
+	Gates []Gate
+	// Unrecognized groups the remaining devices by channel-connected
+	// component: pass-transistor structures, non-series-parallel networks,
+	// and anything else the ad hoc method cannot interpret.
+	Unrecognized [][]*graph.Device
+}
+
+// RecognizedDevices returns how many transistors ended up inside
+// recognized gates.
+func (r *Result) RecognizedDevices() int {
+	n := 0
+	for _, g := range r.Gates {
+		n += len(g.Devices)
+	}
+	return n
+}
+
+// UnrecognizedDevices returns how many transistors no gate claimed.
+func (r *Result) UnrecognizedDevices() int {
+	n := 0
+	for _, c := range r.Unrecognized {
+		n += len(c)
+	}
+	return n
+}
+
+// KindCounts tallies recognized gates by kind.
+func (r *Result) KindCounts() map[string]int {
+	m := map[string]int{}
+	for _, g := range r.Gates {
+		m[g.Kind]++
+	}
+	return m
+}
+
+// Recognize runs the ad hoc extractor over a flat transistor circuit.
+// vdd and gnd name the supply nets; they must exist if any MOS device is
+// present.  Non-MOS devices are ignored (left unclaimed but not reported
+// as unrecognized CCCs).
+func Recognize(c *graph.Circuit, vdd, gnd string) (*Result, error) {
+	vddNet, gndNet := c.NetByName(vdd), c.NetByName(gnd)
+	res := &Result{}
+
+	mosDevices := make([]*graph.Device, 0, c.NumDevices())
+	for _, d := range c.Devices {
+		if d.Type == "nmos" || d.Type == "pmos" {
+			mosDevices = append(mosDevices, d)
+		}
+	}
+	if len(mosDevices) == 0 {
+		return res, nil
+	}
+	if vddNet == nil || gndNet == nil {
+		return nil, fmt.Errorf("sprecog: circuit %s lacks supply net %q or %q", c.Name, vdd, gnd)
+	}
+
+	for _, comp := range channelComponents(mosDevices, vddNet, gndNet) {
+		gate, ok := recognizeComponent(comp, vddNet, gndNet)
+		if ok {
+			res.Gates = append(res.Gates, gate)
+		} else {
+			res.Unrecognized = append(res.Unrecognized, comp)
+		}
+	}
+	sort.Slice(res.Gates, func(i, j int) bool { return res.Gates[i].Output.Name < res.Gates[j].Output.Name })
+	return res, nil
+}
+
+// channelComponents groups MOS devices connected through the source/drain
+// terminals of shared non-rail nets (the classic channel graph).  Gate
+// terminals do not merge components, and the rails act as barriers.
+func channelComponents(devices []*graph.Device, vdd, gnd *graph.Net) [][]*graph.Device {
+	parent := make(map[*graph.Device]*graph.Device, len(devices))
+	var find func(d *graph.Device) *graph.Device
+	find = func(d *graph.Device) *graph.Device {
+		if parent[d] != d {
+			parent[d] = find(parent[d])
+		}
+		return parent[d]
+	}
+	union := func(a, b *graph.Device) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	inSet := make(map[*graph.Device]bool, len(devices))
+	for _, d := range devices {
+		parent[d] = d
+		inSet[d] = true
+	}
+	for _, d := range devices {
+		for _, pin := range d.Pins {
+			if pin.Class != graph.ClassDS || pin.Net == vdd || pin.Net == gnd {
+				continue
+			}
+			for _, conn := range pin.Net.Conns {
+				other := conn.Dev
+				if other == d || !inSet[other] {
+					continue
+				}
+				if other.Pins[conn.Pin].Class == graph.ClassDS {
+					union(d, other)
+				}
+			}
+		}
+	}
+	byRoot := map[*graph.Device][]*graph.Device{}
+	for _, d := range devices {
+		r := find(d)
+		byRoot[r] = append(byRoot[r], d)
+	}
+	comps := make([][]*graph.Device, 0, len(byRoot))
+	for _, comp := range byRoot {
+		sort.Slice(comp, func(i, j int) bool { return comp[i].Index < comp[j].Index })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0].Index < comps[j][0].Index })
+	return comps
+}
+
+// recognizeComponent tries to interpret one channel-connected component as
+// a static CMOS gate.
+func recognizeComponent(comp []*graph.Device, vdd, gnd *graph.Net) (Gate, bool) {
+	var pmos, nmos []*graph.Device
+	for _, d := range comp {
+		switch d.Type {
+		case "pmos":
+			pmos = append(pmos, d)
+		case "nmos":
+			nmos = append(nmos, d)
+		}
+	}
+	if len(pmos) == 0 || len(nmos) == 0 {
+		return Gate{}, false // pass network or half a gate
+	}
+
+	// The output is the unique non-rail net touched by both a pmos and an
+	// nmos source/drain terminal.
+	dsNets := func(ds []*graph.Device) map[*graph.Net]bool {
+		m := map[*graph.Net]bool{}
+		for _, d := range ds {
+			for _, pin := range d.Pins {
+				if pin.Class == graph.ClassDS && pin.Net != vdd && pin.Net != gnd {
+					m[pin.Net] = true
+				}
+			}
+		}
+		return m
+	}
+	pNets, nNets := dsNets(pmos), dsNets(nmos)
+	var outputs []*graph.Net
+	for n := range pNets {
+		if nNets[n] {
+			outputs = append(outputs, n)
+		}
+	}
+	if len(outputs) != 1 {
+		return Gate{}, false // transmission gates, cross-coupled pairs, ...
+	}
+	out := outputs[0]
+
+	pdn, ok := reduceNetwork(nmos, out, gnd)
+	if !ok {
+		return Gate{}, false
+	}
+	pun, ok := reduceNetwork(pmos, out, vdd)
+	if !ok {
+		return Gate{}, false
+	}
+	// Static CMOS requires the pull-up to conduct exactly when the
+	// pull-down does not.  A structural-dual comparison is not enough:
+	// the mirror full adder's carry stage uses the *same* network topology
+	// for both planes (majority is self-dual), so complementarity is
+	// checked as a truth table over the gate inputs.
+	if !complementary(pdn, pun) {
+		return Gate{}, false
+	}
+
+	inputs := map[string]*graph.Net{}
+	for _, d := range comp {
+		for _, pin := range d.Pins {
+			if pin.Class == graph.ClassGate {
+				inputs[pin.Net.Name] = pin.Net
+			}
+		}
+	}
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ins := make([]*graph.Net, len(names))
+	for i, n := range names {
+		ins[i] = inputs[n]
+	}
+	return Gate{
+		Output:   out,
+		Inputs:   ins,
+		Function: "!" + canonical(pdn),
+		Kind:     classify(pdn),
+		Devices:  comp,
+	}, true
+}
+
+// expr is a series-parallel boolean expression over gate-input net names:
+// op '=' is a literal, '*' a series (AND toward conduction), '+' a
+// parallel composition.
+type expr struct {
+	op    byte
+	name  string
+	kids  []*expr
+	canon string // memoized canonical form
+}
+
+func literal(name string) *expr { return &expr{op: '=', name: name} }
+
+func combine(op byte, a, b *expr) *expr {
+	kids := make([]*expr, 0, 4)
+	for _, e := range []*expr{a, b} {
+		if e.op == op {
+			kids = append(kids, e.kids...)
+		} else {
+			kids = append(kids, e)
+		}
+	}
+	return &expr{op: op, kids: kids}
+}
+
+// canonical renders the expression with sorted operands, so structurally
+// equal networks compare equal as strings.
+func canonical(e *expr) string {
+	if e.canon != "" {
+		return e.canon
+	}
+	switch e.op {
+	case '=':
+		e.canon = e.name
+	default:
+		parts := make([]string, len(e.kids))
+		for i, k := range e.kids {
+			parts[i] = canonical(k)
+		}
+		sort.Strings(parts)
+		e.canon = "(" + strings.Join(parts, string(e.op)) + ")"
+	}
+	return e.canon
+}
+
+// complementary reports whether the pull-up network conducts exactly when
+// the pull-down does not, for every assignment of the gate inputs.  An
+// n-type transistor conducts on a high gate and a p-type on a low gate, so
+// with both expressions written over gate-net literals the requirement is
+// punConducts(¬x) == ¬pdnConducts(x), i.e. pun evaluated with inverted
+// literals equals the complement of pdn.  Gates with more than 20 inputs
+// fall back to the (sufficient) structural-dual test.
+func complementary(pdn, pun *expr) bool {
+	vars := map[string]uint{}
+	collectVars(pdn, vars)
+	collectVars(pun, vars)
+	if len(vars) > 20 {
+		return canonical(dual(pdn)) == canonical(pun)
+	}
+	n := uint(len(vars))
+	for assign := uint64(0); assign < 1<<n; assign++ {
+		down := eval(pdn, vars, assign, false)
+		up := eval(pun, vars, assign, true)
+		if up == down {
+			return false // both conduct (short) or neither (floating)
+		}
+	}
+	return true
+}
+
+func collectVars(e *expr, vars map[string]uint) {
+	if e.op == '=' {
+		if _, ok := vars[e.name]; !ok {
+			vars[e.name] = uint(len(vars))
+		}
+		return
+	}
+	for _, k := range e.kids {
+		collectVars(k, vars)
+	}
+}
+
+// eval computes conduction under an input assignment; pType literals
+// conduct on a low input.
+func eval(e *expr, vars map[string]uint, assign uint64, pType bool) bool {
+	switch e.op {
+	case '=':
+		high := assign&(1<<vars[e.name]) != 0
+		if pType {
+			return !high
+		}
+		return high
+	case '*':
+		for _, k := range e.kids {
+			if !eval(k, vars, assign, pType) {
+				return false
+			}
+		}
+		return true
+	default: // '+'
+		for _, k := range e.kids {
+			if eval(k, vars, assign, pType) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// dual swaps series and parallel composition (De Morgan on the network).
+func dual(e *expr) *expr {
+	if e.op == '=' {
+		return e
+	}
+	op := byte('+')
+	if e.op == '+' {
+		op = '*'
+	}
+	kids := make([]*expr, len(e.kids))
+	for i, k := range e.kids {
+		kids[i] = dual(k)
+	}
+	return &expr{op: op, kids: kids}
+}
+
+// reduceNetwork contracts the transistor network between the two terminal
+// nets by alternating parallel-edge merging and series-node elimination.
+// It returns the conduction expression when the network is series-parallel
+// with exactly those terminals, and ok=false otherwise.
+func reduceNetwork(devices []*graph.Device, out, rail *graph.Net) (*expr, bool) {
+	type edge struct {
+		u, v *graph.Net
+		e    *expr
+	}
+	var edges []edge
+	for _, d := range devices {
+		var ds []*graph.Net
+		var gate *graph.Net
+		for _, pin := range d.Pins {
+			switch pin.Class {
+			case graph.ClassDS:
+				ds = append(ds, pin.Net)
+			case graph.ClassGate:
+				gate = pin.Net
+			}
+		}
+		if len(ds) != 2 || gate == nil {
+			return nil, false
+		}
+		if ds[0] == ds[1] {
+			return nil, false // shorted transistor: not a logic network
+		}
+		edges = append(edges, edge{ds[0], ds[1], literal(gate.Name)})
+	}
+	isTerminal := func(n *graph.Net) bool { return n == out || n == rail }
+
+	for {
+		if len(edges) == 1 && ((edges[0].u == out && edges[0].v == rail) || (edges[0].u == rail && edges[0].v == out)) {
+			return edges[0].e, true
+		}
+		changed := false
+
+		// Parallel: merge edges with the same endpoints.
+		for i := 0; i < len(edges) && !changed; i++ {
+			for j := i + 1; j < len(edges); j++ {
+				same := (edges[i].u == edges[j].u && edges[i].v == edges[j].v) ||
+					(edges[i].u == edges[j].v && edges[i].v == edges[j].u)
+				if same {
+					edges[i].e = combine('+', edges[i].e, edges[j].e)
+					edges = append(edges[:j], edges[j+1:]...)
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			continue
+		}
+
+		// Series: eliminate a non-terminal net incident to exactly two
+		// edges.
+		degree := map[*graph.Net]int{}
+		for _, e := range edges {
+			degree[e.u]++
+			degree[e.v]++
+		}
+		for w, deg := range degree {
+			if deg != 2 || isTerminal(w) {
+				continue
+			}
+			var idx []int
+			for i := range edges {
+				if edges[i].u == w || edges[i].v == w {
+					idx = append(idx, i)
+				}
+			}
+			a, b := edges[idx[0]], edges[idx[1]]
+			otherEnd := func(e edge) *graph.Net {
+				if e.u == w {
+					return e.v
+				}
+				return e.u
+			}
+			merged := edge{otherEnd(a), otherEnd(b), combine('*', a.e, b.e)}
+			// Remove b then a (higher index first).
+			edges = append(edges[:idx[1]], edges[idx[1]+1:]...)
+			edges[idx[0]] = merged
+			changed = true
+			break
+		}
+		if !changed {
+			return nil, false // bridge or disconnected: not series-parallel
+		}
+	}
+}
+
+// classify maps a pull-down expression shape to a standard gate name.
+func classify(pdn *expr) string {
+	shape := shapeOf(pdn)
+	switch shape {
+	case "x":
+		return "INV"
+	case "(x*x)":
+		return "NAND2"
+	case "(x*x*x)":
+		return "NAND3"
+	case "(x*x*x*x)":
+		return "NAND4"
+	case "(x+x)":
+		return "NOR2"
+	case "(x+x+x)":
+		return "NOR3"
+	case "(x+x+x+x)":
+		return "NOR4"
+	case "((x*x)+x)":
+		return "AOI21"
+	case "((x*x)+(x*x))":
+		return "AOI22"
+	case "((x+x)*x)":
+		return "OAI21"
+	case "((x+x)*(x+x))":
+		return "OAI22"
+	}
+	return "CMOS"
+}
+
+// shapeOf canonicalizes an expression with anonymized literals, so NAND2
+// on (a,b) and on (p,q) share a shape.
+func shapeOf(e *expr) string {
+	switch e.op {
+	case '=':
+		return "x"
+	default:
+		parts := make([]string, len(e.kids))
+		for i, k := range e.kids {
+			parts[i] = shapeOf(k)
+		}
+		sort.Strings(parts)
+		return "(" + strings.Join(parts, string(e.op)) + ")"
+	}
+}

@@ -1,0 +1,47 @@
+// Package stats collects the instrumentation counters and timings that the
+// experiment harness reports: Phase I pass counts and candidate-vector
+// sizes, Phase II pass counts, guesses, and backtracks, plus wall-clock
+// durations.  The counters correspond to the quantities the paper discusses
+// when arguing that SubGemini runs in time roughly linear in the total
+// number of devices inside the matched subcircuits.
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report accumulates the measurements of one matching run.
+type Report struct {
+	// Phase I.
+	Phase1Passes   int           // full net+device relabeling rounds
+	Phase1Duration time.Duration // wall-clock spent in Phase I
+	CVSize         int           // size of the candidate vector
+	KeyVertex      string        // name of the chosen key vertex
+	KeyIsDevice    bool          // whether the key vertex is a device
+	EarlyAbort     bool          // Phase I proved no instance can exist
+
+	// Phase II.
+	Candidates     int           // candidate vertices examined
+	Phase2Passes   int           // relabeling passes across all candidates
+	Guesses        int           // ambiguity resolutions attempted
+	Backtracks     int           // guesses that failed and were undone
+	VerifyCalls    int           // full mapping verifications performed
+	Phase2Duration time.Duration // wall-clock spent in Phase II
+
+	// Outcome.
+	Instances      int // instances found
+	MatchedDevices int // total devices inside matched instances
+}
+
+// Total returns the combined Phase I + Phase II duration.
+func (r *Report) Total() time.Duration { return r.Phase1Duration + r.Phase2Duration }
+
+// String formats the report for logs and the benchtab tool.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"instances=%d matchedDevs=%d cv=%d key=%s p1passes=%d p2passes=%d guesses=%d backtracks=%d t1=%v t2=%v",
+		r.Instances, r.MatchedDevices, r.CVSize, r.KeyVertex,
+		r.Phase1Passes, r.Phase2Passes, r.Guesses, r.Backtracks,
+		r.Phase1Duration.Round(time.Microsecond), r.Phase2Duration.Round(time.Microsecond))
+}

@@ -1,0 +1,409 @@
+package stdcell
+
+// The library cells.  Each definition lists its pull-up and pull-down
+// networks transistor by transistor; internal node names (n1, p1, ...) are
+// local to the cell.  All cells expose VDD and GND ports so they can be
+// matched either with or without special-signal treatment of the rails.
+var (
+	// INV is a static CMOS inverter (2T).
+	INV = register(&CellDef{
+		Name:  "INV",
+		Ports: []string{"A", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP", "pmos", "Y", "A", "VDD"},
+			{"MN", "nmos", "Y", "A", "GND"},
+		},
+	})
+
+	// BUF is two cascaded inverters (4T).
+	BUF = register(&CellDef{
+		Name:  "BUF",
+		Ports: []string{"A", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "x", "A", "VDD"},
+			{"MN1", "nmos", "x", "A", "GND"},
+			{"MP2", "pmos", "Y", "x", "VDD"},
+			{"MN2", "nmos", "Y", "x", "GND"},
+		},
+	})
+
+	// NAND2 is a two-input NAND (4T).
+	NAND2 = register(&CellDef{
+		Name:  "NAND2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "Y", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "VDD"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+		},
+	})
+
+	// NAND3 is a three-input NAND (6T).
+	NAND3 = register(&CellDef{
+		Name:  "NAND3",
+		Ports: []string{"A", "B", "C", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "Y", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "VDD"},
+			{"MP3", "pmos", "Y", "C", "VDD"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "n2"},
+			{"MN3", "nmos", "n2", "C", "GND"},
+		},
+	})
+
+	// NAND4 is a four-input NAND (8T).
+	NAND4 = register(&CellDef{
+		Name:  "NAND4",
+		Ports: []string{"A", "B", "C", "D", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "Y", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "VDD"},
+			{"MP3", "pmos", "Y", "C", "VDD"},
+			{"MP4", "pmos", "Y", "D", "VDD"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "n2"},
+			{"MN3", "nmos", "n2", "C", "n3"},
+			{"MN4", "nmos", "n3", "D", "GND"},
+		},
+	})
+
+	// NOR2 is a two-input NOR (4T).
+	NOR2 = register(&CellDef{
+		Name:  "NOR2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "p1"},
+			{"MN1", "nmos", "Y", "A", "GND"},
+			{"MN2", "nmos", "Y", "B", "GND"},
+		},
+	})
+
+	// NOR3 is a three-input NOR (6T).
+	NOR3 = register(&CellDef{
+		Name:  "NOR3",
+		Ports: []string{"A", "B", "C", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p2", "B", "p1"},
+			{"MP3", "pmos", "Y", "C", "p2"},
+			{"MN1", "nmos", "Y", "A", "GND"},
+			{"MN2", "nmos", "Y", "B", "GND"},
+			{"MN3", "nmos", "Y", "C", "GND"},
+		},
+	})
+
+	// NOR4 is a four-input NOR (8T).
+	NOR4 = register(&CellDef{
+		Name:  "NOR4",
+		Ports: []string{"A", "B", "C", "D", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p2", "B", "p1"},
+			{"MP3", "pmos", "p3", "C", "p2"},
+			{"MP4", "pmos", "Y", "D", "p3"},
+			{"MN1", "nmos", "Y", "A", "GND"},
+			{"MN2", "nmos", "Y", "B", "GND"},
+			{"MN3", "nmos", "Y", "C", "GND"},
+			{"MN4", "nmos", "Y", "D", "GND"},
+		},
+	})
+
+	// AND2 is NAND2 followed by an inverter (6T).
+	AND2 = register(&CellDef{
+		Name:  "AND2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "yb", "A", "VDD"},
+			{"MP2", "pmos", "yb", "B", "VDD"},
+			{"MN1", "nmos", "yb", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+			{"MP3", "pmos", "Y", "yb", "VDD"},
+			{"MN3", "nmos", "Y", "yb", "GND"},
+		},
+	})
+
+	// OR2 is NOR2 followed by an inverter (6T).
+	OR2 = register(&CellDef{
+		Name:  "OR2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "yb", "B", "p1"},
+			{"MN1", "nmos", "yb", "A", "GND"},
+			{"MN2", "nmos", "yb", "B", "GND"},
+			{"MP3", "pmos", "Y", "yb", "VDD"},
+			{"MN3", "nmos", "Y", "yb", "GND"},
+		},
+	})
+
+	// AOI21 computes Y = !(A·B + C) (6T).
+	AOI21 = register(&CellDef{
+		Name:  "AOI21",
+		Ports: []string{"A", "B", "C", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p1", "B", "VDD"},
+			{"MP3", "pmos", "Y", "C", "p1"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+			{"MN3", "nmos", "Y", "C", "GND"},
+		},
+	})
+
+	// OAI21 computes Y = !((A+B)·C) (6T).
+	OAI21 = register(&CellDef{
+		Name:  "OAI21",
+		Ports: []string{"A", "B", "C", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "p1"},
+			{"MP3", "pmos", "Y", "C", "VDD"},
+			{"MN1", "nmos", "Y", "C", "n1"},
+			{"MN2", "nmos", "n1", "A", "GND"},
+			{"MN3", "nmos", "n1", "B", "GND"},
+		},
+	})
+
+	// AOI22 computes Y = !(A·B + C·D) (8T).
+	AOI22 = register(&CellDef{
+		Name:  "AOI22",
+		Ports: []string{"A", "B", "C", "D", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p1", "B", "VDD"},
+			{"MP3", "pmos", "Y", "C", "p1"},
+			{"MP4", "pmos", "Y", "D", "p1"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+			{"MN3", "nmos", "Y", "C", "n2"},
+			{"MN4", "nmos", "n2", "D", "GND"},
+		},
+	})
+
+	// OAI22 computes Y = !((A+B)·(C+D)) (8T).
+	OAI22 = register(&CellDef{
+		Name:  "OAI22",
+		Ports: []string{"A", "B", "C", "D", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "Y", "B", "p1"},
+			{"MP3", "pmos", "p2", "C", "VDD"},
+			{"MP4", "pmos", "Y", "D", "p2"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "Y", "B", "n1"},
+			{"MN3", "nmos", "n1", "C", "GND"},
+			{"MN4", "nmos", "n1", "D", "GND"},
+		},
+	})
+
+	// XOR2 is a static-CMOS exclusive-or: two input inverters feeding an
+	// AOI22 computing Y = !(A·B + Ab·Bb) (12T).
+	XOR2 = register(&CellDef{
+		Name:  "XOR2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPA", "pmos", "ab", "A", "VDD"},
+			{"MNA", "nmos", "ab", "A", "GND"},
+			{"MPB", "pmos", "bb", "B", "VDD"},
+			{"MNB", "nmos", "bb", "B", "GND"},
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p1", "B", "VDD"},
+			{"MP3", "pmos", "Y", "ab", "p1"},
+			{"MP4", "pmos", "Y", "bb", "p1"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+			{"MN3", "nmos", "Y", "ab", "n2"},
+			{"MN4", "nmos", "n2", "bb", "GND"},
+		},
+	})
+
+	// XNOR2 is XOR2 with the output stack roles swapped: two input
+	// inverters feeding an AOI22 computing Y = !(A·Bb + Ab·B) (12T).
+	XNOR2 = register(&CellDef{
+		Name:  "XNOR2",
+		Ports: []string{"A", "B", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPA", "pmos", "ab", "A", "VDD"},
+			{"MNA", "nmos", "ab", "A", "GND"},
+			{"MPB", "pmos", "bb", "B", "VDD"},
+			{"MNB", "nmos", "bb", "B", "GND"},
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p1", "bb", "VDD"},
+			{"MP3", "pmos", "Y", "ab", "p1"},
+			{"MP4", "pmos", "Y", "B", "p1"},
+			{"MN1", "nmos", "Y", "A", "n1"},
+			{"MN2", "nmos", "n1", "bb", "GND"},
+			{"MN3", "nmos", "Y", "ab", "n2"},
+			{"MN4", "nmos", "n2", "B", "GND"},
+		},
+	})
+
+	// HA is a half adder: S = A xor B via an XOR2 structure, C = A·B via
+	// an AND2 structure (18T —
+	// the two blocks are kept structurally independent so the cell can be
+	// tiled without sharing internal nodes).
+	HA = register(&CellDef{
+		Name:  "HA",
+		Ports: []string{"A", "B", "S", "C", "VDD", "GND"},
+		Mos: []MOS{
+			// XOR block.
+			{"MPA", "pmos", "ab", "A", "VDD"},
+			{"MNA", "nmos", "ab", "A", "GND"},
+			{"MPB", "pmos", "bb", "B", "VDD"},
+			{"MNB", "nmos", "bb", "B", "GND"},
+			{"MP1", "pmos", "p1", "A", "VDD"},
+			{"MP2", "pmos", "p1", "B", "VDD"},
+			{"MP3", "pmos", "S", "ab", "p1"},
+			{"MP4", "pmos", "S", "bb", "p1"},
+			{"MN1", "nmos", "S", "A", "n1"},
+			{"MN2", "nmos", "n1", "B", "GND"},
+			{"MN3", "nmos", "S", "ab", "n2"},
+			{"MN4", "nmos", "n2", "bb", "GND"},
+			// AND block.
+			{"MP5", "pmos", "cb", "A", "VDD"},
+			{"MP6", "pmos", "cb", "B", "VDD"},
+			{"MN5", "nmos", "cb", "A", "n3"},
+			{"MN6", "nmos", "n3", "B", "GND"},
+			{"MP7", "pmos", "C", "cb", "VDD"},
+			{"MN7", "nmos", "C", "cb", "GND"},
+		},
+	})
+
+	// TINV is a tristate (clocked) inverter: Y = !A while EN is high,
+	// high-impedance otherwise (6T: the classic four-transistor stack plus
+	// an enable inverter).
+	TINV = register(&CellDef{
+		Name:  "TINV",
+		Ports: []string{"A", "EN", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPE", "pmos", "enb", "EN", "VDD"},
+			{"MNE", "nmos", "enb", "EN", "GND"},
+			{"MP1", "pmos", "px", "A", "VDD"},
+			{"MP2", "pmos", "Y", "enb", "px"},
+			{"MN2", "nmos", "Y", "EN", "nx"},
+			{"MN1", "nmos", "nx", "A", "GND"},
+		},
+	})
+
+	// MUX2 is a transmission-gate 2:1 multiplexer: Y = S ? B : A (6T).
+	MUX2 = register(&CellDef{
+		Name:  "MUX2",
+		Ports: []string{"A", "B", "S", "Y", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPS", "pmos", "sb", "S", "VDD"},
+			{"MNS", "nmos", "sb", "S", "GND"},
+			{"MNA", "nmos", "A", "sb", "Y"},
+			{"MPA", "pmos", "A", "S", "Y"},
+			{"MNB", "nmos", "B", "S", "Y"},
+			{"MPB", "pmos", "B", "sb", "Y"},
+		},
+	})
+
+	// LATCH is a transparent D latch with transmission-gate input and
+	// feedback (10T).
+	LATCH = register(&CellDef{
+		Name:  "LATCH",
+		Ports: []string{"D", "EN", "Q", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPE", "pmos", "enb", "EN", "VDD"},
+			{"MNE", "nmos", "enb", "EN", "GND"},
+			{"MNI", "nmos", "D", "EN", "x"},
+			{"MPI", "pmos", "D", "enb", "x"},
+			{"MPQ", "pmos", "Q", "x", "VDD"},
+			{"MNQ", "nmos", "Q", "x", "GND"},
+			{"MPF", "pmos", "fb", "Q", "VDD"},
+			{"MNF", "nmos", "fb", "Q", "GND"},
+			{"MNH", "nmos", "fb", "enb", "x"},
+			{"MPH", "pmos", "fb", "EN", "x"},
+		},
+	})
+
+	// DFF is a master-slave D flip-flop built from two transmission-gate
+	// latches sharing one clock inverter (18T).
+	DFF = register(&CellDef{
+		Name:  "DFF",
+		Ports: []string{"D", "CLK", "Q", "VDD", "GND"},
+		Mos: []MOS{
+			// Clock inverter.
+			{"MPC", "pmos", "ckb", "CLK", "VDD"},
+			{"MNC", "nmos", "ckb", "CLK", "GND"},
+			// Master: transparent while CLK is low.
+			{"MNI1", "nmos", "D", "ckb", "m1"},
+			{"MPI1", "pmos", "D", "CLK", "m1"},
+			{"MPM", "pmos", "m2", "m1", "VDD"},
+			{"MNM", "nmos", "m2", "m1", "GND"},
+			{"MPMF", "pmos", "mf", "m2", "VDD"},
+			{"MNMF", "nmos", "mf", "m2", "GND"},
+			{"MNH1", "nmos", "mf", "CLK", "m1"},
+			{"MPH1", "pmos", "mf", "ckb", "m1"},
+			// Slave: transparent while CLK is high.
+			{"MNI2", "nmos", "m2", "CLK", "s1"},
+			{"MPI2", "pmos", "m2", "ckb", "s1"},
+			{"MPS", "pmos", "Q", "s1", "VDD"},
+			{"MNS", "nmos", "Q", "s1", "GND"},
+			{"MPSF", "pmos", "sf", "Q", "VDD"},
+			{"MNSF", "nmos", "sf", "Q", "GND"},
+			{"MNH2", "nmos", "sf", "ckb", "s1"},
+			{"MPH2", "pmos", "sf", "CLK", "s1"},
+		},
+	})
+
+	// SRAM6T is the classic six-transistor static RAM bit cell:
+	// cross-coupled inverters plus two n-type access transistors.
+	SRAM6T = register(&CellDef{
+		Name:  "SRAM6T",
+		Ports: []string{"BL", "BLB", "WL", "VDD", "GND"},
+		Mos: []MOS{
+			{"MPL", "pmos", "q", "qb", "VDD"},
+			{"MNL", "nmos", "q", "qb", "GND"},
+			{"MPR", "pmos", "qb", "q", "VDD"},
+			{"MNR", "nmos", "qb", "q", "GND"},
+			{"MAL", "nmos", "BL", "WL", "q"},
+			{"MAR", "nmos", "BLB", "WL", "qb"},
+		},
+	})
+
+	// FA is a 28-transistor static CMOS mirror full adder.  cob and sb are
+	// the inverted carry and sum nodes; CO and S are driven by output
+	// inverters, as in the textbook mirror-adder topology.
+	FA = register(&CellDef{
+		Name:  "FA",
+		Ports: []string{"A", "B", "CI", "S", "CO", "VDD", "GND"},
+		Mos: []MOS{
+			// Carry: cob = !(A·B + CI·(A+B)).
+			{"MP1", "pmos", "pa", "A", "VDD"},
+			{"MP2", "pmos", "pa", "B", "VDD"},
+			{"MP3", "pmos", "cob", "CI", "pa"},
+			{"MP4", "pmos", "pb", "A", "VDD"},
+			{"MP5", "pmos", "cob", "B", "pb"},
+			{"MN1", "nmos", "cob", "CI", "na"},
+			{"MN2", "nmos", "na", "A", "GND"},
+			{"MN3", "nmos", "na", "B", "GND"},
+			{"MN4", "nmos", "cob", "A", "nb"},
+			{"MN5", "nmos", "nb", "B", "GND"},
+			// Sum: sb = !(A·B·CI + cob·(A+B+CI)).
+			{"MP6", "pmos", "p3", "A", "VDD"},
+			{"MP7", "pmos", "p4", "B", "p3"},
+			{"MP8", "pmos", "sb", "CI", "p4"},
+			{"MP9", "pmos", "p5", "A", "VDD"},
+			{"MP10", "pmos", "p5", "B", "VDD"},
+			{"MP11", "pmos", "p5", "CI", "VDD"},
+			{"MP12", "pmos", "sb", "cob", "p5"},
+			{"MN6", "nmos", "sb", "A", "n3"},
+			{"MN7", "nmos", "n3", "B", "n4"},
+			{"MN8", "nmos", "n4", "CI", "GND"},
+			{"MN9", "nmos", "sb", "cob", "n5"},
+			{"MN10", "nmos", "n5", "A", "GND"},
+			{"MN11", "nmos", "n5", "B", "GND"},
+			{"MN12", "nmos", "n5", "CI", "GND"},
+			// Output inverters.
+			{"MPCO", "pmos", "CO", "cob", "VDD"},
+			{"MNCO", "nmos", "CO", "cob", "GND"},
+			{"MPS", "pmos", "S", "sb", "VDD"},
+			{"MNS", "nmos", "S", "sb", "GND"},
+		},
+	})
+)

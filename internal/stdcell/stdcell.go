@@ -1,0 +1,188 @@
+// Package stdcell provides a transistor-level CMOS standard-cell library:
+// the subcircuit patterns SubGemini searches for and the building blocks the
+// workload generators tile into large main circuits.  Cells follow the
+// paper's circuit model: three-terminal MOS devices (gate plus two
+// interchangeable source/drain terminals) wired between explicit VDD and
+// GND rails.
+package stdcell
+
+import (
+	"fmt"
+	"sort"
+
+	"subgemini/internal/graph"
+)
+
+// MOS describes one transistor of a cell: D and S are interchangeable
+// source/drain nets, G is the gate net.  Net names refer to cell ports or
+// cell-local internal nets.
+type MOS struct {
+	Name string
+	Type string // "nmos" or "pmos"
+	D    string
+	G    string
+	S    string
+}
+
+// CellDef is a transistor-level cell.  Ports lists the externally visible
+// nets in declaration order; every net referenced by a transistor but not
+// listed in Ports is internal to the cell.
+type CellDef struct {
+	Name  string
+	Ports []string
+	Mos   []MOS
+}
+
+// NumTransistors returns the cell's transistor count.
+func (c *CellDef) NumTransistors() int { return len(c.Mos) }
+
+// mosClasses is the terminal-class vector of a three-terminal MOS device:
+// drain and source share a class, the gate has its own (paper §II).
+var mosClasses = []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
+
+// Pattern builds the cell as a standalone pattern circuit with its ports
+// marked external, ready to hand to the matcher.
+func (c *CellDef) Pattern() *graph.Circuit {
+	ckt := graph.New(c.Name)
+	for _, p := range c.Ports {
+		ckt.AddNet(p)
+	}
+	for _, m := range c.Mos {
+		nets := []*graph.Net{ckt.AddNet(m.D), ckt.AddNet(m.G), ckt.AddNet(m.S)}
+		ckt.MustAddDevice(m.Name, m.Type, mosClasses, nets)
+	}
+	for _, p := range c.Ports {
+		if err := ckt.MarkPort(p); err != nil {
+			panic(err) // ports were added above; unreachable
+		}
+	}
+	return ckt
+}
+
+// Instantiate adds one copy of the cell to circuit ckt.  inst prefixes the
+// names of the cell's transistors and internal nets; conns maps every cell
+// port to a net of ckt.  Missing or extra port connections are an error.
+func (c *CellDef) Instantiate(ckt *graph.Circuit, inst string, conns map[string]*graph.Net) error {
+	if len(conns) != len(c.Ports) {
+		return fmt.Errorf("stdcell: %s %s: got %d connections, want %d", c.Name, inst, len(conns), len(c.Ports))
+	}
+	resolve := func(name string) (*graph.Net, error) {
+		if n, ok := conns[name]; ok {
+			if n == nil {
+				return nil, fmt.Errorf("stdcell: %s %s: nil net for port %s", c.Name, inst, name)
+			}
+			return n, nil
+		}
+		if c.isPort(name) {
+			return nil, fmt.Errorf("stdcell: %s %s: port %s not connected", c.Name, inst, name)
+		}
+		return ckt.AddNet(inst + "." + name), nil
+	}
+	for port := range conns {
+		if !c.isPort(port) {
+			return fmt.Errorf("stdcell: %s %s: unknown port %s", c.Name, inst, port)
+		}
+	}
+	for _, m := range c.Mos {
+		d, err := resolve(m.D)
+		if err != nil {
+			return err
+		}
+		g, err := resolve(m.G)
+		if err != nil {
+			return err
+		}
+		s, err := resolve(m.S)
+		if err != nil {
+			return err
+		}
+		if _, err := ckt.AddDevice(inst+"."+m.Name, m.Type, mosClasses, []*graph.Net{d, g, s}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustInstantiate is Instantiate that panics on error, for generators whose
+// wiring is known correct.
+func (c *CellDef) MustInstantiate(ckt *graph.Circuit, inst string, conns map[string]*graph.Net) {
+	if err := c.Instantiate(ckt, inst, conns); err != nil {
+		panic(err)
+	}
+}
+
+func (c *CellDef) isPort(name string) bool {
+	for _, p := range c.Ports {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks a cell definition for internal consistency: port and
+// transistor names unique, transistor types known, every port used.
+func (c *CellDef) Validate() error {
+	seenPort := map[string]bool{}
+	for _, p := range c.Ports {
+		if seenPort[p] {
+			return fmt.Errorf("stdcell: %s: duplicate port %s", c.Name, p)
+		}
+		seenPort[p] = true
+	}
+	used := map[string]bool{}
+	seenMos := map[string]bool{}
+	for _, m := range c.Mos {
+		if seenMos[m.Name] {
+			return fmt.Errorf("stdcell: %s: duplicate transistor %s", c.Name, m.Name)
+		}
+		seenMos[m.Name] = true
+		if m.Type != "nmos" && m.Type != "pmos" {
+			return fmt.Errorf("stdcell: %s: transistor %s has type %s", c.Name, m.Name, m.Type)
+		}
+		used[m.D], used[m.G], used[m.S] = true, true, true
+	}
+	for _, p := range c.Ports {
+		if !used[p] {
+			return fmt.Errorf("stdcell: %s: port %s unused", c.Name, p)
+		}
+	}
+	return nil
+}
+
+var registry = map[string]*CellDef{}
+
+// register adds a cell to the library, panicking on duplicate or invalid
+// definitions (library bugs should fail at init).
+func register(c *CellDef) *CellDef {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[c.Name]; dup {
+		panic("stdcell: duplicate cell " + c.Name)
+	}
+	registry[c.Name] = c
+	return c
+}
+
+// Get returns the named cell, or nil if the library has no such cell.
+func Get(name string) *CellDef { return registry[name] }
+
+// Names returns the names of all library cells, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns all library cells sorted by name.
+func All() []*CellDef {
+	cells := make([]*CellDef, 0, len(registry))
+	for _, n := range Names() {
+		cells = append(cells, registry[n])
+	}
+	return cells
+}

@@ -1,0 +1,185 @@
+package stdcell
+
+import (
+	"testing"
+
+	"subgemini/internal/graph"
+)
+
+func TestAllCellsValid(t *testing.T) {
+	cells := All()
+	if len(cells) < 23 {
+		t.Fatalf("library has %d cells, want at least 23", len(cells))
+	}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if Get(c.Name) != c {
+			t.Errorf("%s: registry lookup broken", c.Name)
+		}
+		pat := c.Pattern()
+		if err := pat.Validate(); err != nil {
+			t.Errorf("%s pattern: %v", c.Name, err)
+		}
+		if pat.NumDevices() != c.NumTransistors() {
+			t.Errorf("%s: pattern has %d devices, cell lists %d", c.Name, pat.NumDevices(), c.NumTransistors())
+		}
+		if got := len(pat.Ports()); got != len(c.Ports) {
+			t.Errorf("%s: pattern has %d ports, want %d", c.Name, got, len(c.Ports))
+		}
+		// CMOS sanity: every cell must touch both rails.
+		for _, rail := range []string{"VDD", "GND"} {
+			n := pat.NetByName(rail)
+			if n == nil || n.Degree() == 0 {
+				t.Errorf("%s: rail %s missing or unconnected", c.Name, rail)
+			}
+		}
+	}
+}
+
+func TestTransistorCounts(t *testing.T) {
+	want := map[string]int{
+		"INV": 2, "BUF": 4, "NAND2": 4, "NAND3": 6, "NAND4": 8, "NOR2": 4,
+		"NOR3": 6, "NOR4": 8, "AND2": 6, "OR2": 6, "AOI21": 6, "OAI21": 6,
+		"AOI22": 8, "OAI22": 8, "XOR2": 12, "XNOR2": 12, "MUX2": 6, "TINV": 6,
+		"HA": 18, "LATCH": 10, "DFF": 18, "SRAM6T": 6, "FA": 28,
+	}
+	for name, n := range want {
+		c := Get(name)
+		if c == nil {
+			t.Errorf("cell %s missing", name)
+			continue
+		}
+		if c.NumTransistors() != n {
+			t.Errorf("%s: %d transistors, want %d", name, c.NumTransistors(), n)
+		}
+	}
+}
+
+func TestCMOSDuality(t *testing.T) {
+	// Every combinational cell must have equal pull-up and pull-down
+	// transistor counts (fully complementary static CMOS).
+	for _, c := range All() {
+		n, p := 0, 0
+		for _, m := range c.Mos {
+			switch m.Type {
+			case "nmos":
+				n++
+			case "pmos":
+				p++
+			}
+		}
+		if c.Name == "SRAM6T" {
+			// 4+2 by design: two n-type access transistors.
+			if n != 4 || p != 2 {
+				t.Errorf("SRAM6T: n=%d p=%d, want 4/2", n, p)
+			}
+			continue
+		}
+		if n != p {
+			t.Errorf("%s: %d nmos vs %d pmos", c.Name, n, p)
+		}
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	ckt := graph.New("top")
+	vdd, gnd := ckt.AddNet("VDD"), ckt.AddNet("GND")
+	a, y := ckt.AddNet("a"), ckt.AddNet("y")
+	conns := map[string]*graph.Net{"A": a, "B": a, "Y": y, "VDD": vdd, "GND": gnd}
+	if err := NAND2.Instantiate(ckt, "u1", conns); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ckt.NumDevices() != 4 {
+		t.Fatalf("instantiated %d devices, want 4", ckt.NumDevices())
+	}
+	if ckt.DeviceByName("u1.MP1") == nil {
+		t.Error("prefixed transistor name missing")
+	}
+	if ckt.NetByName("u1.n1") == nil {
+		t.Error("prefixed internal net missing")
+	}
+	// Duplicate instance name must fail on the duplicate transistor.
+	if err := NAND2.Instantiate(ckt, "u1", conns); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+}
+
+func TestInstantiateErrors(t *testing.T) {
+	ckt := graph.New("top")
+	vdd, gnd := ckt.AddNet("VDD"), ckt.AddNet("GND")
+	a, y := ckt.AddNet("a"), ckt.AddNet("y")
+
+	// Missing port.
+	err := INV.Instantiate(ckt, "u1", map[string]*graph.Net{"A": a, "VDD": vdd, "GND": gnd})
+	if err == nil {
+		t.Error("missing port accepted")
+	}
+	// Extra/unknown port.
+	err = INV.Instantiate(ckt, "u2", map[string]*graph.Net{"A": a, "Y": y, "Z": a, "VDD": vdd, "GND": gnd})
+	if err == nil {
+		t.Error("unknown port accepted")
+	}
+	// Nil net.
+	err = INV.Instantiate(ckt, "u3", map[string]*graph.Net{"A": a, "Y": nil, "VDD": vdd, "GND": gnd})
+	if err == nil {
+		t.Error("nil net accepted")
+	}
+}
+
+func TestCellDefValidateErrors(t *testing.T) {
+	bad := []*CellDef{
+		{Name: "dupport", Ports: []string{"A", "A"}, Mos: []MOS{{"M", "nmos", "A", "A", "A"}}},
+		{Name: "dupmos", Ports: []string{"A"}, Mos: []MOS{{"M", "nmos", "A", "A", "A"}, {"M", "pmos", "A", "A", "A"}}},
+		{Name: "badtype", Ports: []string{"A"}, Mos: []MOS{{"M", "npn", "A", "A", "A"}}},
+		{Name: "unusedport", Ports: []string{"A", "B"}, Mos: []MOS{{"M", "nmos", "A", "A", "A"}}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid cell accepted", c.Name)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	if Get("NOPE") != nil {
+		t.Error("Get returned a cell for an unknown name")
+	}
+}
+
+func TestMustInstantiatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInstantiate did not panic on bad connections")
+		}
+	}()
+	INV.MustInstantiate(graph.New("x"), "u", nil)
+}
+
+func TestRegisterRejectsDuplicatesAndInvalid(t *testing.T) {
+	recoverPanics := func(fn func()) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		fn()
+		return
+	}
+	if !recoverPanics(func() {
+		register(&CellDef{Name: "INV", Ports: []string{"A"}, Mos: []MOS{{"M", "nmos", "A", "A", "A"}}})
+	}) {
+		t.Error("duplicate cell name accepted")
+	}
+	if !recoverPanics(func() {
+		register(&CellDef{Name: "BROKEN", Ports: []string{"A", "A"}, Mos: []MOS{{"M", "nmos", "A", "A", "A"}}})
+	}) {
+		t.Error("invalid cell accepted")
+	}
+}

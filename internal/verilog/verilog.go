@@ -1,0 +1,501 @@
+// Package verilog reads and writes a structural Verilog subset, the
+// natural interchange format for the gate-level netlists that extraction
+// produces and technology mapping consumes.
+//
+// Supported constructs:
+//
+//	module NAME (port, ...); ... endmodule
+//	input / output / inout / wire declarations (scalar, comma lists)
+//	switch-level primitives:  nmos (drain, source, gate);
+//	                          pmos (drain, source, gate);
+//	cell instances by name:   NAND2 u1 (.A(n1), .B(n2), .Y(n3), ...);
+//
+// Cell instances resolve their port-to-terminal mapping through the
+// built-in standard-cell library when the cell name is known there
+// (keeping terminal classes consistent with the matcher); unknown cell
+// types are accepted as opaque devices with one terminal class per port,
+// which matches how extraction synthesizes replacement devices.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+// Module is a parsed structural module.
+type Module struct {
+	Name    string
+	Ports   []string
+	Inputs  map[string]bool
+	Outputs map[string]bool
+	Circuit *graph.Circuit
+}
+
+// mosVerilogClasses maps the Verilog switch-primitive terminal order
+// (drain, source, gate) onto the graph terminal classes.
+var mosVerilogClasses = []graph.TermClass{graph.ClassDS, graph.ClassDS, graph.ClassGate}
+
+// Parse reads one structural module.  name is used in error messages.
+func Parse(r io.Reader, name string) (*Module, error) {
+	toks, err := tokenize(r, name)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: name}
+	return p.module()
+}
+
+// ParseString parses a module held in a string.
+func ParseString(src, name string) (*Module, error) {
+	return Parse(strings.NewReader(src), name)
+}
+
+type token struct {
+	text string
+	line int
+}
+
+// tokenize splits the input into identifiers, punctuation, and keywords,
+// stripping // line comments and /* */ block comments.
+func tokenize(r io.Reader, src string) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	line := 1
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, token{cur.String(), line})
+			cur.Reset()
+		}
+	}
+	inLineComment := false
+	inBlockComment := false
+	var prev byte
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src, err)
+		}
+		if b == '\n' {
+			inLineComment = false
+		}
+		switch {
+		case inLineComment:
+		case inBlockComment:
+			if prev == '*' && b == '/' {
+				inBlockComment = false
+				b = 0 // do not let '/' start a new comment
+			}
+		case b == '/':
+			next, err := br.ReadByte()
+			if err == nil {
+				switch next {
+				case '/':
+					flush()
+					inLineComment = true
+				case '*':
+					flush()
+					inBlockComment = true
+				default:
+					return nil, fmt.Errorf("%s:%d: unexpected '/'", src, line)
+				}
+			}
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			flush()
+		case strings.IndexByte("(),;.=", b) >= 0:
+			flush()
+			toks = append(toks, token{string(b), line})
+		default:
+			cur.WriteByte(b)
+		}
+		if b == '\n' {
+			line++
+		}
+		prev = b
+	}
+	if inBlockComment {
+		return nil, fmt.Errorf("%s: unterminated block comment", src)
+	}
+	flush()
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, error) {
+	if t, ok := p.peek(); ok {
+		p.pos++
+		return t, nil
+	}
+	return token{}, fmt.Errorf("%s: unexpected end of input", p.src)
+}
+
+func (p *parser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("%s:%d: expected %q, got %q", p.src, t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if strings.ContainsAny(t.text, "(),;.=") || t.text == "" {
+		return t, fmt.Errorf("%s:%d: expected identifier, got %q", p.src, t.line, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) module() (*Module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Name:    nameTok.text,
+		Inputs:  map[string]bool{},
+		Outputs: map[string]bool{},
+		Circuit: graph.New(nameTok.text),
+	}
+	// Port list.
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("%s: unterminated port list", p.src)
+		}
+		if t.text == ")" {
+			p.pos++
+			break
+		}
+		port, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		m.Ports = append(m.Ports, port.text)
+		if t, ok := p.peek(); ok && t.text == "," {
+			p.pos++
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	serial := 0
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "endmodule":
+			return p.finish(m)
+		case "input", "output", "inout", "wire":
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				m.Circuit.AddNet(n)
+				switch t.text {
+				case "input":
+					m.Inputs[n] = true
+				case "output":
+					m.Outputs[n] = true
+				case "inout":
+					m.Inputs[n] = true
+					m.Outputs[n] = true
+				}
+			}
+		case "nmos", "pmos":
+			if err := p.switchPrimitive(m, t.text, &serial); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.instance(m, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// nameList parses "a, b, c ;".
+func (p *parser) nameList() ([]string, error) {
+	var names []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n.text)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == ";" {
+			return names, nil
+		}
+		if t.text != "," {
+			return nil, fmt.Errorf("%s:%d: expected ',' or ';', got %q", p.src, t.line, t.text)
+		}
+	}
+}
+
+// switchPrimitive parses "nmos [name] (d, s, g);".
+func (p *parser) switchPrimitive(m *Module, typ string, serial *int) error {
+	name := fmt.Sprintf("m%d_%s", *serial, typ)
+	*serial++
+	if t, ok := p.peek(); ok && t.text != "(" {
+		n, err := p.ident()
+		if err != nil {
+			return err
+		}
+		name = n.text
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var nets []*graph.Net
+	for i := 0; i < 3; i++ {
+		n, err := p.ident()
+		if err != nil {
+			return err
+		}
+		nets = append(nets, m.Circuit.AddNet(n.text))
+		if i < 2 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	_, err := m.Circuit.AddDevice(name, typ, mosVerilogClasses, nets)
+	return err
+}
+
+// instance parses "CELL name (.PORT(net), ...);".
+func (p *parser) instance(m *Module, cellTok token) error {
+	cellName := cellTok.text
+	instTok, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	conns := map[string]*graph.Net{}
+	var order []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if t.text != "." {
+			return fmt.Errorf("%s:%d: expected named connection, got %q (positional connections are not supported)", p.src, t.line, t.text)
+		}
+		port, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		net, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		if _, dup := conns[port.text]; dup {
+			return fmt.Errorf("%s:%d: port %s connected twice", p.src, port.line, port.text)
+		}
+		conns[port.text] = m.Circuit.AddNet(net.text)
+		order = append(order, port.text)
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+
+	// Known library cells get their canonical port order and a single
+	// gate-level device (matching what extraction produces); unknown cells
+	// are opaque devices in connection order.
+	var portNames []string
+	if cell := stdcell.Get(cellName); cell != nil {
+		for _, port := range cell.Ports {
+			if _, ok := conns[port]; !ok {
+				return fmt.Errorf("%s:%d: instance %s of %s leaves port %s unconnected",
+					p.src, instTok.line, instTok.text, cellName, port)
+			}
+		}
+		if len(conns) != len(cell.Ports) {
+			return fmt.Errorf("%s:%d: instance %s connects %d ports; %s has %d",
+				p.src, instTok.line, instTok.text, len(conns), cellName, len(cell.Ports))
+		}
+		portNames = cell.Ports
+	} else {
+		portNames = order
+	}
+	classes := make([]graph.TermClass, len(portNames))
+	nets := make([]*graph.Net, len(portNames))
+	for i, port := range portNames {
+		classes[i] = graph.TermClass(i)
+		nets[i] = conns[port]
+	}
+	_, err = m.Circuit.AddDevice(instTok.text, cellName, classes, nets)
+	return err
+}
+
+// finish marks ports and validates.
+func (p *parser) finish(m *Module) (*Module, error) {
+	for _, port := range m.Ports {
+		if m.Circuit.NetByName(port) == nil {
+			m.Circuit.AddNet(port)
+		}
+		if err := m.Circuit.MarkPort(port); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.src, err)
+	}
+	return m, nil
+}
+
+// Write emits a circuit as one structural module.  Nets named in globals
+// plus the circuit's port nets form the module port list (globals as
+// inout, others as inout too — structural netlists do not track
+// direction); remaining nets are declared as wires.  MOS devices become
+// switch primitives; every other device type becomes a named-connection
+// instance, with port names from the standard-cell library when known and
+// p0, p1, ... otherwise.
+func Write(w io.Writer, c *graph.Circuit, moduleName string) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	seen := map[string]bool{}
+	for _, n := range c.Nets {
+		if n.Port || n.Global {
+			if !seen[n.Name] {
+				ports = append(ports, n.Name)
+				seen[n.Name] = true
+			}
+		}
+	}
+	fmt.Fprintf(bw, "// generated by subgemini from circuit %s\n", c.Name)
+	fmt.Fprintf(bw, "module %s (%s);\n", moduleName, strings.Join(ports, ", "))
+	for _, p := range ports {
+		fmt.Fprintf(bw, "  inout %s;\n", p)
+	}
+	var wires []string
+	for _, n := range c.Nets {
+		if !seen[n.Name] {
+			wires = append(wires, n.Name)
+		}
+	}
+	sort.Strings(wires)
+	for _, n := range wires {
+		fmt.Fprintf(bw, "  wire %s;\n", n)
+	}
+	for _, d := range c.Devices {
+		switch d.Type {
+		case "nmos", "pmos":
+			// Graph order is (ds, gate, ds); Verilog switch order is
+			// (drain, source, gate).
+			var ds []*graph.Net
+			var gate *graph.Net
+			for _, pin := range d.Pins {
+				if pin.Class == graph.ClassGate {
+					gate = pin.Net
+				} else if pin.Class == graph.ClassDS {
+					ds = append(ds, pin.Net)
+				}
+			}
+			if len(ds) != 2 || gate == nil {
+				return fmt.Errorf("verilog: device %s is not a 3-terminal MOS", d.Name)
+			}
+			fmt.Fprintf(bw, "  %s %s (%s, %s, %s);\n", d.Type, sanitize(d.Name), ds[0].Name, ds[1].Name, gate.Name)
+		case "res", "cap", "diode":
+			return fmt.Errorf("verilog: passive device %s (%s) has no structural Verilog form", d.Name, d.Type)
+		default:
+			names := portNamesFor(d)
+			fmt.Fprintf(bw, "  %s %s (", d.Type, sanitize(d.Name))
+			for i, pin := range d.Pins {
+				if i > 0 {
+					fmt.Fprint(bw, ", ")
+				}
+				fmt.Fprintf(bw, ".%s(%s)", names[i], pin.Net.Name)
+			}
+			fmt.Fprintln(bw, ");")
+		}
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// portNamesFor resolves a gate device's pin names via the cell library,
+// falling back to positional names.
+func portNamesFor(d *graph.Device) []string {
+	if cell := stdcell.Get(d.Type); cell != nil && len(cell.Ports) == len(d.Pins) {
+		return cell.Ports
+	}
+	names := make([]string, len(d.Pins))
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	return names
+}
+
+// sanitize replaces characters that are not legal in simple Verilog
+// identifiers.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '$':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

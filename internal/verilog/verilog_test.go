@@ -1,0 +1,191 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/extract"
+	"subgemini/internal/gemini"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+const gateSrc = `
+// y = NAND(a, b); z = NOT(y)
+module top (a, b, z, VDD, GND);
+  inout a, b, z, VDD, GND;
+  wire y;
+  NAND2 u1 (.A(a), .B(b), .Y(y), .VDD(VDD), .GND(GND));
+  INV u2 (.A(y), .Y(z), .VDD(VDD), .GND(GND));
+endmodule
+`
+
+func TestParseGateLevel(t *testing.T) {
+	m, err := ParseString(gateSrc, "top.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "top" || len(m.Ports) != 5 {
+		t.Fatalf("module %s with %d ports", m.Name, len(m.Ports))
+	}
+	if m.Circuit.NumDevices() != 2 {
+		t.Fatalf("%d devices, want 2", m.Circuit.NumDevices())
+	}
+	u1 := m.Circuit.DeviceByName("u1")
+	if u1 == nil || u1.Type != "NAND2" || len(u1.Pins) != 5 {
+		t.Fatalf("u1 = %+v", u1)
+	}
+	// Library port order: A, B, Y, VDD, GND.
+	if u1.Pins[2].Net.Name != "y" {
+		t.Errorf("u1.Y connected to %s, want y", u1.Pins[2].Net.Name)
+	}
+	if !m.Circuit.NetByName("a").Port {
+		t.Error("port a not marked")
+	}
+	if !m.Inputs["a"] || !m.Outputs["a"] {
+		t.Error("inout direction not recorded")
+	}
+}
+
+func TestParseSwitchLevel(t *testing.T) {
+	src := `
+module inv (a, y);
+  inout a, y;
+  wire VDD, GND;
+  pmos mp (y, VDD, a);
+  nmos (y, GND, a); // anonymous instance
+endmodule
+`
+	m, err := ParseString(src, "inv.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Circuit.NumDevices() != 2 {
+		t.Fatalf("%d devices, want 2", m.Circuit.NumDevices())
+	}
+	mp := m.Circuit.DeviceByName("mp")
+	if mp == nil || mp.Type != "pmos" {
+		t.Fatalf("mp = %+v", mp)
+	}
+	// Drain and source share the ds class; gate is separate.
+	if mp.Pins[0].Class != graph.ClassDS || mp.Pins[2].Class != graph.ClassGate {
+		t.Error("switch terminal classes wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":        "wire x;",
+		"unterminated":     "module m (a);\n  wire a;",
+		"positional conns": "module m (a);\n  NAND2 u (a, a, a, a, a);\nendmodule",
+		"double port":      "module m (a);\n  INV u (.A(a), .A(a), .Y(a), .VDD(a), .GND(a));\nendmodule",
+		"missing port":     "module m (a);\n  INV u (.A(a), .Y(a));\nendmodule",
+		"bad switch":       "module m (a);\n  nmos (a, a);\nendmodule",
+		"block comment":    "module m (a); /* never closed",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src, "e.v"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "// header\nmodule m (a, y); /* mid\nspanning */ inout a, y;\n wire VDD; wire GND;\n INV u (.A(a), .Y(y), .VDD(VDD), .GND(GND)); // trailing\nendmodule\n"
+	m, err := ParseString(src, "c.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Circuit.NumDevices() != 1 {
+		t.Errorf("%d devices, want 1", m.Circuit.NumDevices())
+	}
+}
+
+func TestUnknownCellOpaque(t *testing.T) {
+	src := "module m (a, b);\n inout a, b;\n MYSTERY u (.P(a), .Q(b));\nendmodule\n"
+	m, err := ParseString(src, "u.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Circuit.DeviceByName("u")
+	if d == nil || d.Type != "MYSTERY" || len(d.Pins) != 2 {
+		t.Fatalf("opaque device wrong: %+v", d)
+	}
+	if d.Pins[0].Class == d.Pins[1].Class {
+		t.Error("opaque device ports must have distinct classes")
+	}
+}
+
+// TestWriteReadRoundTrip: extract a counter to gates, emit Verilog, parse
+// it back, and verify isomorphism with the Gemini checker.
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := gen.RippleCounter(3)
+	if _, err := extract.Cells(d.C, []*stdcell.CellDef{stdcell.DFF, stdcell.INV},
+		extract.Options{Globals: []string{"VDD", "GND"}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, d.C, "counter3"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	m, err := ParseString(buf.String(), "counter3.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gemini.Compare(d.C, m.Circuit, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("round trip not isomorphic: %s", res.Reason)
+	}
+}
+
+// TestWriteSwitchLevelRoundTrip: a transistor-level circuit round-trips
+// through switch primitives.
+func TestWriteSwitchLevelRoundTrip(t *testing.T) {
+	d := gen.InverterChain(4)
+	d.C.MarkGlobal("VDD")
+	d.C.MarkGlobal("GND")
+	var buf strings.Builder
+	if err := Write(&buf, d.C, "chain4"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseString(buf.String(), "chain4.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Circuit.MarkGlobal("VDD")
+	m.Circuit.MarkGlobal("GND")
+	res, err := gemini.Compare(d.C, m.Circuit, gemini.Options{Globals: []string{"VDD", "GND"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Isomorphic {
+		t.Errorf("switch-level round trip not isomorphic: %s", res.Reason)
+	}
+}
+
+func TestWriteRejectsPassives(t *testing.T) {
+	c := graph.New("rc")
+	c.MustAddDevice("r1", "res", []graph.TermClass{0, 0}, []*graph.Net{c.AddNet("a"), c.AddNet("b")})
+	var buf strings.Builder
+	if err := Write(&buf, c, "rc"); err == nil {
+		t.Error("passive device accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"u1_NAND2":  "u1_NAND2",
+		"fa0.MP1":   "fa0_MP1",
+		"a/b/c":     "a_b_c",
+		"ok$name_9": "ok$name_9",
+	} {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
