@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all tier1 build test vet race bench clean
+
+all: tier1
+
+# Tier-1 gate: static checks plus the full test suite under the race
+# detector (the server's aggregation and cache paths are concurrent and
+# must stay race-clean).  This is a superset of the ROADMAP.md verify
+# command (go build ./... && go test ./...).
+tier1: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the evaluation tables (EXPERIMENTS.md records the shapes).
+bench:
+	$(GO) run ./cmd/benchtab -table all
+
+clean:
+	$(GO) clean ./...

@@ -3,15 +3,21 @@
 //
 // Usage:
 //
-//	benchtab [-table results|scaling|baseline|ablation|coverage|all] [-quick]
+//	benchtab [-table results|scaling|baseline|ablation|coverage|all] [-quick] [-json out.json]
 //
 // Absolute times are machine-dependent; the shapes the paper claims —
 // instance counts, tight candidate vectors, flat time-per-matched-device,
 // and a large margin over the naive matcher — are what EXPERIMENTS.md
 // records.
+//
+// With -json, the selected tables are additionally written to a file as
+// one JSON document (schema "subgemini-benchtab/v1", documented in
+// EXPERIMENTS.md), so successive runs can be archived as BENCH_*.json and
+// compared across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,13 +25,29 @@ import (
 	"text/tabwriter"
 
 	"subgemini/internal/bench"
+	"subgemini/internal/stats"
 )
+
+// jsonOutput is the -json document: one optional section per table, plus
+// the summed matcher reports of the results suite.
+type jsonOutput struct {
+	Schema        string              `json:"schema"`
+	Quick         bool                `json:"quick"`
+	Results       []bench.Row         `json:"results,omitempty"`
+	ResultsTotals *stats.Snapshot     `json:"results_totals,omitempty"`
+	Scaling       []bench.ScalePoint  `json:"scaling,omitempty"`
+	Baseline      []bench.BaselineRow `json:"baseline,omitempty"`
+	Ablation      []bench.AblationRow `json:"ablation,omitempty"`
+	Coverage      []bench.CoverageRow `json:"coverage,omitempty"`
+}
 
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
 
+	out := jsonOutput{Schema: "subgemini-benchtab/v1", Quick: *quick}
 	run := func(name string, fn func() error) {
 		switch *table {
 		case name, "all":
@@ -34,17 +56,53 @@ func main() {
 			}
 		}
 	}
-	run("results", func() error { return results(*quick) })
-	run("scaling", func() error { return scaling(*quick) })
-	run("baseline", func() error { return baselineCmp() })
-	run("ablation", func() error { return ablation() })
-	run("coverage", func() error { return coverage() })
+	run("results", func() error {
+		rows, totals, err := results(*quick)
+		out.Results, out.ResultsTotals = rows, totals
+		return err
+	})
+	run("scaling", func() error {
+		pts, err := scaling(*quick)
+		out.Scaling = pts
+		return err
+	})
+	run("baseline", func() error {
+		rows, err := baselineCmp()
+		out.Baseline = rows
+		return err
+	})
+	run("ablation", func() error {
+		rows, err := ablation()
+		out.Ablation = rows
+		return err
+	})
+	run("coverage", func() error {
+		rows, err := coverage()
+		out.Coverage = rows
+		return err
+	})
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }
 
-func coverage() error {
+func coverage() ([]bench.CoverageRow, error) {
 	rows, err := bench.ExtractionCoverage()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== E9: ad hoc series-parallel recognizer vs SubGemini library extraction ==")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -57,21 +115,23 @@ func coverage() error {
 	w.Flush()
 	fmt.Println("(the ad hoc method cannot name multi-stage cells and loses pass-transistor structure entirely; paper §I)")
 	fmt.Println()
-	return nil
+	return rows, nil
 }
 
-func results(quick bool) error {
+func results(quick bool) ([]bench.Row, *stats.Snapshot, error) {
 	suite := bench.Suite(1)
 	if quick && len(suite) > 5 {
 		suite = suite[:5]
 	}
 	var rows []bench.Row
+	var agg stats.Aggregate
 	for _, w := range suite {
 		row, err := bench.Run(w)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		rows = append(rows, row)
+		agg.Add(&row.Report)
 	}
 	fmt.Println("== E4: results table (per circuit/pattern pair) ==")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -86,14 +146,18 @@ func results(quick bool) error {
 			r.Matched, round(r.P1), round(r.P2), round(r.Total), round(r.PerDevice), status)
 	}
 	w.Flush()
+	snap := agg.Snapshot()
+	fmt.Printf("totals: %d runs, %d instances, %d matched devices, %d candidates, %d guesses, %d backtracks, %s total\n",
+		snap.Runs, snap.Sum.Instances, snap.Sum.MatchedDevices, snap.Sum.Candidates,
+		snap.Sum.Guesses, snap.Sum.Backtracks, round(snap.Sum.Total()))
 	fmt.Println()
-	return nil
+	return rows, &snap, nil
 }
 
-func scaling(quick bool) error {
+func scaling(quick bool) ([]bench.ScalePoint, error) {
 	pts, err := bench.ScalingSeries(quick)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== E5: scaling figure (linearity in matched devices) ==")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -112,13 +176,13 @@ func scaling(quick bool) error {
 	w.Flush()
 	fmt.Println("(linear scaling <=> the last column stays roughly flat within each series)")
 	fmt.Println()
-	return nil
+	return pts, nil
 }
 
-func baselineCmp() error {
+func baselineCmp() ([]bench.BaselineRow, error) {
 	rows, err := bench.BaselineComparison(1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== E6: SubGemini vs exhaustive DFS ([6]-style) and pruned DFS ==")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -135,13 +199,13 @@ func baselineCmp() error {
 	}
 	w.Flush()
 	fmt.Println()
-	return nil
+	return rows, nil
 }
 
-func ablation() error {
+func ablation() ([]bench.AblationRow, error) {
 	rows, err := bench.Ablation()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("== E7/E8: special-signal ablation and early abort ==")
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -151,7 +215,7 @@ func ablation() error {
 	}
 	w.Flush()
 	fmt.Println()
-	return nil
+	return rows, nil
 }
 
 func round(d interface{ Microseconds() int64 }) string {

@@ -18,6 +18,8 @@
 //	-nonoverlap        report only disjoint instances (extraction
 //	                   semantics) instead of all instances
 //	-max N             stop after N instances
+//	-workers N         verify Phase II candidates over N workers
+//	                   (-1 = all CPUs; incompatible with -nonoverlap/-max)
 //	-v                 trace the phases to stderr
 //	-q                 print only the instance count
 package main
@@ -56,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bindCSV     = flag.String("bind", "", "port bindings PORT=NET[,PORT=NET...]: each pattern port matches only the named net")
 		nonOverlap  = flag.Bool("nonoverlap", false, "report only disjoint instances")
 		maxInst     = flag.Int("max", 0, "stop after this many instances (0 = no limit)")
+		workers     = flag.Int("workers", 0, "verify Phase II candidates over N workers, 0 = sequential (-1 = all CPUs; incompatible with -nonoverlap and -max)")
 		verbose     = flag.Bool("v", false, "trace matching to stderr")
 		traceTable  = flag.Bool("tracetable", false, "print a Table-1-style per-pass label table for every Phase II candidate")
 		quiet       = flag.Bool("q", false, "print only the instance count")
@@ -106,7 +109,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts.TraceTable = stdout
 	}
 
-	res, err := subgemini.Find(circuit, pattern, opts)
+	var res *subgemini.Result
+	if *workers != 0 {
+		if *nonOverlap {
+			return fmt.Errorf("-workers requires overlap semantics; drop -nonoverlap")
+		}
+		if *maxInst > 0 {
+			return fmt.Errorf("-workers cannot honor -max deterministically; drop one of them")
+		}
+		// -1 means "all CPUs", which FindParallel spells as 0.
+		n := *workers
+		if n < 0 {
+			n = 0
+		}
+		res, err = subgemini.FindParallel(circuit, pattern, opts, n)
+	} else {
+		res, err = subgemini.Find(circuit, pattern, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -109,6 +109,29 @@ func TestCLIBind(t *testing.T) {
 	}
 }
 
+func TestCLIWorkers(t *testing.T) {
+	ckt := writeTemp(t, "c.sp", circuitSrc)
+	for _, w := range []string{"2", "-1"} {
+		out, err := runCLI(t, "-circuit", ckt, "-cell", "NAND2", "-workers", w, "-q")
+		if err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+		if strings.TrimSpace(out) != "1" {
+			t.Errorf("-workers %s count = %q, want 1", w, out)
+		}
+	}
+	// The parallel matcher rejects NonOverlapping and MaxInstances; the
+	// CLI reports that before doing any work.
+	for _, args := range [][]string{
+		{"-circuit", ckt, "-cell", "NAND2", "-workers", "2", "-nonoverlap"},
+		{"-circuit", ckt, "-cell", "NAND2", "-workers", "2", "-max", "1"},
+	} {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	ckt := writeTemp(t, "c.sp", circuitSrc)
 	pat := writeTemp(t, "p.sp", patternSrc)

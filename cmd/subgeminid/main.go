@@ -1,0 +1,180 @@
+// Subgeminid is the long-lived matching daemon: it keeps a main circuit
+// and the pattern library resident in memory and serves match queries over
+// HTTP/JSON, amortizing the parse/compile work the one-shot CLIs repeat on
+// every invocation.
+//
+// Usage:
+//
+//	subgeminid -addr :8080 -circuit chip.sp -globals VDD,GND [flags]
+//
+// The daemon may also start empty and receive its circuit via
+// POST /v1/circuit.  Endpoints:
+//
+//	POST /v1/match        match one pattern against the resident circuit
+//	POST /v1/match/batch  match many patterns in one request
+//	POST /v1/circuit      replace the resident main circuit
+//	GET  /v1/cells        list built-in cells and uploaded patterns
+//	GET  /healthz         liveness probe
+//	GET  /metrics         text key/value metrics dump
+//
+// Flags:
+//
+//	-addr :8080          listen address
+//	-circuit chip.sp     netlist whose top-level cards form the circuit
+//	-patterns lib.sp     netlist whose .SUBCKTs preload the pattern cache
+//	-globals VDD,GND     special signals applied to every match
+//	-timeout 30s         default per-request match deadline
+//	-max-timeout 5m      upper bound on client-requested deadlines
+//	-max-concurrent N    match slots (admission control; 0 = GOMAXPROCS)
+//	-max-workers N       cap on per-request "workers" fan-out
+//	-max-body N          request body limit in bytes
+//	-no-preload          skip compiling the built-in library at startup
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests get a drain period, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"subgemini"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("subgeminid: ")
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run configures and serves the daemon until ctx is cancelled; tests drive
+// it directly with a cancellable context.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	flags := flag.NewFlagSet("subgeminid", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		addr        = flags.String("addr", ":8080", "listen address")
+		circuitPath = flags.String("circuit", "", "netlist file with the main circuit (optional; may be uploaded later)")
+		patternPath = flags.String("patterns", "", "netlist file whose .SUBCKTs preload the pattern cache")
+		globalsCSV  = flags.String("globals", "", "comma-separated special-signal nets applied to every match")
+		timeout     = flags.Duration("timeout", 30*time.Second, "default per-request match deadline")
+		maxTimeout  = flags.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
+		maxConc     = flags.Int("max-concurrent", 0, "concurrent match slots (0 = GOMAXPROCS)")
+		maxWorkers  = flags.Int("max-workers", 0, "cap on per-request workers fan-out (0 = GOMAXPROCS)")
+		maxBody     = flags.Int64("max-body", 16<<20, "request body limit in bytes")
+		noPreload   = flags.Bool("no-preload", false, "skip compiling the built-in cell library at startup")
+		drain       = flags.Duration("drain", 10*time.Second, "graceful-shutdown drain period")
+	)
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := subgemini.ServerConfig{
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxConcurrent:   *maxConc,
+		MaxWorkers:      *maxWorkers,
+		MaxBodyBytes:    *maxBody,
+		PreloadBuiltins: !*noPreload,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, "subgeminid: "+format+"\n", a...)
+		},
+	}
+	if *globalsCSV != "" {
+		cfg.Globals = strings.Split(*globalsCSV, ",")
+	}
+	if *circuitPath != "" {
+		ckt, err := loadCircuit(*circuitPath)
+		if err != nil {
+			return err
+		}
+		cfg.Circuit = ckt
+		fmt.Fprintf(stdout, "circuit %s: %d devices, %d nets\n", ckt.Name, ckt.NumDevices(), ckt.NumNets())
+	}
+	srv := subgemini.NewServer(cfg)
+	if *patternPath != "" {
+		n, err := preloadPatterns(srv, *patternPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "preloaded %d pattern(s) from %s\n", n, *patternPath)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadCircuit parses a netlist file and flattens its top level.
+func loadCircuit(path string) (*subgemini.Circuit, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	f, err := subgemini.ReadNetlist(r, path)
+	if err != nil {
+		return nil, err
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return f.MainCircuit(strings.TrimSuffix(name, ".sp"))
+}
+
+// preloadPatterns compiles every .SUBCKT of a netlist file into the
+// server's pattern cache.
+func preloadPatterns(srv *subgemini.Server, path string) (int, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	f, err := subgemini.ReadNetlist(r, path)
+	if err != nil {
+		return 0, err
+	}
+	return srv.PreloadPatterns(f)
+}

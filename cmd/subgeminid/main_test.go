@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const circuitSrc = `
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+.END
+`
+
+const patternLib = `
+.GLOBAL VDD GND
+.SUBCKT MYNAND A B Y
+MP1 Y A VDD pmos
+MP2 Y B VDD pmos
+MN1 Y A n1 nmos
+MN2 n1 B GND nmos
+.ENDS
+`
+
+func writeTemp(t *testing.T, name, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// syncWriter serializes and captures the daemon's stdout so the test can
+// read the bound address.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, serves a
+// match over real HTTP, and shuts it down via context cancellation (the
+// signal path uses the same cancellation).
+func TestDaemonLifecycle(t *testing.T) {
+	ckt := writeTemp(t, "c.sp", circuitSrc)
+	lib := writeTemp(t, "lib.sp", patternLib)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncWriter
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-circuit", ckt,
+			"-patterns", lib,
+			"-globals", "VDD,GND",
+		}, &out, os.Stderr)
+	}()
+
+	// Wait for the listener line to learn the bound address.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v\noutput:\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	// The preloaded pattern library serves by name.
+	resp, err := http.Post("http://"+addr+"/v1/match", "application/json",
+		strings.NewReader(`{"pattern": "MYNAND"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), `"count": 1`) {
+		t.Errorf("match: %d %s", resp.StatusCode, body.String())
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "subgeminid_match_runs_total 1") {
+		t.Errorf("metrics: %d\n%s", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown line:\n%s", out.String())
+	}
+}
+
+// TestDaemonFlagErrors: bad inputs fail fast instead of starting a broken
+// daemon.
+func TestDaemonFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	var out strings.Builder
+	cases := [][]string{
+		{"-circuit", "/does/not/exist.sp"},
+		{"-patterns", "/does/not/exist.sp"},
+		{"-addr", "999.999.999.999:0"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, &out, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+	// A circuit file with no top-level cards is rejected at startup.
+	lib := writeTemp(t, "lib.sp", patternLib)
+	if err := run(ctx, []string{"-circuit", lib}, &out, &out); err == nil {
+		t.Error("pattern-only netlist accepted as -circuit")
+	}
+}

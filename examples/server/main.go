@@ -1,0 +1,137 @@
+// Server: run the subgeminid matching service in-process and drive it as
+// an HTTP client using the exported wire types — the same request/response
+// structs cmd/subgeminid serves, so a Go client never hand-writes JSON.
+//
+// Run with:  go run ./examples/server
+//
+// For the daemon itself (flags, graceful shutdown) see cmd/subgeminid; the
+// endpoints are identical.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"subgemini"
+)
+
+// A two-gate circuit: y = NAND(a, b), z = NOT(y), flat at transistor level.
+const circuitSrc = `
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END
+`
+
+// A user-defined pattern uploaded inline with the first request; it is
+// compiled once and cached under its .SUBCKT name for later requests.
+const myInvSrc = `
+.GLOBAL VDD GND
+.SUBCKT MYINV A Y
+MP1 Y A VDD pmos
+MN1 Y A GND nmos
+.ENDS
+`
+
+func main() {
+	file, err := subgemini.ParseNetlist(circuitSrc, "chip.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	circuit, err := file.MainCircuit("chip")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The service is an http.Handler: embed it, or serve it standalone the
+	// way cmd/subgeminid does.
+	srv := subgemini.NewServer(subgemini.ServerConfig{
+		Circuit: circuit,
+		Globals: []string{"VDD", "GND"},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// One match against a built-in library cell.
+	var match subgemini.ServerMatchResponse
+	post(base+"/v1/match", subgemini.ServerMatchRequest{Pattern: "NAND2"}, &match)
+	fmt.Printf("\nNAND2: %d instance(s), cache hit: %v\n", match.Count, match.CacheHit)
+	for i, inst := range match.Instances {
+		fmt.Printf("  #%d: %v\n", i+1, inst.Devices)
+	}
+
+	// A batch: the cached NAND2 (now a hit), an inline pattern compiled on
+	// the fly, and a per-request timeout in milliseconds.
+	var batch subgemini.ServerBatchResponse
+	post(base+"/v1/match/batch", subgemini.ServerBatchRequest{
+		Requests: []subgemini.ServerMatchRequest{
+			{Pattern: "NAND2"},
+			{Netlist: myInvSrc, TimeoutMS: int(time.Second / time.Millisecond)},
+		},
+	}, &batch)
+	fmt.Println()
+	for _, item := range batch.Results {
+		if item.Error != "" {
+			fmt.Printf("batch[%d] %s: HTTP %d %s\n", item.Index, item.Pattern, item.Status, item.Error)
+			continue
+		}
+		fmt.Printf("batch[%d] %s: %d instance(s), cache hit: %v\n",
+			item.Index, item.Pattern, item.Match.Count, item.Match.CacheHit)
+	}
+
+	// MYINV is cached now, so the name alone works.
+	post(base+"/v1/match", subgemini.ServerMatchRequest{Pattern: "MYINV"}, &match)
+	fmt.Printf("\nMYINV by name: %d instance(s), cache hit: %v\n", match.Count, match.CacheHit)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nmetrics excerpt:")
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.Contains(line, []byte("cache")) || bytes.Contains(line, []byte("match_runs")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// post sends v as JSON and decodes the reply into out, failing on any
+// non-200 status.
+func post(url string, v, out any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: %s\n%s", url, resp.Status, buf.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

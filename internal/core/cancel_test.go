@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/stdcell"
+)
+
+// TestFindCancelImmediate: a hook that is already cancelled aborts the run
+// before the first candidate and surfaces the hook's error.
+func TestFindCancelImmediate(t *testing.T) {
+	errStop := errors.New("stop")
+	d := gen.RippleAdder(16)
+	_, err := core.Find(d.C, stdcell.FA.Pattern(), core.Options{
+		Globals: rails,
+		Cancel:  func() error { return errStop },
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("Find returned %v, want %v", err, errStop)
+	}
+}
+
+// TestFindCancelMidRun: cancelling after N candidates stops the scan early.
+func TestFindCancelMidRun(t *testing.T) {
+	errStop := errors.New("stop")
+	d := gen.RippleAdder(64)
+	polls := 0
+	_, err := core.Find(d.C, stdcell.FA.Pattern(), core.Options{
+		Globals: rails,
+		Cancel: func() error {
+			polls++
+			if polls > 3 {
+				return errStop
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("Find returned %v, want %v", err, errStop)
+	}
+	if polls != 4 {
+		t.Errorf("hook polled %d times before aborting, want 4", polls)
+	}
+}
+
+// TestFindCancelNilHookAndNoCancel: a nil hook and a never-firing hook both
+// leave results identical to an unhooked run.
+func TestFindCancelNilHookAndNoCancel(t *testing.T) {
+	d := gen.RippleAdder(16)
+	plain, err := core.Find(d.C.Clone(), stdcell.FA.Pattern(), core.Options{Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := core.Find(d.C.Clone(), stdcell.FA.Pattern(), core.Options{
+		Globals: rails,
+		Cancel:  func() error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked.Instances) != len(plain.Instances) {
+		t.Errorf("hooked run found %d instances, unhooked %d", len(hooked.Instances), len(plain.Instances))
+	}
+}
+
+// TestFindParallelCancel: FindParallel honors the hook across workers; a
+// context's Err method is directly usable as the hook.
+func TestFindParallelCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := gen.RippleAdder(64)
+	m, err := core.NewMatcher(d.C, core.Options{Globals: rails, Cancel: ctx.Err})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FindParallel(stdcell.FA.Pattern(), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindParallel returned %v, want context.Canceled", err)
+	}
+}

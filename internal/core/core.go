@@ -78,6 +78,17 @@ type Options struct {
 	// bit-for-bit reproducible.
 	Seed uint64
 
+	// Cancel, when non-nil, is polled between Phase II candidates; the
+	// first non-nil return aborts the run and Find/FindParallel return
+	// that error.  Wiring a request context in is one line:
+	//
+	//	opts.Cancel = ctx.Err
+	//
+	// Polling happens at candidate granularity: a run is abandoned
+	// promptly without the per-pass overhead of checking inside the
+	// relabeling loops.
+	Cancel func() error
+
 	// Trace, when non-nil, receives a human-readable account of the run.
 	Trace io.Writer
 
@@ -101,6 +112,14 @@ type Options struct {
 	// initial device labels; rail-anchored patterns then start from
 	// type-only partitions.
 	AblateGlobalFold bool
+}
+
+// cancelled polls the Cancel hook; nil means "keep going".
+func (o *Options) cancelled() error {
+	if o.Cancel == nil {
+		return nil
+	}
+	return o.Cancel()
 }
 
 func (o *Options) guessDepth() int {
@@ -334,6 +353,10 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 	for _, c := range cv {
 		if m.opts.MaxInstances > 0 && len(res.Instances) >= m.opts.MaxInstances {
 			break
+		}
+		if err := m.opts.cancelled(); err != nil {
+			res.Report.Phase2Duration = time.Since(t1)
+			return nil, err
 		}
 		res.Report.Candidates++
 		for {

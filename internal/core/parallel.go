@@ -95,6 +95,11 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 				return
 			}
 			for i := w; i < len(cv); i += workers {
+				if m.opts.cancelled() != nil {
+					// The definitive error is re-polled after the join;
+					// workers just stop claiming candidates.
+					return
+				}
 				sh.report.Candidates++
 				if inst := p2.verifyCandidate(key, cv[i]); inst != nil {
 					sh.instances = append(sh.instances, inst)
@@ -104,6 +109,11 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	}
 	wg.Wait()
 	res.Report.Phase2Duration = time.Since(t1)
+	// Cancellation is monotonic (a cancelled context stays cancelled), so
+	// one poll after the join decides whether the run was cut short.
+	if err := m.opts.cancelled(); err != nil {
+		return nil, err
+	}
 
 	// newPhase2 errors mean a pre-match constraint is unsatisfiable (a
 	// global or bind target missing): every worker reports the same thing,

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+	"subgemini/internal/stdcell"
+)
+
+// Pattern sources, reported by /v1/cells.
+const (
+	sourceBuiltin  = "builtin"
+	sourceUploaded = "uploaded"
+)
+
+// patternCache holds compiled pattern graphs keyed by name, so a pattern is
+// parsed and built once and served from memory afterwards.  Entries hold an
+// immutable template circuit; every use clones it, because matching marks
+// global nets on the pattern and concurrent requests must not share that
+// state.
+type patternCache struct {
+	mu      sync.Mutex
+	entries map[string]*patternEntry
+	hits    int64
+	misses  int64
+}
+
+// patternEntry is one compiled pattern.
+type patternEntry struct {
+	name     string
+	source   string // sourceBuiltin or sourceUploaded
+	template *graph.Circuit
+	uses     int64
+}
+
+func newPatternCache() *patternCache {
+	return &patternCache{entries: make(map[string]*patternEntry)}
+}
+
+// resolve returns a private clone of the named pattern, compiling it on
+// first use: a cached entry is a hit; a built-in cell compiled on demand is
+// a miss; an unknown name is an error.  count=false (preloading) records
+// neither hits nor misses.
+func (pc *patternCache) resolve(name string, count bool) (*graph.Circuit, bool, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.entries[name]; ok {
+		if count {
+			pc.hits++
+		}
+		e.uses++
+		return e.template.Clone(), true, nil
+	}
+	def := stdcell.Get(name)
+	if def == nil {
+		return nil, false, fmt.Errorf("no pattern named %q (built-in cells and uploaded patterns; see /v1/cells)", name)
+	}
+	if count {
+		pc.misses++
+	}
+	e := &patternEntry{name: name, source: sourceBuiltin, template: def.Pattern(), uses: 1}
+	if !count {
+		e.uses = 0
+	}
+	pc.entries[name] = e
+	return e.template.Clone(), false, nil
+}
+
+// put stores a compiled uploaded pattern, replacing any same-named entry,
+// and records a miss (the caller just paid the parse+build cost).
+func (pc *patternCache) put(name string, template *graph.Circuit, count bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if count {
+		pc.misses++
+	}
+	uses := int64(1)
+	if !count {
+		uses = 0
+	}
+	pc.entries[name] = &patternEntry{name: name, source: sourceUploaded, template: template, uses: uses}
+}
+
+// compileNetlist parses inline pattern netlist source and compiles the
+// selected .SUBCKT (subckt may be empty when the source defines exactly
+// one).  The compiled pattern is cached under its subcircuit name, so later
+// requests can refer to it by name alone.
+func (pc *patternCache) compileNetlist(src, subckt string, count bool) (*graph.Circuit, error) {
+	f, err := netlist.ParseString(src, "pattern")
+	if err != nil {
+		return nil, err
+	}
+	if subckt == "" {
+		if len(f.Subckts) != 1 {
+			return nil, fmt.Errorf("pattern netlist defines %d subcircuits; select one with \"subckt\"", len(f.Subckts))
+		}
+		for name := range f.Subckts {
+			subckt = name
+		}
+	}
+	template, err := f.Pattern(subckt)
+	if err != nil {
+		return nil, err
+	}
+	pc.put(subckt, template, count)
+	return template.Clone(), nil
+}
+
+// cellInfo is one row of the /v1/cells listing.
+type cellInfo struct {
+	Name    string   `json:"name"`
+	Source  string   `json:"source"`
+	Devices int      `json:"devices"`
+	Nets    int      `json:"nets"`
+	Ports   []string `json:"ports"`
+	Cached  bool     `json:"cached"`
+	Uses    int64    `json:"uses"`
+}
+
+// list returns every known pattern — cached entries plus not-yet-compiled
+// built-in cells — sorted by name.
+func (pc *patternCache) list() []cellInfo {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	byName := make(map[string]cellInfo)
+	for _, def := range stdcell.All() {
+		byName[def.Name] = cellInfo{
+			Name:    def.Name,
+			Source:  sourceBuiltin,
+			Devices: def.NumTransistors(),
+			Ports:   def.Ports,
+		}
+	}
+	for name, e := range pc.entries {
+		info := cellInfo{
+			Name:    name,
+			Source:  e.source,
+			Devices: e.template.NumDevices(),
+			Nets:    e.template.NumNets(),
+			Cached:  true,
+			Uses:    e.uses,
+		}
+		for _, p := range e.template.Ports() {
+			info.Ports = append(info.Ports, p.Name)
+		}
+		byName[name] = info
+	}
+	out := make([]cellInfo, 0, len(byName))
+	for _, info := range byName {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// counters returns (hits, misses, entries).
+func (pc *patternCache) counters() (int64, int64, int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses, len(pc.entries)
+}

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"subgemini/internal/core"
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+)
+
+// MatchRequest is the body of POST /v1/match and each element of a batch.
+// The pattern comes either from the cache/built-in library by name
+// ("pattern") or inline as netlist source ("netlist" plus optional
+// "subckt"); inline patterns are compiled into the cache under their
+// .SUBCKT name so later requests can use the name alone.  The option
+// fields mirror the subgemini CLI flags.
+type MatchRequest struct {
+	Pattern    string            `json:"pattern,omitempty"`
+	Netlist    string            `json:"netlist,omitempty"`
+	Subckt     string            `json:"subckt,omitempty"`
+	Globals    []string          `json:"globals,omitempty"`
+	Bind       map[string]string `json:"bind,omitempty"`
+	NonOverlap bool              `json:"nonoverlap,omitempty"`
+	Max        int               `json:"max,omitempty"`
+	Workers    int               `json:"workers,omitempty"`
+	TimeoutMS  int               `json:"timeout_ms,omitempty"`
+}
+
+// InstanceJSON is one verified embedding, as pattern-name → image-name maps.
+type InstanceJSON struct {
+	Devices map[string]string `json:"devices"`
+	Nets    map[string]string `json:"nets"`
+}
+
+// StatsJSON is the per-run instrumentation subset exposed to clients.
+type StatsJSON struct {
+	Instances      int    `json:"instances"`
+	MatchedDevices int    `json:"matched_devices"`
+	CVSize         int    `json:"cv_size"`
+	KeyVertex      string `json:"key_vertex,omitempty"`
+	Candidates     int    `json:"candidates"`
+	Phase1Passes   int    `json:"phase1_passes"`
+	Phase2Passes   int    `json:"phase2_passes"`
+	Guesses        int    `json:"guesses"`
+	Backtracks     int    `json:"backtracks"`
+	Phase1Micros   int64  `json:"phase1_us"`
+	Phase2Micros   int64  `json:"phase2_us"`
+}
+
+// MatchResponse is the body of a successful POST /v1/match.
+type MatchResponse struct {
+	Pattern   string         `json:"pattern"`
+	Count     int            `json:"count"`
+	Instances []InstanceJSON `json:"instances"`
+	Stats     StatsJSON      `json:"stats"`
+	CacheHit  bool           `json:"cache_hit"`
+}
+
+// BatchRequest is the body of POST /v1/match/batch.
+type BatchRequest struct {
+	Requests []MatchRequest `json:"requests"`
+}
+
+// BatchItem is one per-pattern outcome of a batch; failed items carry an
+// error and an HTTP-style status instead of a match.
+type BatchItem struct {
+	Index   int            `json:"index"`
+	Pattern string         `json:"pattern,omitempty"`
+	Status  int            `json:"status"`
+	Error   string         `json:"error,omitempty"`
+	Match   *MatchResponse `json:"match,omitempty"`
+}
+
+// BatchResponse is the body of a batch reply; the top-level status is 200
+// whenever the batch itself was well-formed, with per-item outcomes inside.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// CircuitInfo describes the resident circuit.
+type CircuitInfo struct {
+	Name    string   `json:"name"`
+	Devices int      `json:"devices"`
+	Nets    int      `json:"nets"`
+	Globals []string `json:"globals,omitempty"`
+}
+
+// httpError pairs a client-visible message with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	writeJSON(w, e.status, map[string]string{"error": e.msg})
+}
+
+// decodeBody decodes a JSON request body, mapping oversized bodies to 413
+// and malformed JSON to 400.
+func decodeBody(r *http.Request, v any) *httpError {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		}
+		return errf(http.StatusBadRequest, "invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	resp, e := s.runMatch(r.Context(), &req)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if e := decodeBody(r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, errf(http.StatusBadRequest, `batch has no "requests"`))
+		return
+	}
+	results := make([]BatchItem, len(req.Requests))
+	// Fan the items out across a bounded pool.  Each item still passes
+	// through admission control individually, so a wide batch cannot
+	// starve single-match requests; the pool here only bounds goroutines.
+	pool := s.cfg.MaxConcurrent
+	if pool > len(req.Requests) {
+		pool = len(req.Requests)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for p := 0; p < pool; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				item := BatchItem{Index: i, Pattern: req.Requests[i].Pattern}
+				resp, e := s.runMatch(r.Context(), &req.Requests[i])
+				if e != nil {
+					item.Status, item.Error = e.status, e.msg
+				} else {
+					item.Status, item.Match, item.Pattern = http.StatusOK, resp, resp.Pattern
+				}
+				results[i] = item
+			}
+		}()
+	}
+	for i := range req.Requests {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// runMatch executes one match request end to end: pattern resolution,
+// validation, admission, global pre-marking, and the matching run under
+// the circuit read lock.
+func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchResponse, *httpError) {
+	if req.Workers > 1 && req.NonOverlap {
+		return nil, errf(http.StatusBadRequest, `"workers" > 1 requires overlap semantics; drop "nonoverlap"`)
+	}
+	if req.Workers > 1 && req.Max > 0 {
+		return nil, errf(http.StatusBadRequest, `"workers" > 1 cannot honor "max" deterministically; drop one of them`)
+	}
+
+	// Resolve the pattern to a private clone (the matcher marks globals on
+	// it, so cached templates are never handed out directly).
+	var pat *graph.Circuit
+	var cacheHit bool
+	switch {
+	case req.Netlist != "":
+		p, err := s.cache.compileNetlist(req.Netlist, req.Subckt, true)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "pattern netlist: %v", err)
+		}
+		pat = p
+	case req.Pattern != "":
+		p, hit, err := s.cache.resolve(req.Pattern, true)
+		if err != nil {
+			return nil, errf(http.StatusNotFound, "%v", err)
+		}
+		pat, cacheHit = p, hit
+	default:
+		return nil, errf(http.StatusBadRequest, `request needs "pattern" (a cell name) or "netlist" (inline pattern source)`)
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Admission control: wait for a match slot, but not past the deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.met.rejected.Add(1)
+		return nil, errf(http.StatusServiceUnavailable,
+			"server saturated: no match slot within %v (%d concurrent)", timeout, s.cfg.MaxConcurrent)
+	}
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	// Request-level globals are marked on the private pattern clone; the
+	// shared circuit gets its marks during lock acquisition below, so the
+	// match itself never writes to shared state.
+	for _, name := range req.Globals {
+		pat.MarkGlobal(name)
+	}
+	names := append([]string(nil), req.Globals...)
+	for _, n := range pat.Globals() {
+		names = append(names, n.Name)
+	}
+
+	opts := core.Options{
+		Bind:         req.Bind,
+		MaxInstances: req.Max,
+		Cancel:       s.cancelHook(ctx),
+	}
+	if req.NonOverlap {
+		opts.Policy = core.NonOverlapping
+	}
+	workers := req.Workers
+	if workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+
+	ckt := s.lockCircuitWithGlobals(names)
+	if ckt == nil {
+		s.mu.RUnlock()
+		return nil, errf(http.StatusConflict, "no circuit loaded; upload one with POST /v1/circuit")
+	}
+	m, err := core.NewMatcher(ckt, opts)
+	var res *core.Result
+	if err == nil {
+		if workers > 1 {
+			res, err = m.FindParallel(pat, workers)
+		} else {
+			res, err = m.Find(pat)
+		}
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+			return nil, errf(http.StatusGatewayTimeout, "match exceeded its %v deadline", timeout)
+		case errors.Is(err, context.Canceled):
+			return nil, errf(http.StatusServiceUnavailable, "request cancelled")
+		default:
+			return nil, errf(http.StatusBadRequest, "match: %v", err)
+		}
+	}
+	s.met.matchRuns.Add(&res.Report)
+
+	resp := &MatchResponse{
+		Pattern:   pat.Name,
+		Count:     len(res.Instances),
+		Instances: make([]InstanceJSON, 0, len(res.Instances)),
+		CacheHit:  cacheHit,
+		Stats: StatsJSON{
+			Instances:      res.Report.Instances,
+			MatchedDevices: res.Report.MatchedDevices,
+			CVSize:         res.Report.CVSize,
+			KeyVertex:      res.Report.KeyVertex,
+			Candidates:     res.Report.Candidates,
+			Phase1Passes:   res.Report.Phase1Passes,
+			Phase2Passes:   res.Report.Phase2Passes,
+			Guesses:        res.Report.Guesses,
+			Backtracks:     res.Report.Backtracks,
+			Phase1Micros:   res.Report.Phase1Duration.Microseconds(),
+			Phase2Micros:   res.Report.Phase2Duration.Microseconds(),
+		},
+	}
+	for _, inst := range res.Instances {
+		ji := InstanceJSON{Devices: make(map[string]string), Nets: make(map[string]string)}
+		for sd, gd := range inst.DevMap {
+			ji.Devices[sd.Name] = gd.Name
+		}
+		for sn, gn := range inst.NetMap {
+			ji.Nets[sn.Name] = gn.Name
+		}
+		resp.Instances = append(resp.Instances, ji)
+	}
+	return resp, nil
+}
+
+// cancelHook adapts a request context to the matcher's cancellation hook,
+// with the test instrumentation point folded in.
+func (s *Server) cancelHook(ctx context.Context) func() error {
+	if s.testCandidateHook == nil {
+		return ctx.Err
+	}
+	return func() error {
+		s.testCandidateHook()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleCircuitUpload(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, errf(http.StatusRequestEntityTooLarge, "netlist exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, errf(http.StatusBadRequest, "reading body: %v", err))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "circuit"
+	}
+	f, err := netlist.ParseString(string(src), name)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "parsing netlist: %v", err))
+		return
+	}
+	ckt, err := f.MainCircuit(name)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "building circuit: %v", err))
+		return
+	}
+	for _, g := range s.cfg.Globals {
+		ckt.MarkGlobal(g)
+	}
+	s.mu.Lock()
+	s.circuit = ckt
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.circuitInfo())
+}
+
+func (s *Server) handleCircuitInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	loaded := s.circuit != nil
+	s.mu.RUnlock()
+	if !loaded {
+		writeError(w, errf(http.StatusNotFound, "no circuit loaded"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.circuitInfo())
+}
+
+func (s *Server) circuitInfo() CircuitInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info := CircuitInfo{
+		Name:    s.circuit.Name,
+		Devices: s.circuit.NumDevices(),
+		Nets:    s.circuit.NumNets(),
+	}
+	for _, n := range s.circuit.Globals() {
+		info.Globals = append(info.Globals, n.Name)
+	}
+	return info
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.list())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.counters()
+	_, devices, nets := s.CircuitShape()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.write(w, hits, misses, size, devices, nets)
+}

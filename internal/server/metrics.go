@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"subgemini/internal/stats"
+)
+
+// metrics aggregates the daemon's observable state: request accounting,
+// an in-flight gauge, and the summed per-run matcher reports.  The text
+// rendering is a flat "name value" dump, one metric per line, so it is
+// trivially scrapable without pulling in a metrics dependency.
+type metrics struct {
+	requests  atomic.Int64 // HTTP requests served (any route)
+	errors    atomic.Int64 // responses with status >= 400
+	timeouts  atomic.Int64 // match requests that hit their deadline
+	rejected  atomic.Int64 // requests turned away by admission control
+	inflight  atomic.Int64 // match runs currently executing
+	matchRuns stats.Aggregate
+}
+
+// write renders the metrics dump.  The cache counters and circuit shape are
+// passed in because they live on the server, not the metrics struct.
+func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, circuitDevices, circuitNets int) {
+	snap := m.matchRuns.Snapshot()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "subgeminid_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "subgeminid_requests_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "subgeminid_requests_timeouts_total %d\n", m.timeouts.Load())
+	fmt.Fprintf(w, "subgeminid_requests_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "subgeminid_matches_inflight %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "subgeminid_match_runs_total %d\n", snap.Runs)
+	fmt.Fprintf(w, "subgeminid_match_early_aborts_total %d\n", snap.EarlyAborts)
+	fmt.Fprintf(w, "subgeminid_match_instances_total %d\n", snap.Sum.Instances)
+	fmt.Fprintf(w, "subgeminid_match_matched_devices_total %d\n", snap.Sum.MatchedDevices)
+	fmt.Fprintf(w, "subgeminid_match_candidates_total %d\n", snap.Sum.Candidates)
+	fmt.Fprintf(w, "subgeminid_match_cv_entries_total %d\n", snap.Sum.CVSize)
+	fmt.Fprintf(w, "subgeminid_match_phase1_passes_total %d\n", snap.Sum.Phase1Passes)
+	fmt.Fprintf(w, "subgeminid_match_phase2_passes_total %d\n", snap.Sum.Phase2Passes)
+	fmt.Fprintf(w, "subgeminid_match_guesses_total %d\n", snap.Sum.Guesses)
+	fmt.Fprintf(w, "subgeminid_match_backtracks_total %d\n", snap.Sum.Backtracks)
+	fmt.Fprintf(w, "subgeminid_match_verify_calls_total %d\n", snap.Sum.VerifyCalls)
+	fmt.Fprintf(w, "subgeminid_match_phase1_seconds_total %.6f\n", snap.Sum.Phase1Duration.Seconds())
+	fmt.Fprintf(w, "subgeminid_match_phase2_seconds_total %.6f\n", snap.Sum.Phase2Duration.Seconds())
+	fmt.Fprintf(w, "subgeminid_pattern_cache_size %d\n", cacheSize)
+	fmt.Fprintf(w, "subgeminid_pattern_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "subgeminid_pattern_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "subgeminid_pattern_cache_hit_rate %.4f\n", hitRate)
+	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", circuitDevices)
+	fmt.Fprintf(w, "subgeminid_circuit_nets %d\n", circuitNets)
+}

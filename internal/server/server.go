@@ -1,0 +1,276 @@
+// Package server implements the subgeminid daemon logic: a long-lived
+// HTTP/JSON matching service that keeps a main circuit and a library of
+// compiled patterns resident in memory and serves match queries against
+// them.  It amortizes the per-pattern parse/compile cost that the one-shot
+// CLIs pay on every invocation (patterns are compiled once into a cache),
+// and adds the robustness a daemon needs: a semaphore capping concurrent
+// match work, per-request timeouts enforced through the matcher's
+// cancellation hook, request-body size limits, and panic isolation.
+//
+// Endpoints:
+//
+//	POST /v1/match        match one pattern against the resident circuit
+//	POST /v1/match/batch  match many patterns in one request
+//	POST /v1/circuit      replace the resident main circuit (netlist body)
+//	GET  /v1/cells        list built-in cells and uploaded patterns
+//	GET  /healthz         liveness probe
+//	GET  /metrics         text key/value metrics dump
+//
+// Concurrency model: the resident circuit is shared by all in-flight
+// matches under a read lock.  The matcher only ever mutates the main
+// circuit to mark global nets, so the server pre-marks every global a
+// request needs (config globals, request globals, and the pattern's own
+// declared globals) under the write lock before matching begins; the match
+// itself then only reads the circuit.  Circuit replacement takes the write
+// lock, draining in-flight matches first.  Global marks are monotonic and
+// circuit-wide, matching the CLI semantics where .GLOBAL directives and
+// -globals apply to the whole run.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+)
+
+// Config parameterizes a Server.  The zero value is usable: an empty
+// server with no circuit loaded (upload one via POST /v1/circuit) and
+// defaults for every limit.
+type Config struct {
+	// Circuit is the initial resident main circuit; nil starts the server
+	// empty.
+	Circuit *graph.Circuit
+
+	// Globals lists net names treated as special signals for every match
+	// (the daemon-level analogue of the CLI's -globals flag).  They are
+	// marked on the resident circuit at startup and after every upload.
+	Globals []string
+
+	// MaxConcurrent caps simultaneously executing match runs (admission
+	// control); further requests queue until a slot frees or their
+	// deadline expires.  0 selects GOMAXPROCS.
+	MaxConcurrent int
+
+	// DefaultTimeout bounds each match request that does not set its own
+	// timeout_ms.  0 selects 30s.
+	DefaultTimeout time.Duration
+
+	// MaxTimeout caps the per-request timeout_ms so a client cannot pin a
+	// worker slot arbitrarily long.  0 selects 5m.
+	MaxTimeout time.Duration
+
+	// MaxBodyBytes limits request body sizes (netlist uploads included).
+	// 0 selects 16 MiB.
+	MaxBodyBytes int64
+
+	// MaxWorkers caps the per-request "workers" fan-out.  0 selects
+	// GOMAXPROCS.
+	MaxWorkers int
+
+	// PreloadBuiltins compiles every built-in library cell into the
+	// pattern cache at construction time, so first requests are cache
+	// hits.  Preloading counts neither hits nor misses.
+	PreloadBuiltins bool
+
+	// Logf, when non-nil, receives one line per recovered handler panic
+	// and other rare server-side events.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state.  Create one with New; it implements
+// http.Handler.
+type Server struct {
+	cfg Config
+
+	// mu guards the resident circuit: matches hold RLock, uploads and
+	// global marking hold Lock.
+	mu      sync.RWMutex
+	circuit *graph.Circuit
+
+	cache *patternCache
+	sem   chan struct{}
+	met   metrics
+	mux   *http.ServeMux
+
+	// testCandidateHook, when non-nil, runs on every cancellation poll of
+	// every match.  Tests use it to make runs deterministically slow or to
+	// coordinate with in-flight requests.
+	testCandidateHook func()
+}
+
+// New builds a Server from cfg, applying defaults and marking cfg.Globals
+// on the initial circuit.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		circuit: cfg.Circuit,
+		cache:   newPatternCache(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+	}
+	if s.circuit != nil {
+		for _, name := range cfg.Globals {
+			s.circuit.MarkGlobal(name)
+		}
+	}
+	if cfg.PreloadBuiltins {
+		s.preloadBuiltins()
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
+	s.mux.HandleFunc("POST /v1/match/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/circuit", s.handleCircuitUpload)
+	s.mux.HandleFunc("GET /v1/circuit", s.handleCircuitInfo)
+	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// preloadBuiltins warms the pattern cache with the whole built-in library.
+func (s *Server) preloadBuiltins() {
+	for _, info := range s.cache.list() {
+		if !info.Cached {
+			s.cache.resolve(info.Name, false)
+		}
+	}
+}
+
+// PreloadPatterns compiles every .SUBCKT of a parsed netlist into the
+// pattern cache as uploaded patterns, keyed by subcircuit name.  Preloads
+// count neither cache hits nor misses.  It returns how many patterns were
+// added before the first compile error, if any.
+func (s *Server) PreloadPatterns(f *netlist.File) (int, error) {
+	n := 0
+	for name := range f.Subckts {
+		template, err := f.Pattern(name)
+		if err != nil {
+			return n, fmt.Errorf("pattern %s: %w", name, err)
+		}
+		s.cache.put(name, template, false)
+		n++
+	}
+	return n, nil
+}
+
+// logf logs through the configured sink, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// statusWriter captures the response status for request accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP wraps the router with body limits, request accounting, and
+// panic isolation: a panicking handler yields a 500 response and a log
+// line, never a dead daemon.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			buf := make([]byte, 8<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, buf)
+			if sw.status == 0 {
+				http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}
+		if sw.status >= 400 {
+			s.met.errors.Add(1)
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// lockCircuitWithGlobals acquires the circuit read lock with every given
+// net name already marked global on the resident circuit, and returns the
+// circuit (nil when none is loaded — the read lock is held either way, and
+// the caller must RUnlock).  Marking needs the write lock, so the fast
+// path checks the marks under RLock and the slow path re-verifies that the
+// circuit was not swapped between marking and re-locking.  Once this
+// returns, the matcher's own global marking finds every mark already set
+// and the match touches the shared circuit strictly read-only.
+func (s *Server) lockCircuitWithGlobals(names []string) *graph.Circuit {
+	for {
+		s.mu.RLock()
+		ckt := s.circuit
+		if ckt == nil {
+			return nil
+		}
+		missing := false
+		for _, name := range names {
+			if n := ckt.NetByName(name); n != nil && !n.Global {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return ckt
+		}
+		s.mu.RUnlock()
+		s.mu.Lock()
+		if s.circuit == ckt {
+			for _, name := range names {
+				ckt.MarkGlobal(name)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// CircuitShape returns the resident circuit's name and size (0, 0 and ""
+// when no circuit is loaded).
+func (s *Server) CircuitShape() (name string, devices, nets int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.circuit == nil {
+		return "", 0, 0
+	}
+	return s.circuit.Name, s.circuit.NumDevices(), s.circuit.NumNets()
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "sync"
+
+// Aggregate accumulates Reports across many matching runs.  It is safe for
+// concurrent use: the serving daemon feeds it from every request handler,
+// and the benchmark harness uses it to total a table.
+//
+// Counters and durations are summed; the per-run identification fields
+// (KeyVertex, KeyIsDevice) do not aggregate and stay zero, and EarlyAbort
+// becomes a count in Snapshot.EarlyAborts.
+type Aggregate struct {
+	mu          sync.Mutex
+	runs        int
+	earlyAborts int
+	sum         Report
+}
+
+// Add folds one run's report into the aggregate.
+func (a *Aggregate) Add(r *Report) {
+	if r == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs++
+	if r.EarlyAbort {
+		a.earlyAborts++
+	}
+	a.sum.Phase1Passes += r.Phase1Passes
+	a.sum.Phase1Duration += r.Phase1Duration
+	a.sum.CVSize += r.CVSize
+	a.sum.Candidates += r.Candidates
+	a.sum.Phase2Passes += r.Phase2Passes
+	a.sum.Guesses += r.Guesses
+	a.sum.Backtracks += r.Backtracks
+	a.sum.VerifyCalls += r.VerifyCalls
+	a.sum.Phase2Duration += r.Phase2Duration
+	a.sum.Instances += r.Instances
+	a.sum.MatchedDevices += r.MatchedDevices
+}
+
+// Snapshot is a point-in-time copy of an Aggregate.
+type Snapshot struct {
+	// Runs is the number of reports folded in.
+	Runs int
+	// EarlyAborts counts runs whose Phase I proved no instance can exist.
+	EarlyAborts int
+	// Sum holds the summed counters and durations (identification fields
+	// zero).
+	Sum Report
+}
+
+// Snapshot returns a consistent copy of the totals so far.
+func (a *Aggregate) Snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Snapshot{Runs: a.runs, EarlyAborts: a.earlyAborts, Sum: a.sum}
+}
+
+// Reset zeroes the aggregate.
+func (a *Aggregate) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs, a.earlyAborts, a.sum = 0, 0, Report{}
+}

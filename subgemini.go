@@ -39,6 +39,7 @@ import (
 	"subgemini/internal/gemini"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
+	"subgemini/internal/server"
 	"subgemini/internal/sprecog"
 	"subgemini/internal/stdcell"
 	"subgemini/internal/verilog"
@@ -117,6 +118,30 @@ func FindNaive(g, s *Circuit, globals []string, maxInstances int) ([]*Instance, 
 	}
 	return res.Instances, nil
 }
+
+// Serving (the subgeminid daemon logic).
+type (
+	// Server is the long-lived HTTP/JSON matching service: a resident
+	// circuit, a compiled-pattern cache, admission control, and metrics.
+	// It implements http.Handler; see internal/server for the endpoints.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = server.Config
+	// ServerMatchRequest is the body of POST /v1/match, exported so Go
+	// clients (examples/server) can marshal requests without duplicating
+	// the wire format.
+	ServerMatchRequest = server.MatchRequest
+	// ServerMatchResponse is the body of a successful POST /v1/match.
+	ServerMatchResponse = server.MatchResponse
+	// ServerBatchRequest is the body of POST /v1/match/batch.
+	ServerBatchRequest = server.BatchRequest
+	// ServerBatchResponse is the body of a batch reply.
+	ServerBatchResponse = server.BatchResponse
+)
+
+// NewServer builds the daemon state for cmd/subgeminid or for embedding
+// the matching service into another process.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // Netlist I/O.
 type (
