@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race bench clean
+.PHONY: all tier1 build test vet race bench docs docs-check clean
 
 all: tier1
 
 # Tier-1 gate: static checks plus the full test suite under the race
 # detector (the server's aggregation and cache paths are concurrent and
 # must stay race-clean).  This is a superset of the ROADMAP.md verify
-# command (go build ./... && go test ./...).
-tier1: vet race
+# command (go build ./... && go test ./...); the race run includes
+# cmd/docgen's staleness test, so a stale ALGORITHM.md fails tier-1.
+tier1: vet docs-check race
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,14 @@ race:
 # Regenerate the evaluation tables (EXPERIMENTS.md records the shapes).
 bench:
 	$(GO) run ./cmd/benchtab -table all
+
+# Rebuild the tracer-generated tables in ALGORITHM.md from the paper's
+# Fig. 1 example (cmd/docgen); docs-check fails when they are stale.
+docs:
+	$(GO) run ./cmd/docgen -write ALGORITHM.md
+
+docs-check:
+	$(GO) run ./cmd/docgen -check ALGORITHM.md
 
 clean:
 	$(GO) clean ./...

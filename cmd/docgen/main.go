@@ -1,0 +1,125 @@
+// Docgen regenerates the tracer-generated sections of ALGORITHM.md: it
+// runs the paper's Fig. 1 worked example (internal/gen/paperex) through the
+// matcher with both trace sinks installed and splices the resulting tables
+// between marker comments, so the documentation cannot drift from what the
+// code actually does.  A staleness test in this package (and `make
+// docs-check`) fails whenever the committed file no longer matches the
+// regenerated output; `make docs` (or `go run ./cmd/docgen -write`)
+// refreshes it.
+//
+// Usage:
+//
+//	docgen [-write | -check] [ALGORITHM.md]
+//
+// With no flag the regenerated document is printed to stdout.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen/paperex"
+	"subgemini/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docgen: ")
+	write := flag.Bool("write", false, "rewrite the file in place")
+	check := flag.Bool("check", false, "exit nonzero if the file is stale")
+	flag.Parse()
+	path := "ALGORITHM.md"
+	if flag.NArg() == 1 {
+		path = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		log.Fatal("usage: docgen [-write | -check] [ALGORITHM.md]")
+	}
+
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := regenerate(string(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *check:
+		if fresh != string(doc) {
+			log.Fatalf("%s is stale: regenerate it with `make docs`", path)
+		}
+	case *write:
+		if fresh != string(doc) {
+			if err := os.WriteFile(path, []byte(fresh), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		os.Stdout.WriteString(fresh)
+	}
+}
+
+// generate runs the Fig. 1 example once and returns the generated blocks by
+// marker name.
+func generate() (map[string]string, error) {
+	var table bytes.Buffer
+	col := trace.NewCollector(0)
+	res, err := core.Find(paperex.PaperMain(), paperex.PaperPattern(), core.Options{
+		TraceTable: &table,
+		Tracer:     col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Instances) != 1 {
+		return nil, fmt.Errorf("paper example found %d instances, want 1 — the worked example is broken", len(res.Instances))
+	}
+	events := col.Events()
+	// Wall-clock durations are the one nondeterministic field; zero them so
+	// Render prints "-" and the generated document is byte-stable.
+	for i := range events {
+		events[i].DurationNS = 0
+	}
+	var run bytes.Buffer
+	if err := trace.Render(&run, events); err != nil {
+		return nil, err
+	}
+	return map[string]string{
+		"paper-example-trace":  fence(run.String()),
+		"paper-example-table1": fence(table.String()),
+	}, nil
+}
+
+func fence(s string) string {
+	return "```text\n" + strings.TrimRight(s, "\n") + "\n```"
+}
+
+// regenerate splices every generated block into doc and returns the result.
+// Every block must have its marker pair present, and every marker pair in
+// the document must correspond to a known block, so a renamed section fails
+// loudly instead of silently sticking to stale content.
+func regenerate(doc string) (string, error) {
+	blocks, err := generate()
+	if err != nil {
+		return "", err
+	}
+	for name, content := range blocks {
+		begin := fmt.Sprintf("<!-- generated:begin %s -->", name)
+		end := fmt.Sprintf("<!-- generated:end %s -->", name)
+		i := strings.Index(doc, begin)
+		j := strings.Index(doc, end)
+		if i < 0 || j < 0 || j < i {
+			return "", fmt.Errorf("marker pair for block %q not found in document", name)
+		}
+		doc = doc[:i+len(begin)] + "\n" + content + "\n" + doc[j:]
+	}
+	if n := strings.Count(doc, "<!-- generated:begin "); n != len(blocks) {
+		return "", fmt.Errorf("document has %d generated:begin markers, docgen knows %d blocks", n, len(blocks))
+	}
+	return doc, nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAlgorithmMDIsFresh is the staleness gate: it regenerates the
+// tracer-produced blocks from the current matcher and fails when the
+// committed ALGORITHM.md differs.  Being part of `go test ./...` puts it in
+// tier-1, so documentation drift breaks the build until `make docs` runs.
+func TestAlgorithmMDIsFresh(t *testing.T) {
+	doc, err := os.ReadFile("../../ALGORITHM.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := regenerate(string(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != string(doc) {
+		t.Error("ALGORITHM.md generated tables are stale; refresh them with `make docs`")
+	}
+}
+
+// TestGenerateBlocks sanity-checks the generated content itself: the trace
+// rendering must show the paper's candidate outcomes and the Table-1 view
+// must include both Phase II candidate tables.
+func TestGenerateBlocks(t *testing.T) {
+	blocks, err := generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := blocks["paper-example-trace"]
+	for _, want := range []string{"key vertex N4 (net), |CV| = 2", "N13", "no match", "N14", "MATCH"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("trace block missing %q:\n%s", want, tr)
+		}
+	}
+	if strings.Contains(tr, "time") && !strings.Contains(tr, "-") {
+		t.Error("trace block should render stripped durations as '-'")
+	}
+	tab := blocks["paper-example-table1"]
+	for _, want := range []string{"candidate N13 (no match", "candidate N14 (MATCH", "[*KV]"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table block missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestRegenerateRejectsBadMarkers(t *testing.T) {
+	if _, err := regenerate("no markers at all\n"); err == nil {
+		t.Error("document without markers accepted")
+	}
+	doc := "<!-- generated:begin paper-example-trace -->\n<!-- generated:end paper-example-trace -->\n" +
+		"<!-- generated:begin paper-example-table1 -->\n<!-- generated:end paper-example-table1 -->\n" +
+		"<!-- generated:begin unknown-block -->\n<!-- generated:end unknown-block -->\n"
+	if _, err := regenerate(doc); err == nil {
+		t.Error("document with an unknown marker pair accepted")
+	}
+}

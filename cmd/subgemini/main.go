@@ -21,6 +21,9 @@
 //	-workers N         verify Phase II candidates over N workers
 //	                   (-1 = all CPUs; incompatible with -nonoverlap/-max)
 //	-v                 trace the phases to stderr
+//	-tracetable        print Table-1-style per-pass label tables
+//	-trace FILE        write a subgemini-trace/v1 JSONL event stream
+//	                   ("-" = stdout; render it with tracefmt)
 //	-q                 print only the instance count
 package main
 
@@ -61,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers     = flag.Int("workers", 0, "verify Phase II candidates over N workers, 0 = sequential (-1 = all CPUs; incompatible with -nonoverlap and -max)")
 		verbose     = flag.Bool("v", false, "trace matching to stderr")
 		traceTable  = flag.Bool("tracetable", false, "print a Table-1-style per-pass label table for every Phase II candidate")
+		tracePath   = flag.String("trace", "", `write a subgemini-trace/v1 JSONL event stream to this file ("-" = stdout; render with tracefmt)`)
 		quiet       = flag.Bool("q", false, "print only the instance count")
 		asJSON      = flag.Bool("json", false, "print instances as JSON (pattern name -> image name maps)")
 	)
@@ -108,6 +112,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *traceTable {
 		opts.TraceTable = stdout
 	}
+	var traceSink *subgemini.JSONLTracer
+	if *tracePath != "" {
+		out := io.Writer(stdout)
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		traceSink = subgemini.NewJSONLTracer(out)
+		opts.Tracer = traceSink
+	}
 
 	var res *subgemini.Result
 	if *workers != 0 {
@@ -125,6 +143,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		res, err = subgemini.FindParallel(circuit, pattern, opts, n)
 	} else {
 		res, err = subgemini.Find(circuit, pattern, opts)
+	}
+	if traceSink != nil {
+		// Flush even when the match failed: a partial trace of an aborted
+		// run is exactly what post-mortem debugging wants.
+		if ferr := traceSink.Flush(); ferr != nil && err == nil {
+			return fmt.Errorf("writing trace: %w", ferr)
+		}
 	}
 	if err != nil {
 		return err

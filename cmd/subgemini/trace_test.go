@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgemini"
+)
+
+// TestCLITraceFile checks the -trace flag end to end: the run writes a
+// subgemini-trace/v1 JSONL file whose events cover the whole run.
+func TestCLITraceFile(t *testing.T) {
+	ckt := writeTemp(t, "c.sp", circuitSrc)
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := runCLI(t, "-circuit", ckt, "-cell", "NAND2", "-trace", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := subgemini.ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("trace holds %d events, want at least run_start, a pass, the CV, and run_end", len(events))
+	}
+	if events[0].Kind != "run_start" || events[0].Pattern != "NAND2" {
+		t.Errorf("first event = %+v, want run_start for NAND2", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Kind != "run_end" || last.Instances != 1 {
+		t.Errorf("last event = %+v, want run_end with 1 instance", last)
+	}
+}
+
+// TestCLITraceStdout checks -trace - : the JSONL stream shares stdout with
+// the normal report, header line first.
+func TestCLITraceStdout(t *testing.T) {
+	ckt := writeTemp(t, "c.sp", circuitSrc)
+	out, err := runCLI(t, "-circuit", ckt, "-cell", "NAND2", "-q", "-trace", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `{"schema":"subgemini-trace/v1"}`) {
+		t.Errorf("stdout missing the trace schema header:\n%s", out)
+	}
+	if !strings.Contains(out, `"kind":"phase2_candidate"`) {
+		t.Errorf("stdout missing candidate events:\n%s", out)
+	}
+}

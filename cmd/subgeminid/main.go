@@ -13,9 +13,12 @@
 //	POST /v1/match        match one pattern against the resident circuit
 //	POST /v1/match/batch  match many patterns in one request
 //	POST /v1/circuit      replace the resident main circuit
+//	GET  /v1/circuit      describe the resident main circuit
 //	GET  /v1/cells        list built-in cells and uploaded patterns
 //	GET  /healthz         liveness probe
-//	GET  /metrics         text key/value metrics dump
+//	GET  /metrics         Prometheus-style metrics: counters, per-phase
+//	                      duration histograms, per-pattern outcome counters
+//	GET  /debug/pprof/    Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Flags:
 //

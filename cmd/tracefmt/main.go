@@ -1,0 +1,50 @@
+// Tracefmt renders subgemini-trace/v1 JSONL event streams (written by
+// subgemini -trace or any Options.Tracer sink) as human-readable tables:
+// one Phase I relabeling table and one Phase II candidate table per run.
+//
+// Usage:
+//
+//	tracefmt run.jsonl
+//	subgemini -circuit chip.sp -cell NAND2 -trace - | tracefmt
+//
+// With no argument (or "-") the stream is read from stdin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"subgemini"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracefmt: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the renderer against the given argument list, so tests can
+// drive it without spawning a process.
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) > 1 {
+		return fmt.Errorf("usage: tracefmt [trace.jsonl]")
+	}
+	in := stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := subgemini.ReadTraceJSONL(in)
+	if err != nil {
+		return err
+	}
+	return subgemini.RenderTrace(stdout, events)
+}

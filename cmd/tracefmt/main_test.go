@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgemini"
+)
+
+// trace builds a real event stream by matching the NAND2 library cell
+// against a small circuit with a JSONL tracer installed.
+func traceJSONL(t *testing.T) string {
+	t.Helper()
+	f, err := subgemini.ParseNetlist(`
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+.END
+`, "c.sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := f.MainCircuit("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sink := subgemini.NewJSONLTracer(&buf)
+	if _, err := subgemini.Find(ckt, subgemini.Cell("NAND2").Pattern(),
+		subgemini.Options{Tracer: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTracefmtFromFileAndStdin(t *testing.T) {
+	jsonl := traceJSONL(t)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromFile, fromStdin strings.Builder
+	if err := run([]string{path}, strings.NewReader(""), &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, strings.NewReader(jsonl), &fromStdin); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromStdin.String() {
+		t.Error("file and stdin renderings differ")
+	}
+	out := fromFile.String()
+	for _, want := range []string{
+		"run: pattern NAND2 in circuit chip",
+		"Phase I relabeling:",
+		"Phase II candidates:",
+		"MATCH",
+		"run end: 1 instance(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracefmtErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("not a trace\n"), &out); err == nil {
+		t.Error("malformed stream accepted")
+	}
+	if err := run([]string{"a", "b"}, strings.NewReader(""), &out); err == nil {
+		t.Error("two arguments accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
+	"subgemini/internal/trace"
 )
 
 // OverlapPolicy controls how instances sharing devices are reported.
@@ -78,19 +79,30 @@ type Options struct {
 	// bit-for-bit reproducible.
 	Seed uint64
 
-	// Cancel, when non-nil, is polled between Phase II candidates; the
-	// first non-nil return aborts the run and Find/FindParallel return
-	// that error.  Wiring a request context in is one line:
+	// Cancel, when non-nil, is polled between Phase I relabeling passes
+	// and between Phase II candidates; the first non-nil return aborts
+	// the run and Find/FindParallel return that error.  Wiring a request
+	// context in is one line:
 	//
 	//	opts.Cancel = ctx.Err
 	//
-	// Polling happens at candidate granularity: a run is abandoned
-	// promptly without the per-pass overhead of checking inside the
-	// relabeling loops.
+	// Polling happens at pass/candidate granularity: a run is abandoned
+	// promptly — including during candidate generation on huge circuits,
+	// where a single Phase I pass visits every vertex — without checking
+	// inside the innermost relabeling loops.
 	Cancel func() error
 
 	// Trace, when non-nil, receives a human-readable account of the run.
 	Trace io.Writer
+
+	// Tracer, when non-nil, receives one structured event per Phase I
+	// relabeling pass, one for the candidate-vector selection, and one per
+	// Phase II candidate examined (see internal/trace for the event
+	// schema and the provided sinks).  A nil Tracer costs nothing; the
+	// no-op sink costs no allocations.  FindParallel emits candidate
+	// events from every worker, so a Tracer used there must be safe for
+	// concurrent use.
+	Tracer trace.Tracer
 
 	// TraceTable, when non-nil, receives a Table-1-style rendering of every
 	// Phase II candidate verification: one row per vertex, one column per
@@ -316,12 +328,20 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	tr := m.opts.Tracer
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindRunStart, Circuit: m.g.Name, Pattern: pat.s.Name,
+			Devices: m.g.NumDevices(), Nets: m.g.NumNets()})
+	}
 
 	// Phase I: choose the key vertex and candidate vector.
 	t0 := time.Now()
 	p1 := newPhase1(m, pat, &res.Report)
-	key, cv := p1.run()
+	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
 	res.Report.CVSize = len(cv)
 	if p1.tracer != nil {
 		keyName := "(none)"
@@ -330,8 +350,19 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		}
 		p1.tracer.render(m.opts.TraceTable, keyName, len(cv))
 	}
+	if tr != nil {
+		e := trace.Event{Kind: trace.KindCandidateVector, CVSize: len(cv)}
+		if len(cv) > 0 {
+			e.KeyVertex = pat.space.Name(key)
+			e.KeyIsDevice = pat.space.IsDevice(key)
+		}
+		tr.Event(e)
+	}
 	if len(cv) == 0 {
 		m.opts.tracef("phase1: empty candidate vector, no instances")
+		if tr != nil {
+			tr.Event(trace.Event{Kind: trace.KindRunEnd})
+		}
 		return res, nil
 	}
 	res.Report.KeyVertex = pat.space.Name(key)
@@ -346,6 +377,9 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		// can exist.
 		m.opts.tracef("phase2: %v", err)
 		res.Report.Phase2Duration = time.Since(t1)
+		if tr != nil {
+			tr.Event(trace.Event{Kind: trace.KindRunEnd})
+		}
 		return res, nil
 	}
 	seen := make(map[string]bool)
@@ -364,6 +398,7 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 			if inst == nil {
 				break
 			}
+			res.Report.CandidatesMatched++
 			var sig string
 			sig, sigBuf = inst.signature(sigBuf)
 			if !seen[sig] {
@@ -391,5 +426,9 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		}
 	}
 	res.Report.Phase2Duration = time.Since(t1)
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindRunEnd,
+			Instances: len(res.Instances), Candidates: res.Report.Candidates})
+	}
 	return res, nil
 }

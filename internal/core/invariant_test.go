@@ -103,7 +103,7 @@ func TestPhase1LabelInvariant(t *testing.T) {
 	// Also check that the image of the key vertex survives in the CV when
 	// Phase I is run to completion (the guarantee below Invariant (1)).
 	p1b := newPhase1(m, pat, &rep.Report)
-	key, cv := p1b.run()
+	key, cv, _ := p1b.run()
 	if len(cv) == 0 {
 		t.Fatal("empty candidate vector for a circuit containing the pattern")
 	}

@@ -3,52 +3,18 @@ package core
 import (
 	"testing"
 
+	"subgemini/internal/gen/paperex"
 	"subgemini/internal/graph"
 )
 
 var mos3 = []graph.TermClass{graph.ClassDS, graph.ClassGate, graph.ClassDS}
 
-// paperSubgraph reconstructs the example subcircuit of paper Fig. 1/2 and
-// Table 1: two p-devices D1, D2 and two n-devices D3, D4 around the single
-// internal net N4 (the eventual key vertex).  All other nets are external.
-//
-//	D1 pmos: ds=N1, g=N3, ds=N2        D3 nmos: ds=N2, g=N3, ds=N4
-//	D2 pmos: ds=N1, g=N5, ds=N2        D4 nmos: ds=N6, g=N5, ds=N4
-func paperSubgraph() *graph.Circuit {
-	s := graph.New("paperS")
-	n := func(name string) *graph.Net { return s.AddNet(name) }
-	n1, n2, n3, n4, n5, n6 := n("N1"), n("N2"), n("N3"), n("N4"), n("N5"), n("N6")
-	s.MustAddDevice("D1", "pmos", mos3, []*graph.Net{n1, n3, n2})
-	s.MustAddDevice("D2", "pmos", mos3, []*graph.Net{n1, n5, n2})
-	s.MustAddDevice("D3", "nmos", mos3, []*graph.Net{n2, n3, n4})
-	s.MustAddDevice("D4", "nmos", mos3, []*graph.Net{n6, n5, n4})
-	for _, port := range []string{"N1", "N2", "N3", "N5", "N6"} {
-		if err := s.MarkPort(port); err != nil {
-			panic(err)
-		}
-	}
-	return s
-}
-
-// paperMainGraph reconstructs the example main circuit: one true instance
-// of the subgraph at {D6, D7, D9, D11} plus the decoy devices D5, D8, D10,
-// arranged so the net N13 mimics the key vertex's Phase I label and lands
-// in the candidate vector alongside the true image N14 (paper §III: "the
-// two vertices in G marked A will become the candidate vector").
-func paperMainGraph() *graph.Circuit {
-	g := graph.New("paperG")
-	n := func(name string) *graph.Net { return g.AddNet(name) }
-	n7, n8, n9, n10, n11, n12 := n("N7"), n("N8"), n("N9"), n("N10"), n("N11"), n("N12")
-	n13, n14, n15 := n("N13"), n("N14"), n("N15")
-	g.MustAddDevice("D5", "pmos", mos3, []*graph.Net{n8, n12, n11})
-	g.MustAddDevice("D6", "pmos", mos3, []*graph.Net{n7, n8, n10})
-	g.MustAddDevice("D7", "pmos", mos3, []*graph.Net{n7, n9, n10})
-	g.MustAddDevice("D8", "nmos", mos3, []*graph.Net{n9, n12, n13})
-	g.MustAddDevice("D9", "nmos", mos3, []*graph.Net{n10, n8, n14})
-	g.MustAddDevice("D10", "nmos", mos3, []*graph.Net{n13, n12, n10})
-	g.MustAddDevice("D11", "nmos", mos3, []*graph.Net{n15, n9, n14})
-	return g
-}
+// paperSubgraph and paperMainGraph are the paper's Fig. 1 worked example —
+// the pattern around the key vertex N4 and the main circuit with the decoy
+// candidate N13.  They live in internal/gen/paperex so cmd/docgen can run
+// the same circuits when regenerating ALGORITHM.md's tables.
+func paperSubgraph() *graph.Circuit  { return paperex.PaperPattern() }
+func paperMainGraph() *graph.Circuit { return paperex.PaperMain() }
 
 // TestPaperExamplePhase1 checks the Phase I outcome the paper walks
 // through: N4 is the key vertex (the only internal net survives
@@ -65,7 +31,7 @@ func TestPaperExamplePhase1(t *testing.T) {
 	}
 	var rep = &Result{}
 	p1 := newPhase1(m, pat, &rep.Report)
-	key, cv := p1.run()
+	key, cv, _ := p1.run()
 
 	if got := pat.space.Name(key); got != "N4" {
 		t.Errorf("key vertex = %s, want N4", got)

@@ -9,6 +9,7 @@ import (
 
 	"subgemini/internal/graph"
 	"subgemini/internal/stats"
+	"subgemini/internal/trace"
 )
 
 // FindParallel is Find with Phase II candidates verified concurrently.
@@ -53,13 +54,32 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	tr := m.opts.Tracer
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindRunStart, Circuit: m.g.Name, Pattern: pat.s.Name,
+			Devices: m.g.NumDevices(), Nets: m.g.NumNets()})
+	}
 
 	t0 := time.Now()
 	p1 := newPhase1(m, pat, &res.Report)
-	key, cv := p1.run()
+	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
 	res.Report.CVSize = len(cv)
+	if tr != nil {
+		e := trace.Event{Kind: trace.KindCandidateVector, CVSize: len(cv)}
+		if len(cv) > 0 {
+			e.KeyVertex = pat.space.Name(key)
+			e.KeyIsDevice = pat.space.IsDevice(key)
+		}
+		tr.Event(e)
+	}
 	if len(cv) == 0 {
+		if tr != nil {
+			tr.Event(trace.Event{Kind: trace.KindRunEnd})
+		}
 		return res, nil
 	}
 	res.Report.KeyVertex = pat.space.Name(key)
@@ -102,6 +122,7 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 				}
 				sh.report.Candidates++
 				if inst := p2.verifyCandidate(key, cv[i]); inst != nil {
+					sh.report.CandidatesMatched++
 					sh.instances = append(sh.instances, inst)
 				}
 			}
@@ -138,6 +159,7 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		res.Report.Backtracks += shards[w].report.Backtracks
 		res.Report.VerifyCalls += shards[w].report.VerifyCalls
 		res.Report.Candidates += shards[w].report.Candidates
+		res.Report.CandidatesMatched += shards[w].report.CandidatesMatched
 		for _, inst := range shards[w].instances {
 			sig, sigBuf = inst.signature(sigBuf)
 			if !seen[sig] {
@@ -155,5 +177,9 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		res.Report.MatchedDevices += len(k.inst.DevMap)
 	}
 	res.Report.Instances = len(res.Instances)
+	if tr != nil {
+		tr.Event(trace.Event{Kind: trace.KindRunEnd,
+			Instances: len(res.Instances), Candidates: res.Report.Candidates})
+	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
+	"subgemini/internal/trace"
 )
 
 // Vertex states used by Phase I.  Pattern vertices carry valid/corrupt bits
@@ -46,6 +47,12 @@ type phase1 struct {
 	// tracer, when non-nil, records per-round state for the Fig. 2/4-style
 	// rendering (Options.TraceTable).
 	tracer *phase1Tracer
+
+	// traceLabs is reusable scratch for the Options.Tracer pass events:
+	// valid pattern labels are gathered and sorted here to count
+	// partitions without allocating on the per-pass path (the no-op
+	// tracer contract).  Allocated once, only when a Tracer is installed.
+	traceLabs []label.Value
 }
 
 func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
@@ -146,16 +153,25 @@ func initialDeviceLabel(m *Matcher, d *graph.Device) label.Value {
 
 // run executes the optimized Phase I algorithm (paper §III) and returns the
 // key vertex and candidate vector.  An empty candidate vector means Phase I
-// proved no instance exists.
-func (p *phase1) run() (key label.VID, cv []label.VID) {
+// proved no instance exists.  The error is non-nil only when Options.Cancel
+// fired: cancellation is polled before every relabeling pass so a deadline
+// holds even while candidate generation walks a huge main graph.
+func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 	if p.m.opts.TraceTable != nil {
 		p.tracer = newPhase1Tracer(p)
+	}
+	etr := p.m.opts.Tracer
+	if etr != nil {
+		p.traceLabs = make([]label.Value, 0, p.sSpace.Size())
+	}
+	if err := p.m.opts.cancelled(); err != nil {
+		return 0, nil, err
 	}
 	// Consistency check on the initial labeling (paper Fig. 4 prunes after
 	// the initial labeling).
 	if !p.consistency(false) || !p.consistency(true) {
 		p.rep.EarlyAbort = true
-		return 0, nil
+		return 0, nil, nil
 	}
 	if p.tracer != nil {
 		p.tracer.snapshot("initial")
@@ -164,6 +180,9 @@ func (p *phase1) run() (key label.VID, cv []label.VID) {
 	maxRounds := p.sSpace.Size() + 8
 	prevSig := p.partitionSignature()
 	for round := 0; round < maxRounds; round++ {
+		if err := p.m.opts.cancelled(); err != nil {
+			return 0, nil, err
+		}
 		p.rep.Phase1Passes++
 
 		// Relabel all valid net vertices, then corrupt those with corrupt
@@ -172,10 +191,13 @@ func (p *phase1) run() (key label.VID, cv []label.VID) {
 		p.corruptNets()
 		if !p.consistency(false) {
 			p.rep.EarlyAbort = true
-			return 0, nil
+			return 0, nil, nil
 		}
 		if p.tracer != nil {
 			p.tracer.snapshot(fmt.Sprintf("nets %d", round+1))
+		}
+		if etr != nil {
+			p.emitPass(etr, round+1, trace.SideNets)
 		}
 		if p.allCorrupt(false) {
 			break
@@ -187,10 +209,13 @@ func (p *phase1) run() (key label.VID, cv []label.VID) {
 		p.corruptDevices()
 		if !p.consistency(true) {
 			p.rep.EarlyAbort = true
-			return 0, nil
+			return 0, nil, nil
 		}
 		if p.tracer != nil {
 			p.tracer.snapshot(fmt.Sprintf("devs %d", round+1))
+		}
+		if etr != nil {
+			p.emitPass(etr, round+1, trace.SideDevices)
 		}
 		if p.allCorrupt(true) {
 			break
@@ -206,7 +231,81 @@ func (p *phase1) run() (key label.VID, cv []label.VID) {
 		}
 		prevSig = sig
 	}
-	return p.chooseCandidates()
+	key, cv = p.chooseCandidates()
+	return key, cv, nil
+}
+
+// emitPass publishes one Phase I pass event: the pattern's valid/corrupt
+// split and partition count for the relabeled vertex kind, and the main
+// graph's active/pruned split after the consistency check.  The partition
+// count reuses p.traceLabs, so the per-pass path performs no allocations
+// whatever the installed sink does with the event.
+func (p *phase1) emitPass(etr trace.Tracer, pass int, side trace.Side) {
+	e := trace.Event{Kind: trace.KindPhase1Pass, Pass: pass, Side: side}
+	devs := side == trace.SideDevices
+	p.traceLabs = p.traceLabs[:0]
+	if devs {
+		for _, d := range p.pat.s.Devices {
+			v := p.sSpace.DevVID(d)
+			switch p.sState[v] {
+			case p1Valid:
+				e.PatternValid++
+				p.traceLabs = append(p.traceLabs, p.sLab[v])
+			case p1Corrupt:
+				e.PatternCorrupt++
+			}
+		}
+		for _, d := range p.m.g.Devices {
+			if p.gState[p.gSpace.DevVID(d)] == g1Active {
+				e.MainActive++
+			} else if p.gState[p.gSpace.DevVID(d)] == g1Pruned {
+				e.MainPruned++
+			}
+		}
+	} else {
+		for _, n := range p.pat.s.Nets {
+			v := p.sSpace.NetVID(n)
+			switch p.sState[v] {
+			case p1Valid:
+				e.PatternValid++
+				p.traceLabs = append(p.traceLabs, p.sLab[v])
+			case p1Corrupt:
+				e.PatternCorrupt++
+			}
+		}
+		for _, n := range p.m.g.Nets {
+			if p.gState[p.gSpace.NetVID(n)] == g1Active {
+				e.MainActive++
+			} else if p.gState[p.gSpace.NetVID(n)] == g1Pruned {
+				e.MainPruned++
+			}
+		}
+	}
+	e.PatternPartitions = countDistinct(p.traceLabs)
+	etr.Event(e)
+}
+
+// countDistinct sorts labs in place (allocation-free shell sort; the slice
+// is pattern-sized) and counts distinct values.
+func countDistinct(labs []label.Value) int {
+	for gap := len(labs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(labs); i++ {
+			v := labs[i]
+			j := i
+			for j >= gap && v < labs[j-gap] {
+				labs[j] = labs[j-gap]
+				j -= gap
+			}
+			labs[j] = v
+		}
+	}
+	n := 0
+	for i, v := range labs {
+		if i == 0 || v != labs[i-1] {
+			n++
+		}
+	}
+	return n
 }
 
 // relabelNets applies the Fig. 3 relabeling function to every valid pattern

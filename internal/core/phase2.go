@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
+	"subgemini/internal/trace"
 )
 
 const unmatched label.VID = -1
@@ -214,7 +216,31 @@ func (p *phase2) match(sv, gv label.VID) {
 
 // verifyCandidate postulates c = image(key) and runs the Phase II search.
 // It returns a verified instance, or nil when c is a false candidate.
+// With a Tracer installed, every examined candidate emits one
+// KindPhase2Candidate event carrying its outcome and cost; the untraced
+// path pays nothing.
 func (p *phase2) verifyCandidate(key, c label.VID) *Instance {
+	etr := p.m.opts.Tracer
+	if etr == nil {
+		return p.verify(key, c)
+	}
+	start := time.Now()
+	passes0, guesses0, backtracks0 := p.rep.Phase2Passes, p.rep.Guesses, p.rep.Backtracks
+	inst := p.verify(key, c)
+	etr.Event(trace.Event{
+		Kind:       trace.KindPhase2Candidate,
+		Candidate:  p.gSpace.Name(c),
+		Matched:    inst != nil,
+		Passes:     p.rep.Phase2Passes - passes0,
+		Guesses:    p.rep.Guesses - guesses0,
+		Backtracks: p.rep.Backtracks - backtracks0,
+		DurationNS: time.Since(start).Nanoseconds(),
+	})
+	return inst
+}
+
+// verify is the untraced body of verifyCandidate.
+func (p *phase2) verify(key, c label.VID) *Instance {
 	if p.consumedDev(c) {
 		return nil
 	}

@@ -59,7 +59,7 @@ func setupVerify(t *testing.T) (*phase2, *graph.Circuit, *graph.Circuit) {
 	}
 	rep := &Result{}
 	p1 := newPhase1(m, pat, &rep.Report)
-	key, cv := p1.run()
+	key, cv, _ := p1.run()
 	if len(cv) == 0 {
 		t.Fatal("no candidates")
 	}

@@ -289,7 +289,7 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 			return nil, errf(http.StatusBadRequest, "match: %v", err)
 		}
 	}
-	s.met.matchRuns.Add(&res.Report)
+	s.met.observe(pat.Name, &res.Report)
 
 	resp := &MatchResponse{
 		Pattern:   pat.Name,

@@ -3,15 +3,69 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"subgemini/internal/stats"
 )
 
+// histBounds are the bucket upper bounds, in seconds, of the per-phase
+// duration histograms: one decade per bucket from 10µs to 10s.  Phase I is
+// linear in the main graph and Phase II in the matched devices, so a
+// per-decade resolution separates "cheap pattern" from "pathological
+// pattern" without a dependency on a metrics library.
+var histBounds = [...]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// histogram is a fixed-bucket duration histogram with lock-free updates.
+// Buckets store per-bucket counts; the Prometheus-style rendering
+// accumulates them into the conventional cumulative le-labeled series.
+type histogram struct {
+	buckets [len(histBounds)]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i := range histBounds {
+		if s <= histBounds[i] {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+func (h *histogram) write(w io.Writer, name string) {
+	var cum int64
+	for i := range histBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", histBounds[i]), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %.6f\n", name, time.Duration(h.sumNS.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// patternStats accumulates per-pattern candidate outcomes, the serving-side
+// view of the algorithm's selectivity: how often Phase I's candidate vector
+// sends Phase II after vertices that verify versus ones it rejects.
+type patternStats struct {
+	runs       int64
+	candidates int64
+	matched    int64
+	instances  int64
+}
+
 // metrics aggregates the daemon's observable state: request accounting,
-// an in-flight gauge, and the summed per-run matcher reports.  The text
-// rendering is a flat "name value" dump, one metric per line, so it is
-// trivially scrapable without pulling in a metrics dependency.
+// an in-flight gauge, the summed per-run matcher reports, per-phase
+// duration histograms, and per-pattern candidate-outcome counters.  The
+// text rendering is Prometheus-style exposition ("name value" plus
+// le/pattern-labeled series), so it is trivially scrapable without pulling
+// in a metrics dependency.
 type metrics struct {
 	requests  atomic.Int64 // HTTP requests served (any route)
 	errors    atomic.Int64 // responses with status >= 400
@@ -19,6 +73,35 @@ type metrics struct {
 	rejected  atomic.Int64 // requests turned away by admission control
 	inflight  atomic.Int64 // match runs currently executing
 	matchRuns stats.Aggregate
+
+	phase1 histogram // Phase I wall time per run
+	phase2 histogram // Phase II wall time per run
+
+	mu       sync.Mutex
+	patterns map[string]*patternStats
+}
+
+// observe folds one finished match run into every per-run series: the
+// summed report aggregate, the phase-duration histograms, and the
+// pattern-labeled outcome counters.
+func (m *metrics) observe(pattern string, r *stats.Report) {
+	m.matchRuns.Add(r)
+	m.phase1.observe(r.Phase1Duration)
+	m.phase2.observe(r.Phase2Duration)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.patterns == nil {
+		m.patterns = make(map[string]*patternStats)
+	}
+	ps := m.patterns[pattern]
+	if ps == nil {
+		ps = &patternStats{}
+		m.patterns[pattern] = ps
+	}
+	ps.runs++
+	ps.candidates += int64(r.Candidates)
+	ps.matched += int64(r.CandidatesMatched)
+	ps.instances += int64(r.Instances)
 }
 
 // write renders the metrics dump.  The cache counters and circuit shape are
@@ -53,4 +136,29 @@ func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, circuitD
 	fmt.Fprintf(w, "subgeminid_pattern_cache_hit_rate %.4f\n", hitRate)
 	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", circuitDevices)
 	fmt.Fprintf(w, "subgeminid_circuit_nets %d\n", circuitNets)
+	m.phase1.write(w, "subgeminid_match_phase1_seconds")
+	m.phase2.write(w, "subgeminid_match_phase2_seconds")
+	m.writePatterns(w)
+}
+
+// writePatterns renders the pattern-labeled counters in sorted order so the
+// dump is deterministic.  The failed series is derived (candidates that did
+// not verify) because that difference — how many Phase II attempts the
+// candidate vector wastes — is the number worth alerting on.
+func (m *metrics) writePatterns(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.patterns))
+	for name := range m.patterns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := m.patterns[name]
+		fmt.Fprintf(w, "subgeminid_pattern_runs_total{pattern=%q} %d\n", name, ps.runs)
+		fmt.Fprintf(w, "subgeminid_pattern_candidates_total{pattern=%q} %d\n", name, ps.candidates)
+		fmt.Fprintf(w, "subgeminid_pattern_candidates_matched_total{pattern=%q} %d\n", name, ps.matched)
+		fmt.Fprintf(w, "subgeminid_pattern_candidates_failed_total{pattern=%q} %d\n", name, ps.candidates-ps.matched)
+		fmt.Fprintf(w, "subgeminid_pattern_instances_total{pattern=%q} %d\n", name, ps.instances)
+	}
 }

@@ -12,9 +12,12 @@
 //	POST /v1/match        match one pattern against the resident circuit
 //	POST /v1/match/batch  match many patterns in one request
 //	POST /v1/circuit      replace the resident main circuit (netlist body)
+//	GET  /v1/circuit      describe the resident main circuit
 //	GET  /v1/cells        list built-in cells and uploaded patterns
 //	GET  /healthz         liveness probe
-//	GET  /metrics         text key/value metrics dump
+//	GET  /metrics         Prometheus-style text metrics: counters, per-phase
+//	                      duration histograms, per-pattern outcome counters
+//	GET  /debug/pprof/    Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Concurrency model: the resident circuit is shared by all in-flight
 // matches under a read lock.  The matcher only ever mutates the main
@@ -30,6 +33,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
@@ -148,6 +152,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Go's profiling endpoints, on the daemon's own mux rather than
+	// http.DefaultServeMux, so they share the panic isolation and request
+	// accounting of every other route.  pprof.Index also serves the named
+	// runtime profiles (heap, goroutine, block, mutex, ...).
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // preloadBuiltins warms the pattern cache with the whole built-in library.

@@ -146,11 +146,11 @@ func TestMatchValidation(t *testing.T) {
 		req  MatchRequest
 		code int
 	}{
-		{MatchRequest{}, http.StatusBadRequest},                                      // no pattern
-		{MatchRequest{Pattern: "NOPE"}, http.StatusNotFound},                         // unknown
+		{MatchRequest{}, http.StatusBadRequest},              // no pattern
+		{MatchRequest{Pattern: "NOPE"}, http.StatusNotFound}, // unknown
 		{MatchRequest{Pattern: "FA", Workers: 2, NonOverlap: true}, http.StatusBadRequest},
 		{MatchRequest{Pattern: "FA", Workers: 2, Max: 3}, http.StatusBadRequest},
-		{MatchRequest{Netlist: "garbage\n"}, http.StatusBadRequest},                  // bad inline pattern
+		{MatchRequest{Netlist: "garbage\n"}, http.StatusBadRequest}, // bad inline pattern
 	}
 	for _, c := range cases {
 		if rec := do(t, s, "POST", "/v1/match", c.req); rec.Code != c.code {
@@ -356,13 +356,13 @@ func TestMetricsAccounting(t *testing.T) {
 	}
 	met := parseMetrics(t, do(t, s, "GET", "/metrics", nil).Body.String())
 	checks := map[string]float64{
-		"subgeminid_match_runs_total":         2,
-		"subgeminid_match_instances_total":    float64(2 * want),
-		"subgeminid_pattern_cache_hits_total": 1,
+		"subgeminid_match_runs_total":           2,
+		"subgeminid_match_instances_total":      float64(2 * want),
+		"subgeminid_pattern_cache_hits_total":   1,
 		"subgeminid_pattern_cache_misses_total": 1,
-		"subgeminid_pattern_cache_hit_rate":   0.5,
-		"subgeminid_matches_inflight":         0,
-		"subgeminid_requests_errors_total":    0,
+		"subgeminid_pattern_cache_hit_rate":     0.5,
+		"subgeminid_matches_inflight":           0,
+		"subgeminid_requests_errors_total":      0,
 	}
 	for name, want := range checks {
 		if got, ok := met[name]; !ok || got != want {

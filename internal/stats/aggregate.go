@@ -31,6 +31,7 @@ func (a *Aggregate) Add(r *Report) {
 	a.sum.Phase1Duration += r.Phase1Duration
 	a.sum.CVSize += r.CVSize
 	a.sum.Candidates += r.Candidates
+	a.sum.CandidatesMatched += r.CandidatesMatched
 	a.sum.Phase2Passes += r.Phase2Passes
 	a.sum.Guesses += r.Guesses
 	a.sum.Backtracks += r.Backtracks

@@ -4,6 +4,11 @@
 // durations.  The counters correspond to the quantities the paper discusses
 // when arguing that SubGemini runs in time roughly linear in the total
 // number of devices inside the matched subcircuits.
+//
+// A Report summarizes one run; an Aggregate folds many Reports together
+// for long-lived consumers (the subgeminid /metrics endpoint, the benchtab
+// tables).  For per-event rather than per-run visibility, see the
+// internal/trace package.
 package stats
 
 import (
@@ -22,12 +27,13 @@ type Report struct {
 	EarlyAbort     bool          // Phase I proved no instance can exist
 
 	// Phase II.
-	Candidates     int           // candidate vertices examined
-	Phase2Passes   int           // relabeling passes across all candidates
-	Guesses        int           // ambiguity resolutions attempted
-	Backtracks     int           // guesses that failed and were undone
-	VerifyCalls    int           // full mapping verifications performed
-	Phase2Duration time.Duration // wall-clock spent in Phase II
+	Candidates        int           // candidate vertices examined
+	CandidatesMatched int           // candidates whose verification produced an instance (pre-dedup)
+	Phase2Passes      int           // relabeling passes across all candidates
+	Guesses           int           // ambiguity resolutions attempted
+	Backtracks        int           // guesses that failed and were undone
+	VerifyCalls       int           // full mapping verifications performed
+	Phase2Duration    time.Duration // wall-clock spent in Phase II
 
 	// Outcome.
 	Instances      int // instances found

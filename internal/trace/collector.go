@@ -1,0 +1,69 @@
+package trace
+
+import "sync"
+
+// Collector is an in-memory ring-buffered sink: it keeps the newest
+// Capacity events and counts the rest as dropped, so a long-running match
+// can stay traced with bounded memory.  It is safe for concurrent use
+// (FindParallel workers emit concurrently).
+type Collector struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // ring write position once the buffer is full
+	total uint64 // events ever observed
+}
+
+// NewCollector returns a Collector retaining the newest capacity events;
+// capacity <= 0 selects 4096.
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Collector{buf: make([]Event, 0, capacity)}
+}
+
+// Event records e, evicting the oldest event when the ring is full.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	c.total++
+	if len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, e)
+	} else {
+		c.buf[c.next] = e
+		c.next = (c.next + 1) % len(c.buf)
+	}
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, 0, len(c.buf))
+	out = append(out, c.buf[c.next:]...)
+	out = append(out, c.buf[:c.next]...)
+	return out
+}
+
+// Total returns how many events were observed, including dropped ones.
+func (c *Collector) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total - uint64(len(c.buf))
+}
+
+// Reset discards all retained events and zeroes the counters.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.buf = c.buf[:0]
+	c.next = 0
+	c.total = 0
+	c.mu.Unlock()
+}

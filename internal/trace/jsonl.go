@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SchemaV1 identifies the JSON Lines trace format this package writes: the
+// first line of a trace file is a header object {"schema": SchemaV1}, and
+// every following line is one Event in emission order.  The schema id is
+// versioned so readers (cmd/tracefmt, external tooling) can reject formats
+// they do not understand; see EXPERIMENTS.md "Tracing & profiling" for the
+// field-by-field description.
+const SchemaV1 = "subgemini-trace/v1"
+
+// header is the first line of a JSONL trace stream.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// JSONLWriter streams events as JSON Lines (one compact JSON object per
+// line) prefixed by a schema header.  It is safe for concurrent use; write
+// errors are sticky and reported by Err rather than panicking mid-match.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w and immediately writes the SchemaV1 header line.
+// The caller owns w; call Flush (or check Err) before closing it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	j := &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	j.err = j.enc.Encode(header{Schema: SchemaV1})
+	return j
+}
+
+// Event appends e as one JSON line.  After the first write error the
+// writer goes silent; the error is available from Err.
+func (j *JSONLWriter) Event(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// Flush drains the internal buffer to the underlying writer and returns
+// the first error observed, if any.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = j.bw.Flush()
+	}
+	return j.err
+}
+
+// Err returns the first write or encode error, without flushing.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses a JSONL trace stream produced by JSONLWriter: it
+// validates the schema header and returns the events in file order.
+// Unknown fields are ignored so a v1 reader tolerates additive growth.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty stream (no schema header)")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: malformed header line: %w", err)
+	}
+	if h.Schema != SchemaV1 {
+		return nil, fmt.Errorf("trace: unsupported schema %q (want %q)", h.Schema, SchemaV1)
+	}
+	var events []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -15,6 +15,8 @@
 //   - circuit graphs: New, AddNet/AddDevice (see Circuit)
 //   - netlist I/O: ParseNetlist, WriteNetlist, WriteSubckt
 //   - matching: Find, NewMatcher, Options, Instance
+//   - algorithm tracing: Tracer, NewTraceCollector, NewJSONLTracer
+//     (see ALGORITHM.md for the phase-by-phase walkthrough)
 //   - graph isomorphism (Gemini): Compare
 //   - extraction and rule checking: ExtractCells, CheckRules
 //   - the CMOS standard-cell library: Cell, Cells
@@ -42,6 +44,7 @@ import (
 	"subgemini/internal/server"
 	"subgemini/internal/sprecog"
 	"subgemini/internal/stdcell"
+	"subgemini/internal/trace"
 	"subgemini/internal/verilog"
 )
 
@@ -118,6 +121,39 @@ func FindNaive(g, s *Circuit, globals []string, maxInstances int) ([]*Instance, 
 	}
 	return res.Instances, nil
 }
+
+// Tracing (algorithm observability).  Install a sink via Options.Tracer to
+// receive one structured event per Phase I relabeling pass, one for the
+// candidate-vector selection, and one per Phase II candidate examined; see
+// ALGORITHM.md for a worked example of the stream.
+type (
+	// Tracer is the event sink interface; implementations must be cheap
+	// (events fire on the matching hot path) and, when used with
+	// FindParallel, safe for concurrent use.
+	Tracer = trace.Tracer
+	// TraceEvent is one trace record: a run boundary, a Phase I pass, the
+	// candidate-vector selection, or a Phase II candidate outcome.
+	TraceEvent = trace.Event
+	// TraceCollector is a bounded in-memory ring of the most recent events.
+	TraceCollector = trace.Collector
+	// JSONLTracer streams events as subgemini-trace/v1 JSON Lines.
+	JSONLTracer = trace.JSONLWriter
+)
+
+// NewTraceCollector returns an in-memory event sink retaining the most
+// recent capacity events (capacity <= 0 selects a default of 4096).
+func NewTraceCollector(capacity int) *TraceCollector { return trace.NewCollector(capacity) }
+
+// NewJSONLTracer returns an event sink streaming subgemini-trace/v1 JSON
+// Lines to w.  Call Flush after the run and check its error.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return trace.NewJSONLWriter(w) }
+
+// ReadTraceJSONL parses a subgemini-trace/v1 stream back into events.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return trace.ReadJSONL(r) }
+
+// RenderTrace formats events as the human-readable per-run tables that
+// cmd/tracefmt (and ALGORITHM.md) show.
+func RenderTrace(w io.Writer, events []TraceEvent) error { return trace.Render(w, events) }
 
 // Serving (the subgeminid daemon logic).
 type (
