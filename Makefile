@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race bench docs docs-check clean
+.PHONY: all tier1 build test vet race diff bench bench-smoke bench-compare docs docs-check clean
 
 all: tier1
 
@@ -9,7 +9,21 @@ all: tier1
 # must stay race-clean).  This is a superset of the ROADMAP.md verify
 # command (go build ./... && go test ./...); the race run includes
 # cmd/docgen's staleness test, so a stale ALGORITHM.md fails tier-1.
-tier1: vet docs-check race
+# The differential run and the benchmark smoke keep the Phase I engines
+# honest: every engine configuration must agree bit for bit, and the
+# benchmarks must at least compile and complete one iteration.
+tier1: vet docs-check race diff bench-smoke
+
+# Phase I engine differential: legacy vs CSR vs striped CSR on random
+# circuits, twice (scratch-pool reuse across runs is part of the contract),
+# under the race detector with the striping grain forced down.
+diff:
+	$(GO) test -race -count=2 -run 'TestPhase1Differential|TestScratchPoolReuse' ./internal/core/
+
+# One-iteration benchmark pass: catches bit-rot in the benchmark harness
+# without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPhase1|BenchmarkFindScratch' -benchtime 1x ./internal/core/
 
 build:
 	$(GO) build ./...
@@ -23,9 +37,28 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Regenerate the evaluation tables (EXPERIMENTS.md records the shapes).
+# Regenerate the evaluation tables (EXPERIMENTS.md records the shapes) and
+# archive them as a BENCH_<commit>.json snapshot for cross-PR comparison.
 bench:
-	$(GO) run ./cmd/benchtab -table all
+	$(GO) run ./cmd/benchtab -table all -json BENCH_$$(git rev-parse --short HEAD).json
+
+# Compare the Go benchmarks between two git revisions with benchstat when
+# it is installed, falling back to printing both runs side by side:
+#   make bench-compare OLD=main NEW=HEAD
+OLD ?= HEAD~1
+NEW ?= HEAD
+bench-compare:
+	@tmp=$$(mktemp -d); \
+	for rev in $(OLD) $(NEW); do \
+		echo "== benchmarks at $$rev =="; \
+		git -c advice.detachedHead=false worktree add -q $$tmp/$$rev $$rev && \
+		( cd $$tmp/$$rev && $(GO) test -run '^$$' -bench 'BenchmarkPhase1|BenchmarkFindScratch' -benchtime 100x -count 3 ./internal/core/ ) \
+			| tee $$tmp/$$rev.txt; \
+		git worktree remove --force $$tmp/$$rev; \
+	done; \
+	if command -v benchstat >/dev/null; then benchstat $$tmp/$(OLD).txt $$tmp/$(NEW).txt; \
+	else echo "(benchstat not installed; raw runs above)"; fi; \
+	rm -rf $$tmp
 
 # Rebuild the tracer-generated tables in ALGORITHM.md from the paper's
 # Fig. 1 example (cmd/docgen); docs-check fails when they are stale.

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table results|scaling|baseline|ablation|coverage|all] [-quick] [-json out.json]
+//	benchtab [-table results|scaling|baseline|ablation|coverage|phase1|all] [-quick] [-json out.json]
 //
 // Absolute times are machine-dependent; the shapes the paper claims —
 // instance counts, tight candidate vectors, flat time-per-matched-device,
@@ -39,10 +39,11 @@ type jsonOutput struct {
 	Baseline      []bench.BaselineRow `json:"baseline,omitempty"`
 	Ablation      []bench.AblationRow `json:"ablation,omitempty"`
 	Coverage      []bench.CoverageRow `json:"coverage,omitempty"`
+	Phase1        []bench.Phase1Row   `json:"phase1,omitempty"`
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, all")
+	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, phase1, all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
@@ -79,6 +80,11 @@ func main() {
 	run("coverage", func() error {
 		rows, err := coverage()
 		out.Coverage = rows
+		return err
+	})
+	run("phase1", func() error {
+		rows, err := phase1(*quick)
+		out.Phase1 = rows
 		return err
 	})
 
@@ -214,6 +220,32 @@ func ablation() ([]bench.AblationRow, error) {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%s\n", r.Case, r.CVSize, r.Instances, round(r.Total), r.Note)
 	}
 	w.Flush()
+	fmt.Println()
+	return rows, nil
+}
+
+func phase1(quick bool) ([]bench.Phase1Row, error) {
+	rows, err := bench.Phase1Scaling(quick)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== Phase I engines: legacy vs CSR, workers sweep ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdevices\tpattern\tengine\tworkers\tpasses\tpruned\t|CV|\tfound\tphase1 (min)")
+	last := ""
+	for _, r := range rows {
+		if r.Circuit != last {
+			if last != "" {
+				fmt.Fprintln(w, "\t\t\t\t\t\t\t\t\t")
+			}
+			last = r.Circuit
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.Circuit, r.Devices, r.Pattern, r.Engine, r.Workers,
+			r.Passes, r.Pruned, r.CVSize, r.Found, round(r.P1))
+	}
+	w.Flush()
+	fmt.Println("(all configurations must agree on every column but the time; worker rows need real cores to win)")
 	fmt.Println()
 	return rows, nil
 }

@@ -20,6 +20,11 @@
 //	-max N             stop after N instances
 //	-workers N         verify Phase II candidates over N workers
 //	                   (-1 = all CPUs; incompatible with -nonoverlap/-max)
+//	-phase1workers N   stripe Phase I relabeling of the main circuit over
+//	                   N goroutines (results are bit-identical; defaults
+//	                   to -workers when that is set, else sequential)
+//	-phase1legacy      use the pointer-walking reference Phase I engine
+//	                   instead of the data-oriented CSR engine
 //	-v                 trace the phases to stderr
 //	-tracetable        print Table-1-style per-pass label tables
 //	-trace FILE        write a subgemini-trace/v1 JSONL event stream
@@ -62,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nonOverlap  = flag.Bool("nonoverlap", false, "report only disjoint instances")
 		maxInst     = flag.Int("max", 0, "stop after this many instances (0 = no limit)")
 		workers     = flag.Int("workers", 0, "verify Phase II candidates over N workers, 0 = sequential (-1 = all CPUs; incompatible with -nonoverlap and -max)")
+		p1Workers   = flag.Int("phase1workers", 0, "stripe Phase I relabeling over N goroutines (0 = follow -workers)")
+		p1Legacy    = flag.Bool("phase1legacy", false, "use the pointer-walking reference Phase I engine")
 		verbose     = flag.Bool("v", false, "trace matching to stderr")
 		traceTable  = flag.Bool("tracetable", false, "print a Table-1-style per-pass label table for every Phase II candidate")
 		tracePath   = flag.String("trace", "", `write a subgemini-trace/v1 JSONL event stream to this file ("-" = stdout; render with tracefmt)`)
@@ -89,6 +96,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	opts := subgemini.Options{
 		MaxInstances: *maxInst,
+		Workers:      *p1Workers,
+		LegacyPhase1: *p1Legacy,
+	}
+	if opts.Workers == 0 && *workers > 0 {
+		// A Phase II fan-out is a statement that cores are available; let
+		// Phase I use them too unless told otherwise.
+		opts.Workers = *workers
 	}
 	if *globalsCSV != "" {
 		opts.Globals = strings.Split(*globalsCSV, ",")

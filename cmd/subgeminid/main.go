@@ -30,6 +30,8 @@
 //	-max-timeout 5m      upper bound on client-requested deadlines
 //	-max-concurrent N    match slots (admission control; 0 = GOMAXPROCS)
 //	-max-workers N       cap on per-request "workers" fan-out
+//	-phase1-workers N    default Phase I relabeling fan-out for requests
+//	                     that do not set "workers" (0 = sequential)
 //	-max-body N          request body limit in bytes
 //	-no-preload          skip compiling the built-in library at startup
 //
@@ -80,6 +82,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxTimeout  = flags.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		maxConc     = flags.Int("max-concurrent", 0, "concurrent match slots (0 = GOMAXPROCS)")
 		maxWorkers  = flags.Int("max-workers", 0, "cap on per-request workers fan-out (0 = GOMAXPROCS)")
+		p1Workers   = flags.Int("phase1-workers", 0, "default Phase I relabeling fan-out when a request sets no workers (0 = sequential)")
 		maxBody     = flags.Int64("max-body", 16<<20, "request body limit in bytes")
 		noPreload   = flags.Bool("no-preload", false, "skip compiling the built-in cell library at startup")
 		drain       = flags.Duration("drain", 10*time.Second, "graceful-shutdown drain period")
@@ -93,6 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxTimeout:      *maxTimeout,
 		MaxConcurrent:   *maxConc,
 		MaxWorkers:      *maxWorkers,
+		Phase1Workers:   *p1Workers,
 		MaxBodyBytes:    *maxBody,
 		PreloadBuiltins: !*noPreload,
 		Logf: func(format string, a ...any) {

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"subgemini/internal/csr"
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
@@ -79,6 +80,35 @@ type Options struct {
 	// bit-for-bit reproducible.
 	Seed uint64
 
+	// Workers stripes the main-graph side of each Phase I relabeling and
+	// consistency pass across this many goroutines (0 or 1 = sequential).
+	// Results are bit-identical for every worker count: the relabeling sum
+	// commutes and striped chunks merge in deterministic order (see
+	// phase1csr.go).  FindParallel defaults this to its own worker count
+	// when unset.  Ignored by the legacy engine.
+	Workers int
+
+	// LegacyPhase1 selects the pointer-walking reference implementation of
+	// Phase I instead of the data-oriented CSR engine.  Both produce
+	// identical results; the reference engine exists for differential
+	// testing and as executable documentation of the paper's formulation.
+	LegacyPhase1 bool
+
+	// CSR, when non-nil, supplies a prebuilt flat view of the main circuit
+	// (see NewCSR), letting long-lived callers like subgeminid build it
+	// once per resident circuit and share it across matchers; the view is
+	// immutable and safe for concurrent use.  It must describe the same
+	// circuit passed to NewMatcher (vertex counts are checked; a mismatch
+	// falls back to building a fresh view).  Nil means the Matcher builds
+	// and caches its own on first use.
+	CSR *CSR
+
+	// Scratch, when non-nil, recycles the O(|G|) per-run Phase II state
+	// across Find calls (see ScratchPool).  Sharing one pool across the
+	// matchers of one resident circuit removes the dominant steady-state
+	// allocation of a match request.
+	Scratch *ScratchPool
+
 	// Cancel, when non-nil, is polled between Phase I relabeling passes
 	// and between Phase II candidates; the first non-nil return aborts
 	// the run and Find/FindParallel return that error.  Wiring a request
@@ -99,9 +129,9 @@ type Options struct {
 	// relabeling pass, one for the candidate-vector selection, and one per
 	// Phase II candidate examined (see internal/trace for the event
 	// schema and the provided sinks).  A nil Tracer costs nothing; the
-	// no-op sink costs no allocations.  FindParallel emits candidate
-	// events from every worker, so a Tracer used there must be safe for
-	// concurrent use.
+	// no-op sink costs no allocations.  FindParallel with a Tracer falls
+	// back to the sequential matcher so the event stream keeps the
+	// deterministic candidate order the sinks and docgen rely on.
 	Tracer trace.Tracer
 
 	// TraceTable, when non-nil, receives a Table-1-style rendering of every
@@ -255,6 +285,34 @@ type Matcher struct {
 	// depend only on the circuit and its global marks — both fixed at
 	// NewMatcher time — so repeated Find calls skip recomputing them.
 	gInitLab []label.Value
+
+	// gCSR caches the flat CSR view of the main graph for the
+	// data-oriented Phase I engine.  Unlike gInitLab it survives global
+	// re-marking: the view captures structure only.
+	gCSR *csr.Graph
+}
+
+// CSR is a flat compressed-sparse-row view of a circuit, the representation
+// the Phase I engine relabels over.  Build one with NewCSR to share across
+// matchers of the same circuit via Options.CSR.
+type CSR = csr.Graph
+
+// NewCSR builds the flat view of a circuit.  The view captures structure
+// only (connectivity and terminal classes), is immutable, and is safe to
+// share between any number of concurrent matchers.
+func NewCSR(g *graph.Circuit) *CSR { return csr.New(g) }
+
+// csrView returns the cached CSR view of the main graph, adopting a
+// caller-supplied prebuilt view when it matches the circuit.
+func (m *Matcher) csrView() *csr.Graph {
+	if m.gCSR == nil {
+		if v := m.opts.CSR; v != nil && v.Fits(m.g) {
+			m.gCSR = v
+		} else {
+			m.gCSR = csr.New(m.g)
+		}
+	}
+	return m.gCSR
 }
 
 // typeLabel returns the cached label.TypeLabel of a device type.
@@ -382,6 +440,7 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		}
 		return res, nil
 	}
+	defer p2.close()
 	seen := make(map[string]bool)
 	var sigBuf []int
 	for _, c := range cv {

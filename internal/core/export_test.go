@@ -1,0 +1,39 @@
+package core
+
+import (
+	"subgemini/internal/graph"
+	"subgemini/internal/label"
+	"subgemini/internal/stats"
+)
+
+// Test-only hooks for package-external tests (the differential tests live
+// in core_test so they can use internal/gen, which depends on this
+// package).
+
+// SetP1Grain overrides the striping grain and returns a restore func, so
+// differential tests can force the parallel code paths on small circuits.
+func SetP1Grain(n int) (restore func()) {
+	old := p1Grain
+	p1Grain = n
+	return func() { p1Grain = old }
+}
+
+// RunPhase1ForTest runs candidate generation alone, mirroring Find's
+// global cross-marking, and returns the key vertex, candidate vector, and
+// the report counters Phase I filled in.
+func RunPhase1ForTest(m *Matcher, s *graph.Circuit) (label.VID, []label.VID, stats.Report, error) {
+	for _, n := range s.Globals() {
+		m.markGlobal(n.Name)
+	}
+	for _, n := range m.g.Globals() {
+		s.MarkGlobal(n.Name)
+	}
+	pat, err := newPattern(s, &m.opts)
+	if err != nil {
+		return 0, nil, stats.Report{}, err
+	}
+	var rep stats.Report
+	p1 := newPhase1(m, pat, &rep)
+	key, cv, err := p1.run()
+	return key, cv, rep, err
+}

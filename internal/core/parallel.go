@@ -34,10 +34,11 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || m.opts.Trace != nil {
+	if workers == 1 || m.opts.Trace != nil || m.opts.Tracer != nil {
 		// Tracing interleaves arbitrarily across workers; a traced run
 		// falls back to the sequential matcher, which produces the same
-		// instances.
+		// instances with a deterministic, ordered trace (Phase I still
+		// honors Options.Workers inside Find).
 		return m.Find(s)
 	}
 	if s == nil {
@@ -62,6 +63,12 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 
 	t0 := time.Now()
 	p1 := newPhase1(m, pat, &res.Report)
+	if m.opts.Workers == 0 && !m.opts.LegacyPhase1 {
+		// Unless the caller pinned a Phase I worker count, reuse the
+		// Phase II fan-out: Phase I striping is deterministic for any
+		// count, so this only affects speed.
+		p1.workers = workers
+	}
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
 	if err != nil {
@@ -114,6 +121,7 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 				sh.err = err
 				return
 			}
+			defer p2.close()
 			for i := w; i < len(cv); i += workers {
 				if m.opts.cancelled() != nil {
 					// The definitive error is re-polled after the join;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"subgemini/internal/csr"
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
@@ -32,7 +33,14 @@ const (
 	g1Global                // special signal
 )
 
-// phase1 carries the state of the candidate-vector generation phase.
+// phase1 carries the state of the candidate-vector generation phase.  Two
+// interchangeable engines drive the relabeling passes: the default
+// data-oriented engine walks a flat CSR view with compact active-vertex
+// worklists (and can stripe the main-graph side across goroutines), while
+// the legacy engine walks Device/Net pointers and re-scans every vertex
+// each pass.  Both produce bit-identical labels, prune decisions, and
+// candidate vectors; Options.LegacyPhase1 keeps the reference engine
+// selectable for differential testing.
 type phase1 struct {
 	m   *Matcher
 	pat *pattern
@@ -40,9 +48,39 @@ type phase1 struct {
 
 	sSpace, gSpace *label.Space
 	sLab, gLab     []label.Value
-	sNew, gNew     []label.Value
+	sNew, gNew     []label.Value // legacy double-buffers; nil in the CSR engine
 	sState         []p1State
 	gState         []g1State
+
+	// legacy selects the pointer-walking reference engine.
+	legacy bool
+	// workers is the goroutine count for main-graph passes (>= 1).
+	workers int
+
+	// CSR engine state: flat views of both graphs plus the active-vertex
+	// worklists.  The lists hold exactly the valid (pattern) or active
+	// (main) non-global vertices of each kind, in ascending VID order, and
+	// are compacted as vertices corrupt or prune, so a pruned vertex costs
+	// nothing after the pass that pruned it.
+	sCSR, gCSR       *csr.Graph
+	sActDev, sActNet []int32
+	gActDev, gActNet []int32
+
+	// Reusable consistency-count maps of the legacy engine, cleared rather
+	// than reallocated between passes.
+	sCount, gCount map[label.Value]int
+
+	// Consistency scratch of the CSR engine: the valid pattern labels of a
+	// pass, sorted and run-length compressed into distinct keys with
+	// pattern counts (sCnt) and main-graph counts (gCnt).  Flat arrays
+	// instead of maps: the per-vertex prune test becomes a binary search.
+	sKeys []label.Value
+	sCnt  []int32
+	gCnt  []int32
+
+	// par holds the per-goroutine scratch for striped main-graph passes;
+	// allocated lazily on the first striped consistency check.
+	par *p1Par
 
 	// tracer, when non-nil, records per-round state for the Fig. 2/4-style
 	// rendering (Options.TraceTable).
@@ -60,13 +98,20 @@ func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
 		m: m, pat: pat, rep: rep,
 		sSpace: pat.space,
 		gSpace: m.gSpace,
+		legacy: m.opts.LegacyPhase1,
+	}
+	p.workers = m.opts.Workers
+	if p.workers < 1 || p.legacy {
+		p.workers = 1
 	}
 	p.sLab = make([]label.Value, p.sSpace.Size())
-	p.sNew = make([]label.Value, p.sSpace.Size())
 	p.sState = make([]p1State, p.sSpace.Size())
 	p.gLab = make([]label.Value, p.gSpace.Size())
-	p.gNew = make([]label.Value, p.gSpace.Size())
 	p.gState = make([]g1State, p.gSpace.Size())
+	if p.legacy {
+		p.sNew = make([]label.Value, p.sSpace.Size())
+		p.gNew = make([]label.Value, p.gSpace.Size())
+	}
 
 	for _, d := range pat.s.Devices {
 		v := p.sSpace.DevVID(d)
@@ -128,6 +173,12 @@ func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
 			p.gState[v] = g1Global
 		}
 	}
+	if p.legacy {
+		p.sCount = make(map[label.Value]int)
+		p.gCount = make(map[label.Value]int)
+	} else {
+		p.initCSR()
+	}
 	return p
 }
 
@@ -157,6 +208,7 @@ func initialDeviceLabel(m *Matcher, d *graph.Device) label.Value {
 // fired: cancellation is polled before every relabeling pass so a deadline
 // holds even while candidate generation walks a huge main graph.
 func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
+	p.rep.Phase1Workers = p.workers
 	if p.m.opts.TraceTable != nil {
 		p.tracer = newPhase1Tracer(p)
 	}
@@ -242,43 +294,32 @@ func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 // whatever the installed sink does with the event.
 func (p *phase1) emitPass(etr trace.Tracer, pass int, side trace.Side) {
 	e := trace.Event{Kind: trace.KindPhase1Pass, Pass: pass, Side: side}
-	devs := side == trace.SideDevices
 	p.traceLabs = p.traceLabs[:0]
-	if devs {
-		for _, d := range p.pat.s.Devices {
-			v := p.sSpace.DevVID(d)
-			switch p.sState[v] {
-			case p1Valid:
-				e.PatternValid++
-				p.traceLabs = append(p.traceLabs, p.sLab[v])
-			case p1Corrupt:
-				e.PatternCorrupt++
-			}
-		}
-		for _, d := range p.m.g.Devices {
-			if p.gState[p.gSpace.DevVID(d)] == g1Active {
-				e.MainActive++
-			} else if p.gState[p.gSpace.DevVID(d)] == g1Pruned {
-				e.MainPruned++
-			}
-		}
+	// Device and net vertices occupy contiguous VID ranges (devices first),
+	// so one range scan per side replaces the per-vertex DevVID/NetVID
+	// translation the pointer walk needed.
+	var sLo, sHi, gLo, gHi int
+	if side == trace.SideDevices {
+		sHi, gHi = p.sSpace.NumDevices(), p.gSpace.NumDevices()
 	} else {
-		for _, n := range p.pat.s.Nets {
-			v := p.sSpace.NetVID(n)
-			switch p.sState[v] {
-			case p1Valid:
-				e.PatternValid++
-				p.traceLabs = append(p.traceLabs, p.sLab[v])
-			case p1Corrupt:
-				e.PatternCorrupt++
-			}
+		sLo, sHi = p.sSpace.NumDevices(), p.sSpace.Size()
+		gLo, gHi = p.gSpace.NumDevices(), p.gSpace.Size()
+	}
+	for v := sLo; v < sHi; v++ {
+		switch p.sState[v] {
+		case p1Valid:
+			e.PatternValid++
+			p.traceLabs = append(p.traceLabs, p.sLab[v])
+		case p1Corrupt:
+			e.PatternCorrupt++
 		}
-		for _, n := range p.m.g.Nets {
-			if p.gState[p.gSpace.NetVID(n)] == g1Active {
-				e.MainActive++
-			} else if p.gState[p.gSpace.NetVID(n)] == g1Pruned {
-				e.MainPruned++
-			}
+	}
+	for v := gLo; v < gHi; v++ {
+		switch p.gState[v] {
+		case g1Active:
+			e.MainActive++
+		case g1Pruned:
+			e.MainPruned++
 		}
 	}
 	e.PatternPartitions = countDistinct(p.traceLabs)
@@ -311,6 +352,23 @@ func countDistinct(labs []label.Value) int {
 // relabelNets applies the Fig. 3 relabeling function to every valid pattern
 // net and every active main-graph net simultaneously.
 func (p *phase1) relabelNets() {
+	if p.legacy {
+		p.relabelNetsLegacy()
+		return
+	}
+	p.relabelCSR(p.sActNet, p.gActNet)
+}
+
+// relabelDevices is the device-side counterpart of relabelNets.
+func (p *phase1) relabelDevices() {
+	if p.legacy {
+		p.relabelDevicesLegacy()
+		return
+	}
+	p.relabelCSR(p.sActDev, p.gActDev)
+}
+
+func (p *phase1) relabelNetsLegacy() {
 	for _, n := range p.pat.s.Nets {
 		v := p.sSpace.NetVID(n)
 		if p.sState[v] != p1Valid {
@@ -337,8 +395,7 @@ func (p *phase1) relabelNetFrom(n *graph.Net, sp *label.Space, lab []label.Value
 	return acc
 }
 
-// relabelDevices is the device-side counterpart of relabelNets.
-func (p *phase1) relabelDevices() {
+func (p *phase1) relabelDevicesLegacy() {
 	for _, d := range p.pat.s.Devices {
 		v := p.sSpace.DevVID(d)
 		if p.sState[v] != p1Valid {
@@ -397,6 +454,10 @@ func (p *phase1) commitDevices() {
 // corruptNets marks valid pattern nets corrupt when any neighboring device
 // is corrupt; its label may then differ from its image's label.
 func (p *phase1) corruptNets() {
+	if !p.legacy {
+		p.sActNet = p.corruptCSR(p.sActNet)
+		return
+	}
 	for _, n := range p.pat.s.Nets {
 		v := p.sSpace.NetVID(n)
 		if p.sState[v] != p1Valid {
@@ -414,6 +475,10 @@ func (p *phase1) corruptNets() {
 // corruptDevices marks valid pattern devices corrupt when any neighboring
 // net is corrupt.  Global nets never corrupt their neighbors.
 func (p *phase1) corruptDevices() {
+	if !p.legacy {
+		p.sActDev = p.corruptCSR(p.sActDev)
+		return
+	}
 	for _, d := range p.pat.s.Devices {
 		v := p.sSpace.DevVID(d)
 		if p.sState[v] != p1Valid {
@@ -431,6 +496,13 @@ func (p *phase1) corruptDevices() {
 // allCorrupt reports whether every pattern vertex of the given kind (devices
 // if devs, otherwise non-global nets) has been invalidated.
 func (p *phase1) allCorrupt(devs bool) bool {
+	if !p.legacy {
+		// The worklists hold exactly the valid vertices of each kind.
+		if devs {
+			return len(p.sActDev) == 0
+		}
+		return len(p.sActNet) == 0
+	}
 	if devs {
 		for _, d := range p.pat.s.Devices {
 			if p.sState[p.sSpace.DevVID(d)] == p1Valid {
@@ -453,36 +525,40 @@ func (p *phase1) allCorrupt(devs bool) bool {
 // and returns false when some main-graph partition is smaller than the
 // same-label pattern partition, which proves that no instance exists.
 func (p *phase1) consistency(devs bool) bool {
-	sCount := make(map[label.Value]int)
+	if !p.legacy {
+		return p.consistencyCSR(devs)
+	}
+	clear(p.sCount)
 	if devs {
 		for _, d := range p.pat.s.Devices {
 			v := p.sSpace.DevVID(d)
 			if p.sState[v] == p1Valid {
-				sCount[p.sLab[v]]++
+				p.sCount[p.sLab[v]]++
 			}
 		}
 	} else {
 		for _, n := range p.pat.s.Nets {
 			v := p.sSpace.NetVID(n)
 			if p.sState[v] == p1Valid {
-				sCount[p.sLab[v]]++
+				p.sCount[p.sLab[v]]++
 			}
 		}
 	}
-	if len(sCount) == 0 {
+	if len(p.sCount) == 0 {
 		// Nothing valid on this side: no constraints to apply, and the
 		// main-graph side must be left untouched for contribution labels.
 		return true
 	}
-	gCount := make(map[label.Value]int)
+	clear(p.gCount)
 	prune := func(v label.VID) {
 		if p.gState[v] != g1Active {
 			return
 		}
-		if _, ok := sCount[p.gLab[v]]; !ok {
+		if _, ok := p.sCount[p.gLab[v]]; !ok {
 			p.gState[v] = g1Pruned
+			p.rep.Phase1Pruned++
 		} else {
-			gCount[p.gLab[v]]++
+			p.gCount[p.gLab[v]]++
 		}
 	}
 	if devs {
@@ -494,8 +570,8 @@ func (p *phase1) consistency(devs bool) bool {
 			prune(p.gSpace.NetVID(n))
 		}
 	}
-	for lab, cs := range sCount {
-		if gCount[lab] < cs {
+	for lab, cs := range p.sCount {
+		if p.gCount[lab] < cs {
 			return false
 		}
 	}
@@ -536,18 +612,33 @@ func (p *phase1) chooseCandidates() (label.VID, []label.VID) {
 	}
 	sParts := make(map[label.Value]*part)
 	order := make([]*part, 0)
-	for v := 0; v < p.sSpace.Size(); v++ {
-		if p.sState[v] != p1Valid {
-			continue
-		}
+	addS := func(v label.VID) {
 		lab := p.sLab[v]
 		pp, ok := sParts[lab]
 		if !ok {
-			pp = &part{lab: lab, dev: p.sSpace.IsDevice(label.VID(v)), sFirst: label.VID(v)}
+			pp = &part{lab: lab, dev: p.sSpace.IsDevice(v), sFirst: v}
 			sParts[lab] = pp
 			order = append(order, pp)
 		}
 		pp.sCount++
+	}
+	// The CSR worklists hold exactly the valid (resp. active) vertices in
+	// ascending VID order, devices before nets — the same order as the
+	// legacy full scan, so the sFirst tiebreak and the per-label candidate
+	// order are identical between engines.
+	if p.legacy {
+		for v := 0; v < p.sSpace.Size(); v++ {
+			if p.sState[v] == p1Valid {
+				addS(label.VID(v))
+			}
+		}
+	} else {
+		for _, v := range p.sActDev {
+			addS(label.VID(v))
+		}
+		for _, v := range p.sActNet {
+			addS(label.VID(v))
+		}
 	}
 	if len(order) == 0 {
 		return p.fallbackCandidates()
@@ -556,17 +647,28 @@ func (p *phase1) chooseCandidates() (label.VID, []label.VID) {
 	// cross-kind label collision cannot mix devices and nets.
 	gDev := make(map[label.Value][]label.VID)
 	gNet := make(map[label.Value][]label.VID)
-	for v := 0; v < p.gSpace.Size(); v++ {
-		if p.gState[v] != g1Active {
-			continue
-		}
+	addG := func(v label.VID) {
 		if _, ok := sParts[p.gLab[v]]; !ok {
-			continue
+			return
 		}
-		if p.gSpace.IsDevice(label.VID(v)) {
-			gDev[p.gLab[v]] = append(gDev[p.gLab[v]], label.VID(v))
+		if p.gSpace.IsDevice(v) {
+			gDev[p.gLab[v]] = append(gDev[p.gLab[v]], v)
 		} else {
-			gNet[p.gLab[v]] = append(gNet[p.gLab[v]], label.VID(v))
+			gNet[p.gLab[v]] = append(gNet[p.gLab[v]], v)
+		}
+	}
+	if p.legacy {
+		for v := 0; v < p.gSpace.Size(); v++ {
+			if p.gState[v] == g1Active {
+				addG(label.VID(v))
+			}
+		}
+	} else {
+		for _, v := range p.gActDev {
+			addG(label.VID(v))
+		}
+		for _, v := range p.gActNet {
+			addG(label.VID(v))
 		}
 	}
 	var best *part

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"sync"
+
+	"subgemini/internal/csr"
+	"subgemini/internal/label"
+)
+
+// This file implements the data-oriented Phase I engine: relabeling and
+// consistency passes over flat CSR views driven by compact active-vertex
+// worklists, with the main-graph side optionally striped across
+// Options.Workers goroutines.
+//
+// Determinism argument.  The relabeling function is a sum of per-edge
+// products over wrapping uint64 arithmetic, so it commutes: the result does
+// not depend on edge order, and equals the pointer walk's fold through
+// label.Combine bit for bit.  The graph is bipartite (devices connect only
+// to nets and vice versa), so a net pass reads only device labels plus the
+// net's own old label — writing the new label in place cannot be observed
+// by any other vertex of the pass, which removes the legacy engine's
+// double-buffer commit and makes concurrent writers race-free: each striped
+// goroutine writes only its own chunk's vertices and reads only labels no
+// goroutine writes this pass.  Consistency pruning is per-vertex (a pure
+// function of the vertex label and the shared pattern counts); striped
+// chunks are contiguous slices of the worklist merged back in chunk order,
+// so the surviving list, the partition counts, and the prune decisions are
+// identical to the sequential engine's for every worker count.
+
+// p1Grain is the minimum worklist slice handed to one goroutine; shorter
+// lists run sequentially because the barrier would cost more than the work.
+// It is a variable so the differential test can force striping on small
+// circuits.
+var p1Grain = 2048
+
+// initCSR builds the flat views and the initial worklists.  The main-graph
+// view is cached on the Matcher (structure never changes); the pattern view
+// is rebuilt per run but is pattern-sized.
+func (p *phase1) initCSR() {
+	p.sCSR = csr.New(p.pat.s)
+	p.gCSR = p.m.csrView()
+	snd, sn := p.sSpace.NumDevices(), p.sSpace.Size()
+	gnd, gn := p.gSpace.NumDevices(), p.gSpace.Size()
+	// Each worklist pair shares one backing block, split at the device/net
+	// boundary; compaction slides survivors down within its own segment.
+	sBuf := make([]int32, sn)
+	p.sActDev, p.sActNet = sBuf[:0:snd], sBuf[snd:snd:sn]
+	gBuf := make([]int32, gn)
+	p.gActDev, p.gActNet = gBuf[:0:gnd], gBuf[gnd:gnd:gn]
+	for v := 0; v < snd; v++ {
+		if p.sState[v] == p1Valid {
+			p.sActDev = append(p.sActDev, int32(v))
+		}
+	}
+	for v := snd; v < sn; v++ {
+		if p.sState[v] == p1Valid {
+			p.sActNet = append(p.sActNet, int32(v))
+		}
+	}
+	for v := 0; v < gnd; v++ {
+		if p.gState[v] == g1Active {
+			p.gActDev = append(p.gActDev, int32(v))
+		}
+	}
+	for v := gnd; v < gn; v++ {
+		if p.gState[v] == g1Active {
+			p.gActNet = append(p.gActNet, int32(v))
+		}
+	}
+}
+
+// chunkCount returns how many goroutines a worklist of length n is worth.
+func (p *phase1) chunkCount(n int) int {
+	w := p.workers
+	if maxW := (n + p1Grain - 1) / p1Grain; w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// relabelBatch relabels every worklist vertex in place over the flat
+// arrays.  Hoisting the CSR fields into locals keeps the inner loop free
+// of pointer loads; this is the hottest loop of Phase I.
+func relabelBatch(g *csr.Graph, act []int32, lab []label.Value) {
+	start, adj, mul := g.Start, g.Adj, g.Mul
+	for _, v := range act {
+		acc := lab[v]
+		for e := start[v]; e < start[v+1]; e++ {
+			acc += label.Value(mul[e] * uint64(lab[adj[e]]))
+		}
+		lab[v] = acc
+	}
+}
+
+// relabelCSR runs one relabeling pass: the pattern worklist sequentially
+// (pattern graphs are tiny), the main-graph worklist striped when large
+// enough.  Labels are written in place; see the determinism argument above.
+func (p *phase1) relabelCSR(sAct, gAct []int32) {
+	relabelBatch(p.sCSR, sAct, p.sLab)
+	n := len(gAct)
+	chunks := p.chunkCount(n)
+	if chunks == 1 {
+		relabelBatch(p.gCSR, gAct, p.gLab)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < chunks; k++ {
+		lo, hi := k*n/chunks, (k+1)*n/chunks
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			relabelBatch(p.gCSR, part, p.gLab)
+		}(gAct[lo:hi])
+	}
+	relabelBatch(p.gCSR, gAct[:n/chunks], p.gLab)
+	wg.Wait()
+}
+
+// corruptCSR marks the worklist's pattern vertices corrupt when any
+// neighbor is corrupt, and returns the compacted worklist of survivors.
+func (p *phase1) corruptCSR(act []int32) []int32 {
+	kept := act[:0]
+	for _, v := range act {
+		corrupt := false
+		for e := p.sCSR.Start[v]; e < p.sCSR.Start[v+1]; e++ {
+			if p.sState[p.sCSR.Adj[e]] == p1Corrupt {
+				corrupt = true
+				break
+			}
+		}
+		if corrupt {
+			p.sState[v] = p1Corrupt
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// sortLabels is countDistinct's allocation-free shell sort, shared with
+// the consistency-run builder.
+func sortLabels(labs []label.Value) {
+	for gap := len(labs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(labs); i++ {
+			v := labs[i]
+			j := i
+			for j >= gap && v < labs[j-gap] {
+				labs[j] = labs[j-gap]
+				j -= gap
+			}
+			labs[j] = v
+		}
+	}
+}
+
+// lookupLabel returns the index of x in the sorted keys, or -1.  Pattern
+// partitions number in the tens at most, so binary search over a flat
+// array beats hashing every active main-graph vertex through a map.
+func lookupLabel(keys []label.Value, x label.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == x {
+		return lo
+	}
+	return -1
+}
+
+// consistencyCSR is the worklist form of the legacy consistency check:
+// count valid pattern labels, prune main-graph vertices whose label matches
+// no pattern partition (compacting the worklist so they never cost again),
+// and fail when a main-graph partition is smaller than its pattern twin.
+// The pattern partitions live in sorted key/count arrays (sKeys/sCnt)
+// instead of maps, so the per-vertex hot path does no hashing and the
+// steady state allocates nothing.
+func (p *phase1) consistencyCSR(devs bool) bool {
+	sAct, gAct := p.sActNet, p.gActNet
+	if devs {
+		sAct, gAct = p.sActDev, p.gActDev
+	}
+	p.sKeys = p.sKeys[:0]
+	for _, v := range sAct {
+		p.sKeys = append(p.sKeys, p.sLab[v])
+	}
+	if len(p.sKeys) == 0 {
+		// Nothing valid on this side: no constraints to apply, and the
+		// main-graph side must be left untouched for contribution labels.
+		return true
+	}
+	sortLabels(p.sKeys)
+	p.sCnt = p.sCnt[:0]
+	k := 0
+	for i, lab := range p.sKeys {
+		if i > 0 && lab == p.sKeys[k-1] {
+			p.sCnt[k-1]++
+			continue
+		}
+		p.sKeys[k] = lab
+		p.sCnt = append(p.sCnt, 1)
+		k++
+	}
+	p.sKeys = p.sKeys[:k]
+	p.gCnt = p.gCnt[:0]
+	for i := 0; i < k; i++ {
+		p.gCnt = append(p.gCnt, 0)
+	}
+	kept := p.pruneActive(gAct)
+	if devs {
+		p.gActDev = kept
+	} else {
+		p.gActNet = kept
+	}
+	for i := range p.sKeys {
+		if p.gCnt[i] < p.sCnt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// p1Par is the per-goroutine scratch of striped consistency checks: each
+// chunk accumulates survivors, partition counts, and a prune tally locally,
+// merged in chunk order after the barrier.
+type p1Par struct {
+	keep   [][]int32
+	cnt    [][]int32
+	pruned []int
+}
+
+func (pp *p1Par) grow(chunks int) {
+	for len(pp.cnt) < chunks {
+		pp.keep = append(pp.keep, nil)
+		pp.cnt = append(pp.cnt, nil)
+		pp.pruned = append(pp.pruned, 0)
+	}
+}
+
+// pruneActive partitions the worklist into survivors (returned, counted
+// into p.gCnt per pattern partition) and pruned vertices (marked, tallied
+// in Phase1Pruned).
+func (p *phase1) pruneActive(act []int32) []int32 {
+	n := len(act)
+	chunks := p.chunkCount(n)
+	keys, gLab, gState := p.sKeys, p.gLab, p.gState
+	if chunks == 1 {
+		kept := act[:0]
+		pruned := 0
+		for _, v := range act {
+			if i := lookupLabel(keys, gLab[v]); i >= 0 {
+				p.gCnt[i]++
+				kept = append(kept, v)
+			} else {
+				gState[v] = g1Pruned
+				pruned++
+			}
+		}
+		p.rep.Phase1Pruned += pruned
+		return kept
+	}
+	if p.par == nil {
+		p.par = &p1Par{}
+	}
+	p.par.grow(chunks)
+	scan := func(c int, part []int32) {
+		keep := p.par.keep[c][:0]
+		cnt := p.par.cnt[c][:0]
+		for range keys {
+			cnt = append(cnt, 0)
+		}
+		pruned := 0
+		for _, v := range part {
+			if i := lookupLabel(keys, gLab[v]); i >= 0 {
+				cnt[i]++
+				keep = append(keep, v)
+			} else {
+				gState[v] = g1Pruned
+				pruned++
+			}
+		}
+		p.par.keep[c] = keep
+		p.par.cnt[c] = cnt
+		p.par.pruned[c] = pruned
+	}
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			scan(c, act[lo:hi])
+		}(c, lo, hi)
+	}
+	scan(0, act[:n/chunks])
+	wg.Wait()
+	// Chunks are contiguous and merged in order, so the surviving list is
+	// exactly what the sequential loop would have produced.
+	kept := act[:0]
+	for c := 0; c < chunks; c++ {
+		kept = append(kept, p.par.keep[c]...)
+		p.rep.Phase1Pruned += p.par.pruned[c]
+		for i, cn := range p.par.cnt[c] {
+			p.gCnt[i] += cn
+		}
+	}
+	return kept
+}

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/label"
+	"subgemini/internal/stdcell"
+)
+
+// This file holds the differential test between the three Phase I engine
+// configurations: the legacy pointer-walking engine, the data-oriented CSR
+// engine run sequentially, and the CSR engine with striped main-graph
+// passes.  All three must produce the identical key vertex, candidate
+// vector, Report partition counters, and instance set on arbitrary random
+// circuits — the bit-identical contract Options.LegacyPhase1 exists to
+// check.
+
+type p1DiffResult struct {
+	key    label.VID
+	cv     []label.VID
+	passes int
+	pruned int
+	abort  bool
+	insts  map[string]bool
+}
+
+// runEngine generates the deterministic random design for seed, runs
+// Phase I alone (for the key/CV/counters), then a full Find (for the
+// instance set), under one engine configuration.
+func runEngine(t *testing.T, seed int64, gates int, cell *stdcell.CellDef, opts core.Options) p1DiffResult {
+	t.Helper()
+	d := gen.RandomLogic(gates, 6, seed)
+	m, err := core.NewMatcher(d.C, opts)
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	key, cv, rep, err := core.RunPhase1ForTest(m, cell.Pattern())
+	if err != nil {
+		t.Fatalf("phase1: %v", err)
+	}
+	res, err := m.Find(cell.Pattern())
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	insts := make(map[string]bool, len(res.Instances))
+	for _, in := range res.Instances {
+		insts[in.String()] = true
+	}
+	return p1DiffResult{key: key, cv: cv, passes: rep.Phase1Passes,
+		pruned: rep.Phase1Pruned, abort: rep.EarlyAbort, insts: insts}
+}
+
+func diffEqual(a, b p1DiffResult) bool {
+	if a.key != b.key || a.passes != b.passes || a.pruned != b.pruned ||
+		a.abort != b.abort || len(a.cv) != len(b.cv) || len(a.insts) != len(b.insts) {
+		return false
+	}
+	for i := range a.cv {
+		if a.cv[i] != b.cv[i] {
+			return false
+		}
+	}
+	for sig := range a.insts {
+		if !b.insts[sig] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPhase1Differential asserts the three engine configurations agree on
+// random circuits.  The striping grain is forced to 1 so the parallel code
+// paths run even on test-sized worklists.
+func TestPhase1Differential(t *testing.T) {
+	defer core.SetP1Grain(1)()
+
+	cells := []*stdcell.CellDef{stdcell.INV, stdcell.NAND2, stdcell.FA, stdcell.DFF}
+	prop := func(seed int64, gRaw, pick uint8) bool {
+		gates := 10 + int(gRaw%40)
+		cell := cells[int(pick)%len(cells)]
+
+		want := runEngine(t, seed, gates, cell, core.Options{Globals: rails, LegacyPhase1: true})
+		for name, opts := range map[string]core.Options{
+			"csr-seq":  {Globals: rails},
+			"csr-par4": {Globals: rails, Workers: 4},
+			"csr-par7": {Globals: rails, Workers: 7},
+		} {
+			got := runEngine(t, seed, gates, cell, opts)
+			if !diffEqual(want, got) {
+				t.Logf("seed=%d gates=%d cell=%s: legacy(key=%d |cv|=%d passes=%d pruned=%d abort=%v insts=%d) vs %s(key=%d |cv|=%d passes=%d pruned=%d abort=%v insts=%d)",
+					seed, gates, cell.Name,
+					want.key, len(want.cv), want.passes, want.pruned, want.abort, len(want.insts),
+					name, got.key, len(got.cv), got.passes, got.pruned, got.abort, len(got.insts))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhase1DifferentialBind covers the pre-matched paths (globals plus a
+// bound port) where main-graph vertices start out fixed and must stay off
+// the worklists.
+func TestPhase1DifferentialBind(t *testing.T) {
+	defer core.SetP1Grain(1)()
+
+	target := gen.RandomLogic(30, 5, 7).C.Nets[10].Name
+	mk := func(opts core.Options) *core.Result {
+		opts.Globals = rails
+		opts.Bind = map[string]string{"A": target}
+		res, err := core.Find(gen.RandomLogic(30, 5, 7).C, stdcell.INV.Pattern(), opts)
+		if err != nil {
+			t.Fatalf("Find: %v", err)
+		}
+		return res
+	}
+	want := mk(core.Options{LegacyPhase1: true})
+	for name, opts := range map[string]core.Options{
+		"csr-seq":  {},
+		"csr-par3": {Workers: 3},
+	} {
+		got := mk(opts)
+		if got.Report.Phase1Passes != want.Report.Phase1Passes ||
+			got.Report.Phase1Pruned != want.Report.Phase1Pruned ||
+			got.Report.CVSize != want.Report.CVSize ||
+			got.Report.KeyVertex != want.Report.KeyVertex ||
+			len(got.Instances) != len(want.Instances) {
+			t.Errorf("%s: %s vs legacy %s", name, got.Report.String(), want.Report.String())
+		}
+	}
+}

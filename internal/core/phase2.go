@@ -51,9 +51,16 @@ type phase2 struct {
 
 	// fixedS and fixedG mark pre-matched vertices (global nets and bound
 	// ports / their targets): they contribute labels but never trigger
-	// relabeling, are never reset, and never enter partitions.
-	fixedS []bool
-	fixedG []bool
+	// relabeling, are never reset, and never enter partitions.  fixedGList
+	// records the main-graph entries so close can undo them in O(fixed).
+	fixedS     []bool
+	fixedG     []bool
+	fixedGList []label.VID
+
+	// pool/scr are set when the main-graph arrays above came from an
+	// Options.Scratch pool; close returns them.
+	pool *ScratchPool
+	scr  *gscratch
 
 	matched int // pattern vertices matched so far (globals excluded)
 
@@ -101,22 +108,50 @@ func newPhase2(m *Matcher, pat *pattern, rep *stats.Report) (*phase2, error) {
 	p.sLab = make([]label.Value, sn)
 	p.sSafe = make([]bool, sn)
 	p.sMatch = make([]label.VID, sn)
-	p.gLab = make([]label.Value, gn)
-	p.gSafe = make([]bool, gn)
-	p.gMatch = make([]label.VID, gn)
-	p.inTouched = make([]bool, gn)
-	p.mark = make([]uint32, gn)
 	p.fixedS = make([]bool, sn)
-	p.fixedG = make([]bool, gn)
 	for i := range p.sInitMatch {
 		p.sInitMatch[i] = unmatched
 	}
-	for i := range p.gMatch {
-		p.gMatch[i] = unmatched
+	if sp := m.opts.Scratch; sp != nil {
+		// Adopt recycled main-graph arrays; the pool's clean-state
+		// invariant stands in for the zeroing below.
+		p.pool = sp
+		p.scr = sp.get(gn)
+		p.gLab = p.scr.gLab
+		p.gSafe = p.scr.gSafe
+		p.gMatch = p.scr.gMatch
+		p.inTouched = p.scr.inTouched
+		p.mark = p.scr.mark
+		p.fixedG = p.scr.fixedG
+		p.markID = p.scr.markID
+		p.touched = p.scr.touched[:0]
+		p.gSafeList = p.scr.gSafeList[:0]
+		p.gPendV = p.scr.gPendV[:0]
+		p.gPendL = p.scr.gPendL[:0]
+		p.gPairs = p.scr.gPairs[:0]
+	} else {
+		p.gLab = make([]label.Value, gn)
+		p.gSafe = make([]bool, gn)
+		p.gMatch = make([]label.VID, gn)
+		p.inTouched = make([]bool, gn)
+		p.mark = make([]uint32, gn)
+		p.fixedG = make([]bool, gn)
+		for i := range p.gMatch {
+			p.gMatch[i] = unmatched
+		}
 	}
-	// Pre-match global nets by name (paper §V.A) and bound ports to their
-	// targets.  A pattern global or bind target with no counterpart in the
-	// main graph means no instance can exist.
+	if err := p.initPrematch(); err != nil {
+		p.close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// initPrematch pre-matches global nets by name (paper §V.A) and bound
+// ports to their targets.  A pattern global or bind target with no
+// counterpart in the main graph means no instance can exist.
+func (p *phase2) initPrematch() error {
+	m, pat := p.m, p.pat
 	prematch := func(n *graph.Net, gn *graph.Net, lab label.Value) error {
 		sv, gv := p.sSpace.NetVID(n), p.gSpace.NetVID(gn)
 		if p.gMatch[gv] != unmatched {
@@ -134,6 +169,7 @@ func newPhase2(m *Matcher, pat *pattern, rep *stats.Report) (*phase2, error) {
 		p.gSafe[gv] = true
 		p.gMatch[gv] = sv
 		p.fixedG[gv] = true
+		p.fixedGList = append(p.fixedGList, gv)
 		return nil
 	}
 	for _, n := range pat.s.Nets {
@@ -141,30 +177,60 @@ func newPhase2(m *Matcher, pat *pattern, rep *stats.Report) (*phase2, error) {
 		case n.Global:
 			gn := m.g.NetByName(n.Name)
 			if gn == nil {
-				return nil, fmt.Errorf("core: pattern global net %q absent from circuit %s", n.Name, m.g.Name)
+				return fmt.Errorf("core: pattern global net %q absent from circuit %s", n.Name, m.g.Name)
 			}
 			if !gn.Global {
-				return nil, fmt.Errorf("core: net %q is global in the pattern but not in circuit %s", n.Name, m.g.Name)
+				return fmt.Errorf("core: net %q is global in the pattern but not in circuit %s", n.Name, m.g.Name)
 			}
 			if err := prematch(n, gn, label.GlobalLabel(n.Name)); err != nil {
-				return nil, err
+				return err
 			}
 		case pat.bind[n] != "":
 			target := pat.bind[n]
 			gn := m.g.NetByName(target)
 			if gn == nil {
-				return nil, fmt.Errorf("core: bind target net %q absent from circuit %s", target, m.g.Name)
+				return fmt.Errorf("core: bind target net %q absent from circuit %s", target, m.g.Name)
 			}
 			if gn.Degree() < n.Degree() {
-				return nil, fmt.Errorf("core: bind target %q has degree %d, pattern port %q needs at least %d",
+				return fmt.Errorf("core: bind target %q has degree %d, pattern port %q needs at least %d",
 					target, gn.Degree(), n.Name, n.Degree())
 			}
 			if err := prematch(n, gn, label.BindLabel(target)); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return p, nil
+	return nil
+}
+
+// close releases pooled scratch, restoring the pool's clean-state
+// invariant in O(touched + fixed) time.  It is a no-op when the state was
+// freshly allocated, and must be called once a pooled phase2 is done (Find
+// and FindParallel defer it).
+func (p *phase2) close() {
+	if p.pool == nil {
+		return
+	}
+	for _, v := range p.touched {
+		p.gLab[v] = 0
+		p.gSafe[v] = false
+		p.gMatch[v] = unmatched
+		p.inTouched[v] = false
+	}
+	for _, v := range p.fixedGList {
+		p.gLab[v] = 0
+		p.gSafe[v] = false
+		p.gMatch[v] = unmatched
+		p.fixedG[v] = false
+	}
+	p.scr.markID = p.markID
+	p.scr.touched = p.touched[:0]
+	p.scr.gSafeList = p.gSafeList[:0]
+	p.scr.gPendV = p.gPendV[:0]
+	p.scr.gPendL = p.gPendL[:0]
+	p.scr.gPairs = p.gPairs[:0]
+	p.pool.put(p.scr)
+	p.pool, p.scr = nil, nil
 }
 
 // reset prepares the per-candidate state.

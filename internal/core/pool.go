@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+
+	"subgemini/internal/label"
+)
+
+// ScratchPool recycles the O(|G|) main-graph arrays of Phase II
+// verification state across matching runs.  Phase II already resets only
+// the vertices a candidate touched; the pool extends that economy across
+// runs, so a long-lived caller (subgeminid serving a resident circuit) no
+// longer pays six main-graph-sized allocations per request.  The zero
+// value is ready to use, and one pool may serve any number of concurrent
+// matchers over the same circuit.  Install it via Options.Scratch.
+type ScratchPool struct {
+	pool sync.Pool
+}
+
+// gscratch bundles the main-graph-sized Phase II state.  A scratch in the
+// pool is clean: gLab zero, gSafe/inTouched/fixedG false, gMatch all
+// unmatched, and every mark entry <= markID.  phase2.close restores this
+// invariant before returning a scratch, which costs O(touched), not O(|G|).
+type gscratch struct {
+	gLab      []label.Value
+	gSafe     []bool
+	gMatch    []label.VID
+	inTouched []bool
+	mark      []uint32
+	fixedG    []bool
+	markID    uint32
+
+	// Dynamic per-run slices, kept for their grown capacity.
+	touched   []label.VID
+	gSafeList []label.VID
+	gPendV    []label.VID
+	gPendL    []label.Value
+	gPairs    []labVID
+}
+
+// get returns a clean scratch for a main graph of gn vertices.  A pooled
+// scratch of a different size (the resident circuit was swapped) is
+// discarded and a fresh one allocated.
+func (sp *ScratchPool) get(gn int) *gscratch {
+	if v := sp.pool.Get(); v != nil {
+		s := v.(*gscratch)
+		if len(s.gLab) == gn {
+			if s.markID >= 1<<31 {
+				// Round marks rely on markID strictly increasing within
+				// one scratch; restart well before uint32 wraps around.
+				clear(s.mark)
+				s.markID = 0
+			}
+			return s
+		}
+	}
+	s := &gscratch{
+		gLab:      make([]label.Value, gn),
+		gSafe:     make([]bool, gn),
+		gMatch:    make([]label.VID, gn),
+		inTouched: make([]bool, gn),
+		mark:      make([]uint32, gn),
+		fixedG:    make([]bool, gn),
+	}
+	for i := range s.gMatch {
+		s.gMatch[i] = unmatched
+	}
+	return s
+}
+
+func (sp *ScratchPool) put(s *gscratch) { sp.pool.Put(s) }

@@ -254,6 +254,7 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 		Bind:         req.Bind,
 		MaxInstances: req.Max,
 		Cancel:       s.cancelHook(ctx),
+		Scratch:      &s.scratch,
 	}
 	if req.NonOverlap {
 		opts.Policy = core.NonOverlapping
@@ -262,12 +263,25 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	if workers > s.cfg.MaxWorkers {
 		workers = s.cfg.MaxWorkers
 	}
+	// Phase I relabeling fan-out: the request's workers if set, else the
+	// daemon default, both capped like the candidate fan-out.
+	p1w := req.Workers
+	if p1w <= 0 {
+		p1w = s.cfg.Phase1Workers
+	}
+	if p1w > s.cfg.MaxWorkers {
+		p1w = s.cfg.MaxWorkers
+	}
+	opts.Workers = p1w
 
 	ckt := s.lockCircuitWithGlobals(names)
 	if ckt == nil {
 		s.mu.RUnlock()
 		return nil, errf(http.StatusConflict, "no circuit loaded; upload one with POST /v1/circuit")
 	}
+	// s.ckCSR is paired with s.circuit under the same lock we now hold;
+	// the matcher still verifies the fit before adopting it.
+	opts.CSR = s.ckCSR
 	m, err := core.NewMatcher(ckt, opts)
 	var res *core.Result
 	if err == nil {
@@ -363,8 +377,12 @@ func (s *Server) handleCircuitUpload(w http.ResponseWriter, r *http.Request) {
 	for _, g := range s.cfg.Globals {
 		ckt.MarkGlobal(g)
 	}
+	// Flatten outside the lock (uploads are rare, matches are not), then
+	// install circuit and CSR view as one unit.
+	view := core.NewCSR(ckt)
 	s.mu.Lock()
 	s.circuit = ckt
+	s.ckCSR = view
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.circuitInfo())
 }

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"subgemini/internal/core"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
 )
@@ -76,6 +77,11 @@ type Config struct {
 	// GOMAXPROCS.
 	MaxWorkers int
 
+	// Phase1Workers is the default Phase I relabeling fan-out for requests
+	// that do not set "workers" themselves (capped by MaxWorkers either
+	// way).  0 leaves Phase I sequential by default.
+	Phase1Workers int
+
 	// PreloadBuiltins compiles every built-in library cell into the
 	// pattern cache at construction time, so first requests are cache
 	// hits.  Preloading counts neither hits nor misses.
@@ -92,9 +98,19 @@ type Server struct {
 	cfg Config
 
 	// mu guards the resident circuit: matches hold RLock, uploads and
-	// global marking hold Lock.
+	// global marking hold Lock.  ckCSR is the circuit's flat CSR view,
+	// always built together with circuit under the write lock so the pair
+	// stays consistent; matches hand it to the matcher so every request
+	// shares one flattening instead of rebuilding it per Find.
 	mu      sync.RWMutex
 	circuit *graph.Circuit
+	ckCSR   *core.CSR
+
+	// scratch recycles Phase II per-candidate main-graph scratch across
+	// requests; sized to the resident circuit, it survives uploads only
+	// when the new circuit has the same vertex count (the pool rejects
+	// mismatched scratch itself).
+	scratch core.ScratchPool
 
 	cache *patternCache
 	sem   chan struct{}
@@ -136,6 +152,7 @@ func New(cfg Config) *Server {
 		for _, name := range cfg.Globals {
 			s.circuit.MarkGlobal(name)
 		}
+		s.ckCSR = core.NewCSR(s.circuit)
 	}
 	if cfg.PreloadBuiltins {
 		s.preloadBuiltins()

@@ -7,8 +7,8 @@ import "sync"
 // and the benchmark harness uses it to total a table.
 //
 // Counters and durations are summed; the per-run identification fields
-// (KeyVertex, KeyIsDevice) do not aggregate and stay zero, and EarlyAbort
-// becomes a count in Snapshot.EarlyAborts.
+// (KeyVertex, KeyIsDevice, Phase1Workers) do not aggregate and stay zero,
+// and EarlyAbort becomes a count in Snapshot.EarlyAborts.
 type Aggregate struct {
 	mu          sync.Mutex
 	runs        int
@@ -28,6 +28,7 @@ func (a *Aggregate) Add(r *Report) {
 		a.earlyAborts++
 	}
 	a.sum.Phase1Passes += r.Phase1Passes
+	a.sum.Phase1Pruned += r.Phase1Pruned
 	a.sum.Phase1Duration += r.Phase1Duration
 	a.sum.CVSize += r.CVSize
 	a.sum.Candidates += r.Candidates

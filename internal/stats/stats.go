@@ -20,6 +20,8 @@ import (
 type Report struct {
 	// Phase I.
 	Phase1Passes   int           // full net+device relabeling rounds
+	Phase1Pruned   int           // main-graph vertices pruned by consistency checks
+	Phase1Workers  int           // goroutines used for main-graph relabeling passes
 	Phase1Duration time.Duration // wall-clock spent in Phase I
 	CVSize         int           // size of the candidate vector
 	KeyVertex      string        // name of the chosen key vertex

@@ -85,7 +85,20 @@ type (
 	Matcher = core.Matcher
 	// OverlapPolicy selects MatchAll or NonOverlapping semantics.
 	OverlapPolicy = core.OverlapPolicy
+	// CircuitCSR is a flat adjacency view of a circuit; build one with
+	// NewCircuitCSR and install it via Options.CSR so several matchers over
+	// the same circuit share one flattening.
+	CircuitCSR = core.CSR
+	// ScratchPool recycles Phase II per-candidate main-graph scratch across
+	// matching runs over same-sized circuits; the zero value is ready to
+	// use via Options.Scratch, and is safe for concurrent matchers.
+	ScratchPool = core.ScratchPool
 )
+
+// NewCircuitCSR flattens a circuit into the CSR view the Phase I engine
+// runs on.  Matchers build (and cache) one on demand, so this is only
+// needed to share the view across matchers via Options.CSR.
+func NewCircuitCSR(g *Circuit) *CircuitCSR { return core.NewCSR(g) }
 
 // Overlap policies.
 const (
@@ -101,7 +114,9 @@ func NewMatcher(g *Circuit, opts Options) (*Matcher, error) { return core.NewMat
 
 // FindParallel is Find with candidate verification fanned out over the
 // given number of workers (0 = GOMAXPROCS).  MatchAll policy only; results
-// equal Find's up to a canonicalized instance order.
+// equal Find's up to a canonicalized instance order.  When Options.Tracer
+// is set it falls back to the sequential Find so the event stream keeps
+// its deterministic candidate order.
 func FindParallel(g, s *Circuit, opts Options, workers int) (*Result, error) {
 	m, err := core.NewMatcher(g, opts)
 	if err != nil {
