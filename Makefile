@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff bench bench-smoke bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet race diff bench bench-smoke smoke-daemon bench-compare docs docs-check clean
 
 all: tier1
 
@@ -12,7 +12,7 @@ all: tier1
 # The differential run and the benchmark smoke keep the Phase I engines
 # honest: every engine configuration must agree bit for bit, and the
 # benchmarks must at least compile and complete one iteration.
-tier1: vet docs-check race diff bench-smoke
+tier1: vet docs-check race diff bench-smoke smoke-daemon
 
 # Phase I engine differential: legacy vs CSR vs striped CSR on random
 # circuits, twice (scratch-pool reuse across runs is part of the contract),
@@ -24,6 +24,13 @@ diff:
 # without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPhase1|BenchmarkFindScratch' -benchtime 1x ./internal/core/
+
+# Process-level daemon smoke: boot subgeminid with a temporary data
+# directory, upload two circuits, run a sync match and an async extract
+# job, restart the daemon, and assert both circuits (and the job record)
+# reload from the snapshots.
+smoke-daemon:
+	$(GO) run ./scripts/smoke_daemon
 
 build:
 	$(GO) build ./...

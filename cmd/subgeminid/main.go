@@ -7,18 +7,29 @@
 //
 //	subgeminid -addr :8080 -circuit chip.sp -globals VDD,GND [flags]
 //
-// The daemon may also start empty and receive its circuit via
-// POST /v1/circuit.  Endpoints:
+// The daemon may also start empty and receive circuits over HTTP.  It
+// holds many named circuits at once; matches select one with ?circuit= or
+// the request's "circuit" field (default: the circuit named "default").
+// Endpoints:
 //
-//	POST /v1/match        match one pattern against the resident circuit
-//	POST /v1/match/batch  match many patterns in one request
-//	POST /v1/circuit      replace the resident main circuit
-//	GET  /v1/circuit      describe the resident main circuit
-//	GET  /v1/cells        list built-in cells and uploaded patterns
-//	GET  /healthz         liveness probe
-//	GET  /metrics         Prometheus-style metrics: counters, per-phase
-//	                      duration histograms, per-pattern outcome counters
-//	GET  /debug/pprof/    Go runtime profiles (CPU, heap, goroutine, ...)
+//	POST /v1/match               match one pattern against a stored circuit
+//	POST /v1/match/batch         match many patterns in one request
+//	PUT  /v1/circuits/{name}     store/replace a named circuit
+//	GET  /v1/circuits/{name}     describe a named circuit
+//	DEL  /v1/circuits/{name}     delete a named circuit (and its snapshot)
+//	GET  /v1/circuits            list stored circuits
+//	POST /v1/circuit             legacy: replace the "default" circuit
+//	GET  /v1/circuit             legacy: describe the "default" circuit
+//	POST /v1/jobs                submit an async match/batch/extract job
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           poll a job (state, result when done)
+//	DEL  /v1/jobs/{id}           cancel a queued or running job
+//	GET  /v1/cells               list built-in cells and uploaded patterns
+//	GET  /healthz                liveness probe
+//	GET  /metrics                Prometheus-style metrics: counters, store
+//	                             and job gauges, per-phase histograms,
+//	                             per-pattern outcome counters
+//	GET  /debug/pprof/           Go runtime profiles (CPU, heap, ...)
 //
 // Flags:
 //
@@ -26,6 +37,16 @@
 //	-circuit chip.sp     netlist whose top-level cards form the circuit
 //	-patterns lib.sp     netlist whose .SUBCKTs preload the pattern cache
 //	-globals VDD,GND     special signals applied to every match
+//	-data-dir DIR        durable state: circuit snapshots, uploaded
+//	                     patterns, and job records live here and are
+//	                     reloaded on boot (empty = memory only)
+//	-max-circuit-bytes N resident-circuit memory budget; over it, idle
+//	                     snapshotted circuits are demoted to disk and
+//	                     reloaded on demand (0 = unbounded)
+//	-max-patterns N      compiled-pattern cache capacity (LRU; 0 = 256)
+//	-job-workers N       async job worker pool size (0 = 2)
+//	-job-queue N         async job queue depth (0 = 64)
+//	-job-retention D     how long finished job records are kept (0 = 1h)
 //	-timeout 30s         default per-request match deadline
 //	-max-timeout 5m      upper bound on client-requested deadlines
 //	-max-concurrent N    match slots (admission control; 0 = GOMAXPROCS)
@@ -36,8 +57,9 @@
 //	-no-preload          skip compiling the built-in library at startup
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests get a drain period, then the process
-// exits.
+// accepting, in-flight requests get a drain period, running jobs are
+// drained (queued ones are cancelled), and snapshots are flushed before
+// the process exits.
 package main
 
 import (
@@ -86,6 +108,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxBody     = flags.Int64("max-body", 16<<20, "request body limit in bytes")
 		noPreload   = flags.Bool("no-preload", false, "skip compiling the built-in cell library at startup")
 		drain       = flags.Duration("drain", 10*time.Second, "graceful-shutdown drain period")
+		dataDir     = flags.String("data-dir", "", "directory for durable state: circuit snapshots, uploaded patterns, job records (empty = memory only)")
+		maxCktBytes = flags.Int64("max-circuit-bytes", 0, "resident-circuit memory budget in bytes; idle snapshotted circuits past it are demoted to disk (0 = unbounded)")
+		maxPatterns = flags.Int("max-patterns", 0, "compiled-pattern cache capacity, LRU-evicted (0 = 256)")
+		jobWorkers  = flags.Int("job-workers", 0, "async job worker pool size (0 = 2)")
+		jobQueue    = flags.Int("job-queue", 0, "async job queue depth (0 = 64)")
+		jobKeep     = flags.Duration("job-retention", 0, "how long finished job records are retained (0 = 1h)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
@@ -99,6 +127,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Phase1Workers:   *p1Workers,
 		MaxBodyBytes:    *maxBody,
 		PreloadBuiltins: !*noPreload,
+		DataDir:         *dataDir,
+		MaxStoreBytes:   *maxCktBytes,
+		MaxPatterns:     *maxPatterns,
+		JobWorkers:      *jobWorkers,
+		JobQueue:        *jobQueue,
+		JobRetention:    *jobKeep,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, "subgeminid: "+format+"\n", a...)
 		},
@@ -114,7 +148,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cfg.Circuit = ckt
 		fmt.Fprintf(stdout, "circuit %s: %d devices, %d nets\n", ckt.Name, ckt.NumDevices(), ckt.NumNets())
 	}
-	srv := subgemini.NewServer(cfg)
+	srv, err := subgemini.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(stdout, "data dir %s: %d circuit(s) loaded\n", *dataDir, srv.StoredCircuits())
+	}
 	if *patternPath != "" {
 		n, err := preloadPatterns(srv, *patternPath)
 		if err != nil {
@@ -145,6 +185,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	// With the listener drained, close the server itself: running jobs get
+	// the rest of the drain period, queued jobs are cancelled, snapshots
+	// flush.
+	if err := srv.Close(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -54,10 +54,13 @@ func main() {
 
 	// The service is an http.Handler: embed it, or serve it standalone the
 	// way cmd/subgeminid does.
-	srv := subgemini.NewServer(subgemini.ServerConfig{
+	srv, err := subgemini.NewServer(subgemini.ServerConfig{
 		Circuit: circuit,
 		Globals: []string{"VDD", "GND"},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -40,6 +40,11 @@ type Options struct {
 	Prefix string
 	// Seed is passed through to the matcher.
 	Seed uint64
+	// Cancel, when non-nil, is passed through to every per-cell matcher
+	// (see core.Options.Cancel); the first non-nil return aborts the
+	// extraction.  Long extractions driven by subgeminid jobs wire the job
+	// context in here so a cancelled job frees its worker promptly.
+	Cancel func() error
 }
 
 func (o *Options) prefix() string {
@@ -140,6 +145,7 @@ func one(c *graph.Circuit, cell Spec, opts *Options, serial *int) (int, error) {
 		Globals: opts.Globals,
 		Policy:  core.NonOverlapping,
 		Seed:    opts.Seed,
+		Cancel:  opts.Cancel,
 	})
 	if err != nil {
 		return 0, err

@@ -1,0 +1,402 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, e *Engine, id string, want State) View {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if v.State == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, v.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func closeNow(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestJobLifecycleAndResult(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	req := json.RawMessage(`{"kind":"match"}`)
+	v, err := e.Submit("match", req, func(context.Context) (any, error) {
+		return map[string]int{"count": 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != Queued || v.ID == "" || v.Kind != "match" {
+		t.Fatalf("submit view = %+v", v)
+	}
+	v = waitState(t, e, v.ID, Done)
+	if string(v.Result) != `{"count":3}` || v.Error != "" {
+		t.Errorf("done view = %+v", v)
+	}
+	if string(v.Request) != string(req) {
+		t.Errorf("request not echoed: %s", v.Request)
+	}
+	if v.StartedMS == 0 || v.FinishedMS < v.StartedMS || v.CreatedMS > v.StartedMS {
+		t.Errorf("timestamps out of order: %+v", v)
+	}
+	if c := e.Counters(); c.Submitted != 1 || c.Done != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestJobFailureAndPanicIsolation(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	v, _ := e.Submit("match", nil, func(context.Context) (any, error) {
+		return nil, errors.New("pattern exploded")
+	})
+	v = waitState(t, e, v.ID, Failed)
+	if v.Error != "pattern exploded" {
+		t.Errorf("error = %q", v.Error)
+	}
+
+	p, _ := e.Submit("match", nil, func(context.Context) (any, error) {
+		panic("boom")
+	})
+	p = waitState(t, e, p.ID, Failed)
+	if !strings.Contains(p.Error, "boom") {
+		t.Errorf("panic error = %q", p.Error)
+	}
+	// The worker survived the panic.
+	ok, _ := e.Submit("match", nil, func(context.Context) (any, error) { return 1, nil })
+	waitState(t, e, ok.ID, Done)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	started := make(chan struct{})
+	blocker, _ := e.Submit("match", nil, func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	queued, _ := e.Submit("match", nil, func(context.Context) (any, error) { return 1, nil })
+
+	// Cancel the queued job: immediate terminal state, runner never runs.
+	if v, err := e.Cancel(queued.ID); err != nil || v.State != Cancelled {
+		t.Fatalf("cancel queued: %+v, %v", v, err)
+	}
+	// Cancel the running job: context cancellation finalizes it.
+	if _, err := e.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	v := waitState(t, e, blocker.ID, Cancelled)
+	if !strings.Contains(v.Error, "context canceled") {
+		t.Errorf("cancelled error = %q", v.Error)
+	}
+	// Cancelling a finished job is an error.
+	if _, err := e.Cancel(blocker.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("cancel finished: %v", err)
+	}
+	if _, err := e.Cancel("j-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cancel unknown: %v", err)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	e, err := New(Config{Workers: 1, Queue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e.Submit("match", nil, func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	if _, err := e.Submit("match", nil, func(context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("queue slot 1: %v", err)
+	}
+	if _, err := e.Submit("match", nil, func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("overfull submit: %v, want ErrQueueFull", err)
+	}
+	close(release)
+	closeNow(t, e)
+}
+
+func TestListNewestFirstAndRetention(t *testing.T) {
+	e, err := New(Config{Workers: 1, Retention: 50 * time.Millisecond, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+	a, _ := e.Submit("match", nil, func(context.Context) (any, error) { return 1, nil })
+	b, _ := e.Submit("batch", nil, func(context.Context) (any, error) { return 2, nil })
+	waitState(t, e, a.ID, Done)
+	waitState(t, e, b.ID, Done)
+	l := e.List()
+	if len(l) != 2 || l[0].ID != b.ID || l[1].ID != a.ID {
+		t.Fatalf("List = %+v", l)
+	}
+	recA := filepath.Join(e.cfg.Dir, a.ID+".json")
+	if _, err := os.Stat(recA); err != nil {
+		t.Fatalf("record not persisted: %v", err)
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	if l := e.List(); len(l) != 0 {
+		t.Errorf("retention kept %d records past TTL", len(l))
+	}
+	if _, err := e.Get(a.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("pruned job still readable: %v", err)
+	}
+	if _, err := os.Stat(recA); !os.IsNotExist(err) {
+		t.Errorf("pruned record still on disk: %v", err)
+	}
+}
+
+// TestCrashRecovery simulates a kill -9 mid-job: the first engine is
+// abandoned (never Closed) while a job runs; a second engine on the same
+// directory reports that job failed, keeps finished jobs intact, and
+// numbers new jobs after the old ones.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished, _ := e1.Submit("match", nil, func(context.Context) (any, error) {
+		return "ok", nil
+	})
+	waitState(t, e1, finished.ID, Done)
+
+	started := make(chan struct{})
+	hang := make(chan struct{})
+	// Release the abandoned engine's goroutine and drain it before TempDir
+	// cleanup, so its late record write cannot race the removal.
+	defer closeNow(t, e1)
+	defer close(hang)
+	running, _ := e1.Submit("extract", json.RawMessage(`{"cells":["INV"]}`), func(context.Context) (any, error) {
+		close(started)
+		<-hang
+		return nil, nil
+	})
+	<-started
+	queued, _ := e1.Submit("match", nil, func(context.Context) (any, error) { return nil, nil })
+	// No Close: e1's process state dies here, only the directory survives.
+
+	e2, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e2)
+
+	for _, id := range []string{running.ID, queued.ID} {
+		v, err := e2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after restart: %v", id, err)
+		}
+		if v.State != Failed || !strings.Contains(v.Error, "interrupted by daemon restart") {
+			t.Errorf("job %s after restart = %s %q, want failed/interrupted", id, v.State, v.Error)
+		}
+	}
+	v, err := e2.Get(finished.ID)
+	if err != nil || v.State != Done || string(v.Result) != `"ok"` {
+		t.Errorf("finished job after restart = %+v, %v", v, err)
+	}
+	var req struct {
+		Cells []string `json:"cells"`
+	}
+	if err := json.Unmarshal(mustGet(t, e2, running.ID).Request, &req); err != nil || len(req.Cells) != 1 || req.Cells[0] != "INV" {
+		t.Errorf("request payload lost across restart: %+v, %v", req, err)
+	}
+	if c := e2.Counters(); c.Recovered != 2 {
+		t.Errorf("recovered counter = %d, want 2", c.Recovered)
+	}
+
+	nv, err := e2.Submit("match", nil, func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range []string{finished.ID, running.ID, queued.ID} {
+		if nv.ID == old {
+			t.Errorf("new job reused id %s", old)
+		}
+	}
+
+	// A torn record is moved aside, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "j-000099.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("boot with torn job record: %v", err)
+	}
+	closeNow(t, e3)
+	if _, err := os.Stat(filepath.Join(dir, "j-000099.json.corrupt")); err != nil {
+		t.Errorf("torn record not moved aside: %v", err)
+	}
+}
+
+func mustGet(t *testing.T, e *Engine, id string) View {
+	t.Helper()
+	v, err := e.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCloseDrainsAndCancelsQueued: running jobs finish inside the drain
+// window; queued jobs are cancelled; late submits are rejected.
+func TestCloseDrainsAndCancelsQueued(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	running, _ := e.Submit("match", nil, func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return "drained", nil
+	})
+	<-started
+	queued, _ := e.Submit("match", nil, func(context.Context) (any, error) { return nil, nil })
+
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		closed <- e.Close(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond) // let Close mark the queue
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if v := mustGet(t, e, running.ID); v.State != Done || string(v.Result) != `"drained"` {
+		t.Errorf("running job after drain = %+v", v)
+	}
+	if v := mustGet(t, e, queued.ID); v.State != Cancelled {
+		t.Errorf("queued job after drain = %+v", v)
+	}
+	if _, err := e.Submit("match", nil, func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v", err)
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestCloseDeadlineCancelsRunning: a runner that only stops on context
+// cancellation is cut off when the drain deadline expires.
+func TestCloseDeadlineCancelsRunning(t *testing.T) {
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	v, _ := e.Submit("match", nil, func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close past deadline = %v", err)
+	}
+	if got := mustGet(t, e, v.ID); got.State != Cancelled && got.State != Failed {
+		t.Errorf("hard-cancelled job state = %s", got.State)
+	}
+}
+
+func TestSubmitConcurrent(t *testing.T) {
+	e, err := New(Config{Workers: 4, Queue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+	const n = 64
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			v, err := e.Submit("match", nil, func(context.Context) (any, error) {
+				return i, nil
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				ids <- ""
+				return
+			}
+			ids <- v.ID
+		}()
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		id := <-ids
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job id %s", id)
+		}
+		seen[id] = true
+		waitState(t, e, id, Done)
+	}
+	if c := e.Counters(); c.Done != n {
+		t.Errorf("done = %d, want %d", c.Done, n)
+	}
+}
+
+func TestIDNumber(t *testing.T) {
+	for _, c := range []struct {
+		id string
+		n  int
+		ok bool
+	}{{"j-000007", 7, true}, {"j-123", 123, true}, {"x-1", 0, false}, {"j-", 0, false}} {
+		n, ok := idNumber(c.id)
+		if n != c.n || ok != c.ok {
+			t.Errorf("idNumber(%q) = %d,%v want %d,%v", c.id, n, ok, c.n, c.ok)
+		}
+	}
+	_ = fmt.Sprintf // keep fmt imported if cases change
+}

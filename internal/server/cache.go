@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,16 +17,30 @@ const (
 	sourceUploaded = "uploaded"
 )
 
+// defaultMaxPatterns bounds the compiled-pattern cache when the operator
+// does not set Config.MaxPatterns.  Patterns are small (tens of devices),
+// so the bound guards against unbounded growth from adversarial or buggy
+// clients uploading endless distinct patterns, not against ordinary use.
+const defaultMaxPatterns = 256
+
 // patternCache holds compiled pattern graphs keyed by name, so a pattern is
 // parsed and built once and served from memory afterwards.  Entries hold an
 // immutable template circuit; every use clones it, because matching marks
 // global nets on the pattern and concurrent requests must not share that
 // state.
+//
+// The cache is bounded: at most cap entries, evicted least-recently-used.
+// Eviction is safe for both sources — built-in cells recompile on demand
+// (a future miss), and uploaded patterns persisted by the store reload the
+// same way uploaded circuits do (re-upload otherwise).
 type patternCache struct {
-	mu      sync.Mutex
-	entries map[string]*patternEntry
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*list.Element // value: *patternEntry
+	lru       *list.List               // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // patternEntry is one compiled pattern.
@@ -36,8 +51,37 @@ type patternEntry struct {
 	uses     int64
 }
 
-func newPatternCache() *patternCache {
-	return &patternCache{entries: make(map[string]*patternEntry)}
+func newPatternCache(capacity int) *patternCache {
+	if capacity <= 0 {
+		capacity = defaultMaxPatterns
+	}
+	return &patternCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// touchLocked moves an entry to the MRU position.
+func (pc *patternCache) touchLocked(el *list.Element) {
+	pc.lru.MoveToFront(el)
+}
+
+// insertLocked installs (or replaces) an entry and evicts down to cap.
+func (pc *patternCache) insertLocked(e *patternEntry) {
+	if el, ok := pc.entries[e.name]; ok {
+		el.Value = e
+		pc.lru.MoveToFront(el)
+		return
+	}
+	pc.entries[e.name] = pc.lru.PushFront(e)
+	for pc.lru.Len() > pc.cap {
+		back := pc.lru.Back()
+		victim := back.Value.(*patternEntry)
+		pc.lru.Remove(back)
+		delete(pc.entries, victim.name)
+		pc.evictions++
+	}
 }
 
 // resolve returns a private clone of the named pattern, compiling it on
@@ -47,11 +91,13 @@ func newPatternCache() *patternCache {
 func (pc *patternCache) resolve(name string, count bool) (*graph.Circuit, bool, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if e, ok := pc.entries[name]; ok {
+	if el, ok := pc.entries[name]; ok {
+		e := el.Value.(*patternEntry)
 		if count {
 			pc.hits++
 		}
 		e.uses++
+		pc.touchLocked(el)
 		return e.template.Clone(), true, nil
 	}
 	def := stdcell.Get(name)
@@ -65,7 +111,7 @@ func (pc *patternCache) resolve(name string, count bool) (*graph.Circuit, bool, 
 	if !count {
 		e.uses = 0
 	}
-	pc.entries[name] = e
+	pc.insertLocked(e)
 	return e.template.Clone(), false, nil
 }
 
@@ -81,7 +127,18 @@ func (pc *patternCache) put(name string, template *graph.Circuit, count bool) {
 	if !count {
 		uses = 0
 	}
-	pc.entries[name] = &patternEntry{name: name, source: sourceUploaded, template: template, uses: uses}
+	pc.insertLocked(&patternEntry{name: name, source: sourceUploaded, template: template, uses: uses})
+}
+
+// template returns the cached immutable template for name, if present.
+// Callers must not mutate it (clone first).
+func (pc *patternCache) template(name string) (*graph.Circuit, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[name]; ok {
+		return el.Value.(*patternEntry).template, true
+	}
+	return nil, false
 }
 
 // compileNetlist parses inline pattern netlist source and compiles the
@@ -134,7 +191,8 @@ func (pc *patternCache) list() []cellInfo {
 			Ports:   def.Ports,
 		}
 	}
-	for name, e := range pc.entries {
+	for name, el := range pc.entries {
+		e := el.Value.(*patternEntry)
 		info := cellInfo{
 			Name:    name,
 			Source:  e.source,
@@ -156,9 +214,16 @@ func (pc *patternCache) list() []cellInfo {
 	return out
 }
 
-// counters returns (hits, misses, entries).
-func (pc *patternCache) counters() (int64, int64, int) {
+// cacheCounters is a snapshot of the cache's accounting.
+type cacheCounters struct {
+	hits      int64
+	misses    int64
+	evictions int64
+	size      int
+}
+
+func (pc *patternCache) counters() cacheCounters {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return pc.hits, pc.misses, len(pc.entries)
+	return cacheCounters{hits: pc.hits, misses: pc.misses, evictions: pc.evictions, size: pc.lru.Len()}
 }

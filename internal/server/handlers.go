@@ -13,15 +13,19 @@ import (
 	"subgemini/internal/core"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
+	"subgemini/internal/store"
 )
 
 // MatchRequest is the body of POST /v1/match and each element of a batch.
 // The pattern comes either from the cache/built-in library by name
 // ("pattern") or inline as netlist source ("netlist" plus optional
 // "subckt"); inline patterns are compiled into the cache under their
-// .SUBCKT name so later requests can use the name alone.  The option
-// fields mirror the subgemini CLI flags.
+// .SUBCKT name so later requests can use the name alone.  "circuit"
+// selects the stored circuit to match against (also settable via the
+// ?circuit= query parameter; empty means the default circuit).  The other
+// option fields mirror the subgemini CLI flags.
 type MatchRequest struct {
+	Circuit    string            `json:"circuit,omitempty"`
 	Pattern    string            `json:"pattern,omitempty"`
 	Netlist    string            `json:"netlist,omitempty"`
 	Subckt     string            `json:"subckt,omitempty"`
@@ -56,6 +60,7 @@ type StatsJSON struct {
 
 // MatchResponse is the body of a successful POST /v1/match.
 type MatchResponse struct {
+	Circuit   string         `json:"circuit"`
 	Pattern   string         `json:"pattern"`
 	Count     int            `json:"count"`
 	Instances []InstanceJSON `json:"instances"`
@@ -65,7 +70,23 @@ type MatchResponse struct {
 
 // BatchRequest is the body of POST /v1/match/batch.
 type BatchRequest struct {
+	// Circuit is the default stored-circuit selection for items that do
+	// not pick their own; a ?circuit= query parameter fills it when empty.
+	Circuit  string         `json:"circuit,omitempty"`
 	Requests []MatchRequest `json:"requests"`
+}
+
+// fillCircuits resolves the batch's per-item circuit selection: an item's
+// own choice wins, then the batch-level default.
+func (b *BatchRequest) fillCircuits() {
+	if b.Circuit == "" {
+		return
+	}
+	for i := range b.Requests {
+		if b.Requests[i].Circuit == "" {
+			b.Requests[i].Circuit = b.Circuit
+		}
+	}
 }
 
 // BatchItem is one per-pattern outcome of a batch; failed items carry an
@@ -84,12 +105,33 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
-// CircuitInfo describes the resident circuit.
+// CircuitInfo describes one stored circuit.  Name is the circuit's own
+// (display) name; Key is its store key.  Resident and Snapshot expose the
+// store's memory/durability state for the entry.
 type CircuitInfo struct {
-	Name    string   `json:"name"`
-	Devices int      `json:"devices"`
-	Nets    int      `json:"nets"`
-	Globals []string `json:"globals,omitempty"`
+	Key      string   `json:"key,omitempty"`
+	Name     string   `json:"name"`
+	Devices  int      `json:"devices"`
+	Nets     int      `json:"nets"`
+	Globals  []string `json:"globals,omitempty"`
+	Resident bool     `json:"resident"`
+	Snapshot bool     `json:"snapshot"`
+}
+
+func infoJSON(i store.Info) CircuitInfo {
+	name := i.Display
+	if name == "" {
+		name = i.Name
+	}
+	return CircuitInfo{
+		Key:      i.Name,
+		Name:     name,
+		Devices:  i.Devices,
+		Nets:     i.Nets,
+		Globals:  i.Globals,
+		Resident: i.Resident,
+		Snapshot: i.Snapshot,
+	}
 }
 
 // httpError pairs a client-visible message with a status code.
@@ -133,6 +175,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	if req.Circuit == "" {
+		req.Circuit = r.URL.Query().Get("circuit")
+	}
 	resp, e := s.runMatch(r.Context(), &req)
 	if e != nil {
 		writeError(w, e)
@@ -151,10 +196,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, `batch has no "requests"`))
 		return
 	}
+	// A body-level circuit selection (or, failing that, a query-level one)
+	// applies to every item that does not pick its own.
+	if req.Circuit == "" {
+		req.Circuit = r.URL.Query().Get("circuit")
+	}
+	req.fillCircuits()
+	writeJSON(w, http.StatusOK, s.runBatch(r.Context(), &req, true))
+}
+
+// runBatch fans the items of a batch across a bounded pool (parallel=true,
+// the synchronous handler: each item still passes admission control
+// individually, so a wide batch cannot starve single-match requests) or
+// runs them sequentially (parallel=false, the job path: the job worker is
+// the concurrency unit there).
+func (s *Server) runBatch(ctx context.Context, req *BatchRequest, parallel bool) BatchResponse {
 	results := make([]BatchItem, len(req.Requests))
-	// Fan the items out across a bounded pool.  Each item still passes
-	// through admission control individually, so a wide batch cannot
-	// starve single-match requests; the pool here only bounds goroutines.
+	runOne := func(i int) {
+		item := BatchItem{Index: i, Pattern: req.Requests[i].Pattern}
+		resp, e := s.runMatch(ctx, &req.Requests[i])
+		if e != nil {
+			item.Status, item.Error = e.status, e.msg
+		} else {
+			item.Status, item.Match, item.Pattern = http.StatusOK, resp, resp.Pattern
+		}
+		results[i] = item
+	}
+	if !parallel {
+		for i := range req.Requests {
+			runOne(i)
+		}
+		return BatchResponse{Results: results}
+	}
 	pool := s.cfg.MaxConcurrent
 	if pool > len(req.Requests) {
 		pool = len(req.Requests)
@@ -166,14 +239,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				item := BatchItem{Index: i, Pattern: req.Requests[i].Pattern}
-				resp, e := s.runMatch(r.Context(), &req.Requests[i])
-				if e != nil {
-					item.Status, item.Error = e.status, e.msg
-				} else {
-					item.Status, item.Match, item.Pattern = http.StatusOK, resp, resp.Pattern
-				}
-				results[i] = item
+				runOne(i)
 			}
 		}()
 	}
@@ -182,39 +248,68 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	close(idx)
 	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	return BatchResponse{Results: results}
 }
 
-// runMatch executes one match request end to end: pattern resolution,
-// validation, admission, global pre-marking, and the matching run under
-// the circuit read lock.
-func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchResponse, *httpError) {
-	if req.Workers > 1 && req.NonOverlap {
-		return nil, errf(http.StatusBadRequest, `"workers" > 1 requires overlap semantics; drop "nonoverlap"`)
+// acquireCircuit resolves a request's circuit selection to a store handle.
+// An empty name means the default circuit, whose absence keeps the legacy
+// 409 ("upload one") contract; a named circuit that does not exist is 404.
+func (s *Server) acquireCircuit(name string) (*store.Handle, *httpError) {
+	if name == "" {
+		name = DefaultCircuit
 	}
-	if req.Workers > 1 && req.Max > 0 {
-		return nil, errf(http.StatusBadRequest, `"workers" > 1 cannot honor "max" deterministically; drop one of them`)
+	h, err := s.store.Acquire(name)
+	if err == nil {
+		return h, nil
 	}
+	if errors.Is(err, store.ErrNotFound) {
+		if name == DefaultCircuit {
+			return nil, errf(http.StatusConflict,
+				"no circuit loaded; upload one with POST /v1/circuit or PUT /v1/circuits/{name}")
+		}
+		return nil, errf(http.StatusNotFound, "no circuit named %q; see GET /v1/circuits", name)
+	}
+	return nil, errf(http.StatusInternalServerError, "acquiring circuit %q: %v", name, err)
+}
 
-	// Resolve the pattern to a private clone (the matcher marks globals on
-	// it, so cached templates are never handed out directly).
-	var pat *graph.Circuit
-	var cacheHit bool
+// resolvePattern turns a request's pattern selection into a private clone
+// (the matcher marks globals on it, so cached templates are never handed
+// out directly).  Inline patterns are compiled into the cache and — when a
+// data directory is configured — persisted so they survive restarts.
+func (s *Server) resolvePattern(req *MatchRequest) (*graph.Circuit, bool, *httpError) {
 	switch {
 	case req.Netlist != "":
-		p, err := s.cache.compileNetlist(req.Netlist, req.Subckt, true)
+		pat, err := s.cache.compileNetlist(req.Netlist, req.Subckt, true)
 		if err != nil {
-			return nil, errf(http.StatusBadRequest, "pattern netlist: %v", err)
+			return nil, false, errf(http.StatusBadRequest, "pattern netlist: %v", err)
 		}
-		pat = p
+		if tpl, ok := s.cache.template(pat.Name); ok {
+			if err := s.store.SavePattern(pat.Name, tpl); err != nil {
+				s.logf("persisting pattern %q: %v", pat.Name, err)
+			}
+		}
+		return pat, false, nil
 	case req.Pattern != "":
-		p, hit, err := s.cache.resolve(req.Pattern, true)
+		pat, hit, err := s.cache.resolve(req.Pattern, true)
 		if err != nil {
-			return nil, errf(http.StatusNotFound, "%v", err)
+			return nil, false, errf(http.StatusNotFound, "%v", err)
 		}
-		pat, cacheHit = p, hit
+		return pat, hit, nil
 	default:
-		return nil, errf(http.StatusBadRequest, `request needs "pattern" (a cell name) or "netlist" (inline pattern source)`)
+		return nil, false, errf(http.StatusBadRequest, `request needs "pattern" (a cell name) or "netlist" (inline pattern source)`)
+	}
+}
+
+// runMatch executes one synchronous match request end to end: validation,
+// pattern resolution, admission, circuit acquisition, and the matching run
+// under the entry read lock.
+func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchResponse, *httpError) {
+	if e := validateMatch(req); e != nil {
+		return nil, e
+	}
+	pat, cacheHit, e := s.resolvePattern(req)
+	if e != nil {
+		return nil, e
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -239,6 +334,47 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
+	h, e := s.acquireCircuit(req.Circuit)
+	if e != nil {
+		return nil, e
+	}
+	defer h.Release()
+	resp, err := s.executeMatch(ctx, req, pat, h)
+	if err != nil {
+		return nil, s.matchError(err, timeout)
+	}
+	resp.CacheHit = cacheHit
+	return resp, nil
+}
+
+func validateMatch(req *MatchRequest) *httpError {
+	if req.Workers > 1 && req.NonOverlap {
+		return errf(http.StatusBadRequest, `"workers" > 1 requires overlap semantics; drop "nonoverlap"`)
+	}
+	if req.Workers > 1 && req.Max > 0 {
+		return errf(http.StatusBadRequest, `"workers" > 1 cannot honor "max" deterministically; drop one of them`)
+	}
+	return nil
+}
+
+// matchError maps a matcher error to an HTTP status.
+func (s *Server) matchError(err error, timeout time.Duration) *httpError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		return errf(http.StatusGatewayTimeout, "match exceeded its %v deadline", timeout)
+	case errors.Is(err, context.Canceled):
+		return errf(http.StatusServiceUnavailable, "request cancelled")
+	default:
+		return errf(http.StatusBadRequest, "match: %v", err)
+	}
+}
+
+// executeMatch runs the match itself against an acquired circuit handle:
+// global pre-marking under the entry lock, matcher construction sharing
+// the entry's CSR view and scratch pool, and result conversion.  Both the
+// synchronous path and job runners land here.
+func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph.Circuit, h *store.Handle) (*MatchResponse, error) {
 	// Request-level globals are marked on the private pattern clone; the
 	// shared circuit gets its marks during lock acquisition below, so the
 	// match itself never writes to shared state.
@@ -254,7 +390,8 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 		Bind:         req.Bind,
 		MaxInstances: req.Max,
 		Cancel:       s.cancelHook(ctx),
-		Scratch:      &s.scratch,
+		Scratch:      h.Scratch(),
+		CSR:          h.CSR(),
 	}
 	if req.NonOverlap {
 		opts.Policy = core.NonOverlapping
@@ -274,15 +411,8 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	}
 	opts.Workers = p1w
 
-	ckt := s.lockCircuitWithGlobals(names)
-	if ckt == nil {
-		s.mu.RUnlock()
-		return nil, errf(http.StatusConflict, "no circuit loaded; upload one with POST /v1/circuit")
-	}
-	// s.ckCSR is paired with s.circuit under the same lock we now hold;
-	// the matcher still verifies the fit before adopting it.
-	opts.CSR = s.ckCSR
-	m, err := core.NewMatcher(ckt, opts)
+	h.RLockWithGlobals(names)
+	m, err := core.NewMatcher(h.Circuit(), opts)
 	var res *core.Result
 	if err == nil {
 		if workers > 1 {
@@ -291,25 +421,17 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 			res, err = m.Find(pat)
 		}
 	}
-	s.mu.RUnlock()
+	h.RUnlock()
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.met.timeouts.Add(1)
-			return nil, errf(http.StatusGatewayTimeout, "match exceeded its %v deadline", timeout)
-		case errors.Is(err, context.Canceled):
-			return nil, errf(http.StatusServiceUnavailable, "request cancelled")
-		default:
-			return nil, errf(http.StatusBadRequest, "match: %v", err)
-		}
+		return nil, err
 	}
 	s.met.observe(pat.Name, &res.Report)
 
 	resp := &MatchResponse{
+		Circuit:   h.Name(),
 		Pattern:   pat.Name,
 		Count:     len(res.Instances),
 		Instances: make([]InstanceJSON, 0, len(res.Instances)),
-		CacheHit:  cacheHit,
 		Stats: StatsJSON{
 			Instances:      res.Report.Instances,
 			MatchedDevices: res.Report.MatchedDevices,
@@ -349,67 +471,123 @@ func (s *Server) cancelHook(ctx context.Context) func() error {
 	}
 }
 
-func (s *Server) handleCircuitUpload(w http.ResponseWriter, r *http.Request) {
+// parseCircuitBody reads and flattens a netlist request body.
+func (s *Server) parseCircuitBody(r *http.Request, name string) (*graph.Circuit, *httpError) {
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, errf(http.StatusRequestEntityTooLarge, "netlist exceeds %d bytes", tooBig.Limit))
-			return
+			return nil, errf(http.StatusRequestEntityTooLarge, "netlist exceeds %d bytes", tooBig.Limit)
 		}
-		writeError(w, errf(http.StatusBadRequest, "reading body: %v", err))
-		return
-	}
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name = "circuit"
+		return nil, errf(http.StatusBadRequest, "reading body: %v", err)
 	}
 	f, err := netlist.ParseString(string(src), name)
 	if err != nil {
-		writeError(w, errf(http.StatusBadRequest, "parsing netlist: %v", err))
-		return
+		return nil, errf(http.StatusBadRequest, "parsing netlist: %v", err)
 	}
 	ckt, err := f.MainCircuit(name)
 	if err != nil {
-		writeError(w, errf(http.StatusBadRequest, "building circuit: %v", err))
-		return
+		return nil, errf(http.StatusBadRequest, "building circuit: %v", err)
 	}
-	for _, g := range s.cfg.Globals {
-		ckt.MarkGlobal(g)
-	}
-	// Flatten outside the lock (uploads are rare, matches are not), then
-	// install circuit and CSR view as one unit.
-	view := core.NewCSR(ckt)
-	s.mu.Lock()
-	s.circuit = ckt
-	s.ckCSR = view
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.circuitInfo())
+	return ckt, nil
 }
 
-func (s *Server) handleCircuitInfo(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	loaded := s.circuit != nil
-	s.mu.RUnlock()
-	if !loaded {
+// putCircuit stores a parsed circuit under key, snapshotting it when a
+// data directory is configured.
+func (s *Server) putCircuit(key string, ckt *graph.Circuit) (store.Info, *httpError) {
+	info, err := s.store.Put(key, ckt)
+	if err != nil {
+		if store.ValidName(key) {
+			return store.Info{}, errf(http.StatusInternalServerError, "storing circuit %q: %v", key, err)
+		}
+		return store.Info{}, errf(http.StatusBadRequest, "%v", err)
+	}
+	return info, nil
+}
+
+func (s *Server) handleCircuitPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("name")
+	if !store.ValidName(key) {
+		writeError(w, errf(http.StatusBadRequest,
+			"invalid circuit name %q (want 1-64 chars of [A-Za-z0-9._-], not starting with '.' or '-')", key))
+		return
+	}
+	display := r.URL.Query().Get("name")
+	if display == "" {
+		display = key
+	}
+	ckt, e := s.parseCircuitBody(r, display)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	info, e := s.putCircuit(key, ckt)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoJSON(info))
+}
+
+func (s *Server) handleCircuitGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "no circuit named %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoJSON(info))
+}
+
+func (s *Server) handleCircuitDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeError(w, errf(http.StatusNotFound, "no circuit named %q", name))
+		} else {
+			writeError(w, errf(http.StatusInternalServerError, "deleting circuit %q: %v", name, err))
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleCircuitList(w http.ResponseWriter, r *http.Request) {
+	infos := s.store.List()
+	out := make([]CircuitInfo, len(infos))
+	for i, info := range infos {
+		out[i] = infoJSON(info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLegacyCircuitUpload keeps the single-circuit API: the body becomes
+// the default circuit (?name= names the circuit itself, not the store
+// key).
+func (s *Server) handleLegacyCircuitUpload(w http.ResponseWriter, r *http.Request) {
+	display := r.URL.Query().Get("name")
+	if display == "" {
+		display = "circuit"
+	}
+	ckt, e := s.parseCircuitBody(r, display)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	info, e := s.putCircuit(DefaultCircuit, ckt)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoJSON(info))
+}
+
+func (s *Server) handleLegacyCircuitInfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.store.Get(DefaultCircuit)
+	if !ok {
 		writeError(w, errf(http.StatusNotFound, "no circuit loaded"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.circuitInfo())
-}
-
-func (s *Server) circuitInfo() CircuitInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	info := CircuitInfo{
-		Name:    s.circuit.Name,
-		Devices: s.circuit.NumDevices(),
-		Nets:    s.circuit.NumNets(),
-	}
-	for _, n := range s.circuit.Globals() {
-		info.Globals = append(info.Globals, n.Name)
-	}
-	return info
+	writeJSON(w, http.StatusOK, infoJSON(info))
 }
 
 func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
@@ -422,8 +600,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses, size := s.cache.counters()
 	_, devices, nets := s.CircuitShape()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, hits, misses, size, devices, nets)
+	queued, running := s.jobs.QueueDepth()
+	s.met.write(w, externalMetrics{
+		cache:          s.cache.counters(),
+		store:          s.store.Stats(),
+		jobs:           s.jobs.Counters(),
+		jobsQueued:     queued,
+		jobsRunning:    running,
+		circuitDevices: devices,
+		circuitNets:    nets,
+	})
 }

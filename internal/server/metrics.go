@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subgemini/internal/jobs"
 	"subgemini/internal/stats"
+	"subgemini/internal/store"
 )
 
 // histBounds are the bucket upper bounds, in seconds, of the per-phase
@@ -104,10 +106,23 @@ func (m *metrics) observe(pattern string, r *stats.Report) {
 	ps.instances += int64(r.Instances)
 }
 
-// write renders the metrics dump.  The cache counters and circuit shape are
-// passed in because they live on the server, not the metrics struct.
-func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, circuitDevices, circuitNets int) {
+// externalMetrics carries the state that lives outside the metrics struct
+// — cache counters, store stats, job counters, and the default circuit's
+// shape — into one write call.
+type externalMetrics struct {
+	cache          cacheCounters
+	store          store.Stats
+	jobs           jobs.Counters
+	jobsQueued     int
+	jobsRunning    int
+	circuitDevices int
+	circuitNets    int
+}
+
+// write renders the metrics dump.
+func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	snap := m.matchRuns.Snapshot()
+	hits, misses := ext.cache.hits, ext.cache.misses
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
@@ -130,12 +145,25 @@ func (m *metrics) write(w io.Writer, hits, misses int64, cacheSize int, circuitD
 	fmt.Fprintf(w, "subgeminid_match_verify_calls_total %d\n", snap.Sum.VerifyCalls)
 	fmt.Fprintf(w, "subgeminid_match_phase1_seconds_total %.6f\n", snap.Sum.Phase1Duration.Seconds())
 	fmt.Fprintf(w, "subgeminid_match_phase2_seconds_total %.6f\n", snap.Sum.Phase2Duration.Seconds())
-	fmt.Fprintf(w, "subgeminid_pattern_cache_size %d\n", cacheSize)
+	fmt.Fprintf(w, "subgeminid_pattern_cache_size %d\n", ext.cache.size)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "subgeminid_pattern_cache_evictions_total %d\n", ext.cache.evictions)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_hit_rate %.4f\n", hitRate)
-	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", circuitDevices)
-	fmt.Fprintf(w, "subgeminid_circuit_nets %d\n", circuitNets)
+	fmt.Fprintf(w, "subgeminid_store_circuits %d\n", ext.store.Circuits)
+	fmt.Fprintf(w, "subgeminid_store_resident %d\n", ext.store.Resident)
+	fmt.Fprintf(w, "subgeminid_store_resident_bytes %d\n", ext.store.ResidentBytes)
+	fmt.Fprintf(w, "subgeminid_store_evictions_total %d\n", ext.store.Evictions)
+	fmt.Fprintf(w, "subgeminid_store_reloads_total %d\n", ext.store.Reloads)
+	fmt.Fprintf(w, "subgeminid_jobs_submitted_total %d\n", ext.jobs.Submitted)
+	fmt.Fprintf(w, "subgeminid_jobs_done_total %d\n", ext.jobs.Done)
+	fmt.Fprintf(w, "subgeminid_jobs_failed_total %d\n", ext.jobs.Failed)
+	fmt.Fprintf(w, "subgeminid_jobs_cancelled_total %d\n", ext.jobs.Cancelled)
+	fmt.Fprintf(w, "subgeminid_jobs_recovered_total %d\n", ext.jobs.Recovered)
+	fmt.Fprintf(w, "subgeminid_jobs_queued %d\n", ext.jobsQueued)
+	fmt.Fprintf(w, "subgeminid_jobs_running %d\n", ext.jobsRunning)
+	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", ext.circuitDevices)
+	fmt.Fprintf(w, "subgeminid_circuit_nets %d\n", ext.circuitNets)
 	m.phase1.write(w, "subgeminid_match_phase1_seconds")
 	m.phase2.write(w, "subgeminid_match_phase2_seconds")
 	m.writePatterns(w)

@@ -1,68 +1,122 @@
 // Package server implements the subgeminid daemon logic: a long-lived
-// HTTP/JSON matching service that keeps a main circuit and a library of
-// compiled patterns resident in memory and serves match queries against
-// them.  It amortizes the per-pattern parse/compile cost that the one-shot
-// CLIs pay on every invocation (patterns are compiled once into a cache),
-// and adds the robustness a daemon needs: a semaphore capping concurrent
-// match work, per-request timeouts enforced through the matcher's
-// cancellation hook, request-body size limits, and panic isolation.
+// HTTP/JSON matching service hosting many named circuits and a library of
+// compiled patterns in memory, serving synchronous match queries and
+// asynchronous jobs against them.  It amortizes the per-pattern
+// parse/compile cost the one-shot CLIs pay on every invocation (patterns
+// are compiled once into a bounded LRU cache) and the per-circuit
+// flattening cost (each stored circuit keeps its CSR view and Phase II
+// scratch pool), and adds the robustness a daemon needs: a semaphore
+// capping concurrent synchronous match work, per-request timeouts enforced
+// through the matcher's cancellation hook, request-body size limits, and
+// panic isolation.
 //
 // Endpoints:
 //
-//	POST /v1/match        match one pattern against the resident circuit
-//	POST /v1/match/batch  match many patterns in one request
-//	POST /v1/circuit      replace the resident main circuit (netlist body)
-//	GET  /v1/circuit      describe the resident main circuit
-//	GET  /v1/cells        list built-in cells and uploaded patterns
-//	GET  /healthz         liveness probe
-//	GET  /metrics         Prometheus-style text metrics: counters, per-phase
-//	                      duration histograms, per-pattern outcome counters
-//	GET  /debug/pprof/    Go runtime profiles (CPU, heap, goroutine, ...)
+//	POST   /v1/match                match one pattern (?circuit= selects the target)
+//	POST   /v1/match/batch          match many patterns in one request
+//	PUT    /v1/circuits/{name}      store or replace a named circuit (netlist body)
+//	GET    /v1/circuits/{name}      describe one stored circuit
+//	DELETE /v1/circuits/{name}      remove a stored circuit and its snapshot
+//	GET    /v1/circuits             list stored circuits
+//	POST   /v1/circuit              legacy alias: store the default circuit
+//	GET    /v1/circuit              legacy alias: describe the default circuit
+//	POST   /v1/jobs                 submit an async job (match, batch, extract)
+//	GET    /v1/jobs                 list retained jobs
+//	GET    /v1/jobs/{id}            poll one job's state and result
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
+//	GET    /v1/cells                list built-in cells and uploaded patterns
+//	GET    /healthz                 liveness probe
+//	GET    /metrics                 Prometheus-style text metrics
+//	GET    /debug/pprof/            Go runtime profiles (CPU, heap, goroutine, ...)
 //
-// Concurrency model: the resident circuit is shared by all in-flight
-// matches under a read lock.  The matcher only ever mutates the main
-// circuit to mark global nets, so the server pre-marks every global a
-// request needs (config globals, request globals, and the pattern's own
-// declared globals) under the write lock before matching begins; the match
-// itself then only reads the circuit.  Circuit replacement takes the write
-// lock, draining in-flight matches first.  Global marks are monotonic and
-// circuit-wide, matching the CLI semantics where .GLOBAL directives and
-// -globals apply to the whole run.
+// Circuits live in an internal/store Store: named, ref-counted entries
+// owning the circuit, its CSR view, and its scratch pool, LRU-demoted
+// under a byte budget and — with a data directory — snapshotted to disk
+// and reloaded on boot.  Jobs live in an internal/jobs Engine: a bounded
+// queue and worker pool whose records survive restarts (interrupted jobs
+// are reported failed, not lost).
+//
+// Concurrency model: each stored circuit is shared by all in-flight
+// matches against it under the entry's read lock.  The matcher only ever
+// mutates the main circuit to mark global nets, so the server pre-marks
+// every global a request needs (config globals, request globals, and the
+// pattern's own declared globals) under the entry write lock before
+// matching begins; the match itself then only reads the circuit.
+// Replacing a name installs a fresh entry — in-flight matches keep the old
+// circuit alive through their ref-counted handles, so uploads never block
+// behind long matches.  Global marks are monotonic and circuit-wide,
+// matching the CLI semantics where .GLOBAL directives and -globals apply
+// to the whole run.
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
-	"sync"
 	"time"
 
-	"subgemini/internal/core"
 	"subgemini/internal/graph"
+	"subgemini/internal/jobs"
 	"subgemini/internal/netlist"
+	"subgemini/internal/store"
 )
 
+// DefaultCircuit is the store key the legacy single-circuit endpoints
+// (POST/GET /v1/circuit) and circuit-less match requests operate on.
+const DefaultCircuit = "default"
+
 // Config parameterizes a Server.  The zero value is usable: an empty
-// server with no circuit loaded (upload one via POST /v1/circuit) and
-// defaults for every limit.
+// memory-only server with no circuits loaded (upload via PUT
+// /v1/circuits/{name}) and defaults for every limit.
 type Config struct {
-	// Circuit is the initial resident main circuit; nil starts the server
-	// empty.
+	// Circuit is the initial default circuit (stored under DefaultCircuit);
+	// nil starts the server empty.  It takes precedence over a snapshot of
+	// the default circuit reloaded from DataDir.
 	Circuit *graph.Circuit
 
 	// Globals lists net names treated as special signals for every match
 	// (the daemon-level analogue of the CLI's -globals flag).  They are
-	// marked on the resident circuit at startup and after every upload.
+	// marked on every stored circuit at Put time.
 	Globals []string
 
-	// MaxConcurrent caps simultaneously executing match runs (admission
-	// control); further requests queue until a slot frees or their
-	// deadline expires.  0 selects GOMAXPROCS.
+	// DataDir, when non-empty, makes circuits and jobs durable: circuit
+	// snapshots and the store manifest live under it, job records under
+	// DataDir/jobs, and both are reloaded on construction.  "" keeps
+	// everything in memory.
+	DataDir string
+
+	// MaxStoreBytes bounds the estimated resident bytes of stored
+	// circuits; least-recently-used idle circuits with snapshots are
+	// demoted past it and reloaded on demand.  0 = unlimited.
+	MaxStoreBytes int64
+
+	// MaxPatterns caps the compiled-pattern cache entries; the
+	// least-recently-used pattern is evicted past it.  0 = unlimited.
+	MaxPatterns int
+
+	// JobWorkers sizes the async job worker pool (0 = 2).
+	JobWorkers int
+
+	// JobQueue bounds queued-but-not-started jobs (0 = 64).
+	JobQueue int
+
+	// JobRetention keeps finished job records and results visible this
+	// long (0 = 1h).
+	JobRetention time.Duration
+
+	// MaxConcurrent caps simultaneously executing synchronous match runs
+	// (admission control); further requests queue until a slot frees or
+	// their deadline expires.  0 selects GOMAXPROCS.  Async jobs are
+	// bounded by JobWorkers instead.
 	MaxConcurrent int
 
-	// DefaultTimeout bounds each match request that does not set its own
-	// timeout_ms.  0 selects 30s.
+	// DefaultTimeout bounds each synchronous match request that does not
+	// set its own timeout_ms.  0 selects 30s.  Jobs have no default
+	// deadline — escaping the request-timeout envelope is their purpose —
+	// but honor a per-request timeout_ms when set.
 	DefaultTimeout time.Duration
 
 	// MaxTimeout caps the per-request timeout_ms so a client cannot pin a
@@ -97,21 +151,8 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	// mu guards the resident circuit: matches hold RLock, uploads and
-	// global marking hold Lock.  ckCSR is the circuit's flat CSR view,
-	// always built together with circuit under the write lock so the pair
-	// stays consistent; matches hand it to the matcher so every request
-	// shares one flattening instead of rebuilding it per Find.
-	mu      sync.RWMutex
-	circuit *graph.Circuit
-	ckCSR   *core.CSR
-
-	// scratch recycles Phase II per-candidate main-graph scratch across
-	// requests; sized to the resident circuit, it survives uploads only
-	// when the new circuit has the same vertex count (the pool rejects
-	// mismatched scratch itself).
-	scratch core.ScratchPool
-
+	store *store.Store
+	jobs  *jobs.Engine
 	cache *patternCache
 	sem   chan struct{}
 	met   metrics
@@ -123,9 +164,11 @@ type Server struct {
 	testCandidateHook func()
 }
 
-// New builds a Server from cfg, applying defaults and marking cfg.Globals
-// on the initial circuit.
-func New(cfg Config) *Server {
+// New builds a Server from cfg, reloading any circuits, patterns, and job
+// records persisted under cfg.DataDir.  A corrupt store manifest or
+// unreadable snapshot is a construction error — the daemon refuses to boot
+// rather than silently drop circuits.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -142,30 +185,79 @@ func New(cfg Config) *Server {
 		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		cfg:     cfg,
-		circuit: cfg.Circuit,
-		cache:   newPatternCache(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		mux:     http.NewServeMux(),
+		cfg:   cfg,
+		cache: newPatternCache(cfg.MaxPatterns),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
 	}
-	if s.circuit != nil {
-		for _, name := range cfg.Globals {
-			s.circuit.MarkGlobal(name)
+	st, err := store.Open(store.Config{
+		Dir:      cfg.DataDir,
+		MaxBytes: cfg.MaxStoreBytes,
+		Globals:  cfg.Globals,
+		Logf:     s.logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opening circuit store: %w", err)
+	}
+	s.store = st
+	jobsDir := ""
+	if cfg.DataDir != "" {
+		jobsDir = filepath.Join(cfg.DataDir, "jobs")
+	}
+	eng, err := jobs.New(jobs.Config{
+		Workers:   cfg.JobWorkers,
+		Queue:     cfg.JobQueue,
+		Retention: cfg.JobRetention,
+		Dir:       jobsDir,
+		Logf:      s.logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("starting job engine: %w", err)
+	}
+	s.jobs = eng
+	if cfg.Circuit != nil {
+		if _, err := s.store.Put(DefaultCircuit, cfg.Circuit); err != nil {
+			return nil, fmt.Errorf("storing initial circuit: %w", err)
 		}
-		s.ckCSR = core.NewCSR(s.circuit)
+	}
+	// Patterns persisted by a previous run re-enter the compiled cache so
+	// a restarted daemon stays warm; preloads count neither hits nor
+	// misses.
+	for name, tpl := range s.store.Patterns() {
+		s.cache.put(name, tpl, false)
 	}
 	if cfg.PreloadBuiltins {
 		s.preloadBuiltins()
 	}
 	s.routes()
-	return s
+	return s, nil
+}
+
+// Close shuts the daemon's background state down: the job engine drains
+// (running jobs get until ctx's deadline, queued jobs are cancelled) and
+// the store flushes its manifest.  Call it after the HTTP listener stops.
+func (s *Server) Close(ctx context.Context) error {
+	jerr := s.jobs.Close(ctx)
+	if serr := s.store.Close(); serr != nil {
+		return serr
+	}
+	return jerr
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
 	s.mux.HandleFunc("POST /v1/match/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/circuit", s.handleCircuitUpload)
-	s.mux.HandleFunc("GET /v1/circuit", s.handleCircuitInfo)
+	s.mux.HandleFunc("PUT /v1/circuits/{name}", s.handleCircuitPut)
+	s.mux.HandleFunc("GET /v1/circuits/{name}", s.handleCircuitGet)
+	s.mux.HandleFunc("DELETE /v1/circuits/{name}", s.handleCircuitDelete)
+	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuitList)
+	// Legacy single-circuit API: aliases for the default circuit.
+	s.mux.HandleFunc("POST /v1/circuit", s.handleLegacyCircuitUpload)
+	s.mux.HandleFunc("GET /v1/circuit", s.handleLegacyCircuitInfo)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -259,49 +351,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sw, r)
 }
 
-// lockCircuitWithGlobals acquires the circuit read lock with every given
-// net name already marked global on the resident circuit, and returns the
-// circuit (nil when none is loaded — the read lock is held either way, and
-// the caller must RUnlock).  Marking needs the write lock, so the fast
-// path checks the marks under RLock and the slow path re-verifies that the
-// circuit was not swapped between marking and re-locking.  Once this
-// returns, the matcher's own global marking finds every mark already set
-// and the match touches the shared circuit strictly read-only.
-func (s *Server) lockCircuitWithGlobals(names []string) *graph.Circuit {
-	for {
-		s.mu.RLock()
-		ckt := s.circuit
-		if ckt == nil {
-			return nil
-		}
-		missing := false
-		for _, name := range names {
-			if n := ckt.NetByName(name); n != nil && !n.Global {
-				missing = true
-				break
-			}
-		}
-		if !missing {
-			return ckt
-		}
-		s.mu.RUnlock()
-		s.mu.Lock()
-		if s.circuit == ckt {
-			for _, name := range names {
-				ckt.MarkGlobal(name)
-			}
-		}
-		s.mu.Unlock()
-	}
-}
+// StoredCircuits returns how many circuits the store holds (resident or
+// demoted to disk).
+func (s *Server) StoredCircuits() int { return s.store.Len() }
 
-// CircuitShape returns the resident circuit's name and size (0, 0 and ""
-// when no circuit is loaded).
+// CircuitShape returns the default circuit's name and size (0, 0 and ""
+// when none is stored).
 func (s *Server) CircuitShape() (name string, devices, nets int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.circuit == nil {
+	info, ok := s.store.Get(DefaultCircuit)
+	if !ok {
 		return "", 0, 0
 	}
-	return s.circuit.Name, s.circuit.NumDevices(), s.circuit.NumNets()
+	return info.Display, info.Devices, info.Nets
 }

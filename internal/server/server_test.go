@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,6 +41,22 @@ MN1 Y A GND nmos
 .ENDS
 `
 
+// mustNew builds a server, failing the test on a boot error and closing
+// the server (draining its job workers) when the test ends.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s
+}
+
 func newAdderServer(t *testing.T, mut func(*Config)) (*Server, int) {
 	t.Helper()
 	d := gen.RippleAdder(8)
@@ -47,7 +64,7 @@ func newAdderServer(t *testing.T, mut func(*Config)) (*Server, int) {
 	if mut != nil {
 		mut(&cfg)
 	}
-	return New(cfg), d.Expected(stdcell.FA)
+	return mustNew(t, cfg), d.Expected(stdcell.FA)
 }
 
 // do issues one request against the server.  A string body is sent raw; any
@@ -268,7 +285,7 @@ func TestAdmissionControl(t *testing.T) {
 }
 
 func TestCircuitUploadAndInlinePattern(t *testing.T) {
-	s := New(Config{Globals: rails})
+	s := mustNew(t, Config{Globals: rails})
 
 	// No circuit yet: matching is a 409.
 	if rec := do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "NAND2"}); rec.Code != http.StatusConflict {
@@ -389,12 +406,12 @@ func TestPreloadBuiltins(t *testing.T) {
 	if !decodeMatch(t, rec).CacheHit {
 		t.Error("preloaded cell was not a cache hit on first use")
 	}
-	hits, misses, size := s.cache.counters()
-	if hits != 1 || misses != 0 {
-		t.Errorf("hits=%d misses=%d after preload, want 1/0", hits, misses)
+	c := s.cache.counters()
+	if c.hits != 1 || c.misses != 0 {
+		t.Errorf("hits=%d misses=%d after preload, want 1/0", c.hits, c.misses)
 	}
-	if size < 20 {
-		t.Errorf("cache size %d after preload, want the whole library", size)
+	if c.size < 20 {
+		t.Errorf("cache size %d after preload, want the whole library", c.size)
 	}
 }
 

@@ -1,0 +1,346 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"subgemini/internal/core"
+	"subgemini/internal/graph"
+	"subgemini/internal/netlist"
+)
+
+// Data-directory layout.  The manifest is the index; circuit and pattern
+// snapshots are plain netlists when the circuit's device types all map to
+// netlist element cards, so a user can inspect (or seed) the data
+// directory with ordinary tools.  Circuits with non-primitive devices —
+// gate-level results of extraction, whose typed devices an X instance card
+// could not round-trip without its .SUBCKT definition — snapshot in the
+// graph JSON interchange format instead; the file extension selects the
+// parser on reload.
+const (
+	manifestName = "manifest.json"
+	circuitsDir  = "circuits"
+	patternsDir  = "patterns"
+)
+
+// netlistRoundTrips reports whether every device of the circuit has a
+// primitive type the netlist writer can emit as an element card that
+// parses back to the same device.
+func netlistRoundTrips(c *graph.Circuit) bool {
+	for _, d := range c.Devices {
+		switch d.Type {
+		case "nmos", "pmos", "res", "cap", "diode":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// manifest is the on-disk index, always written whole via an atomic
+// rename so readers never observe a torn file.
+type manifest struct {
+	Version  int          `json:"version"`
+	Circuits []circuitRec `json:"circuits"`
+	Patterns []patternRec `json:"patterns,omitempty"`
+}
+
+type circuitRec struct {
+	Name      string   `json:"name"`
+	Display   string   `json:"display,omitempty"`
+	File      string   `json:"file"`
+	Globals   []string `json:"globals,omitempty"`
+	Devices   int      `json:"devices"`
+	Nets      int      `json:"nets"`
+	SavedUnix int64    `json:"saved_unix"`
+}
+
+type patternRec struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+}
+
+// writeAtomic writes data to path via a temp file in the same directory
+// plus rename, so a crash mid-write never leaves a torn file behind.
+func writeAtomic(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadDir creates the directory layout and replays the manifest: every
+// recorded circuit is reloaded from its snapshot (globals re-marked, CSR
+// rebuilt) and every pattern template is recompiled.  Errors here are boot
+// errors by design — see Open.
+func (st *Store) loadDir() error {
+	for _, d := range []string{st.dir, filepath.Join(st.dir, circuitsDir), filepath.Join(st.dir, patternsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(st.dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // fresh data directory
+	}
+	if err != nil {
+		return fmt.Errorf("reading store manifest %s: %w", path, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("store manifest %s is corrupt (%v); move it aside or restore a backup to boot", path, err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("store manifest %s has unsupported version %d (want 1)", path, m.Version)
+	}
+	for _, rec := range m.Circuits {
+		e, err := st.loadCircuitRec(rec)
+		if err != nil {
+			return fmt.Errorf("reloading circuit %q from %s: %w", rec.Name, rec.File, err)
+		}
+		st.entries[rec.Name] = e
+		e.elem = st.lru.PushBack(e) // boot order is not usage order; all equally cold
+		st.residentBytes += e.bytes
+	}
+	for _, rec := range m.Patterns {
+		tpl, err := st.loadPatternRec(rec)
+		if err != nil {
+			return fmt.Errorf("reloading pattern %q from %s: %w", rec.Name, rec.File, err)
+		}
+		st.patterns[rec.Name] = tpl
+	}
+	if len(m.Circuits)+len(m.Patterns) > 0 {
+		st.logf("store: reloaded %d circuit(s), %d pattern(s) from %s", len(m.Circuits), len(m.Patterns), st.dir)
+	}
+	st.mu.Lock()
+	st.evictLocked()
+	st.mu.Unlock()
+	return nil
+}
+
+// loadCircuitRec parses one snapshot back into a resident entry.
+func (st *Store) loadCircuitRec(rec circuitRec) (*Entry, error) {
+	ckt, err := st.parseSnapshot(rec.File, rec.Display, rec.Globals)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{
+		name:     rec.Name,
+		display:  ckt.Name,
+		file:     rec.File,
+		ckt:      ckt,
+		view:     core.NewCSR(ckt),
+		bytes:    estimateBytes(ckt),
+		resident: true,
+		devices:  ckt.NumDevices(),
+		nets:     ckt.NumNets(),
+		saved:    time.Unix(rec.SavedUnix, 0),
+	}
+	for _, n := range ckt.Globals() {
+		e.globals = append(e.globals, n.Name)
+	}
+	return e, nil
+}
+
+// parseSnapshot reads a circuit snapshot (netlist or, for gate-level
+// circuits, graph JSON — dispatched on the extension) and re-marks its
+// globals: the snapshot's own marks, the manifest record's globals
+// (covering marks made after the snapshot was written), and the
+// store-level globals.
+func (st *Store) parseSnapshot(file, display string, globals []string) (*graph.Circuit, error) {
+	path := filepath.Join(st.dir, circuitsDir, file)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ckt *graph.Circuit
+	if strings.HasSuffix(file, ".json") {
+		ckt, err = graph.DecodeJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		if display != "" {
+			ckt.Name = display
+		}
+	} else {
+		nf, err := netlist.Parse(f, path)
+		if err != nil {
+			return nil, err
+		}
+		name := display
+		if name == "" {
+			name = file
+		}
+		ckt, err = nf.MainCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range globals {
+		ckt.MarkGlobal(g)
+	}
+	for _, g := range st.globals {
+		ckt.MarkGlobal(g)
+	}
+	return ckt, nil
+}
+
+// loadPatternRec recompiles one persisted pattern template.
+func (st *Store) loadPatternRec(rec patternRec) (*graph.Circuit, error) {
+	path := filepath.Join(st.dir, patternsDir, rec.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	nf, err := netlist.Parse(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return nf.Pattern(rec.Name)
+}
+
+// writeSnapshot writes one circuit snapshot and returns its filename:
+// a .sp netlist for primitive-device circuits, graph JSON otherwise.
+func (st *Store) writeSnapshot(name string, ckt *graph.Circuit) (string, error) {
+	file := name + ".sp"
+	write := func(f *os.File) error { return netlist.WriteCircuit(f, ckt) }
+	if !netlistRoundTrips(ckt) {
+		file = name + ".json"
+		write = func(f *os.File) error { return graph.EncodeJSON(f, ckt) }
+	}
+	path := filepath.Join(st.dir, circuitsDir, file)
+	if err := writeAtomic(path, write); err != nil {
+		return "", fmt.Errorf("writing circuit snapshot %s: %w", path, err)
+	}
+	return file, nil
+}
+
+func (st *Store) removeSnapshot(file string) {
+	if file == "" {
+		return
+	}
+	os.Remove(filepath.Join(st.dir, circuitsDir, file))
+}
+
+// writeManifest rewrites the index from the current table.
+func (st *Store) writeManifest() error {
+	st.mu.Lock()
+	m := manifest{Version: 1}
+	for _, e := range st.entries {
+		if e.file == "" {
+			continue
+		}
+		m.Circuits = append(m.Circuits, circuitRec{
+			Name:      e.name,
+			Display:   e.display,
+			File:      e.file,
+			Globals:   append([]string(nil), e.globals...),
+			Devices:   e.devices,
+			Nets:      e.nets,
+			SavedUnix: e.saved.Unix(),
+		})
+	}
+	for name := range st.patterns {
+		m.Patterns = append(m.Patterns, patternRec{Name: name, File: patternFile(name)})
+	}
+	st.mu.Unlock()
+	sort.Slice(m.Circuits, func(i, j int) bool { return m.Circuits[i].Name < m.Circuits[j].Name })
+	sort.Slice(m.Patterns, func(i, j int) bool { return m.Patterns[i].Name < m.Patterns[j].Name })
+
+	path := filepath.Join(st.dir, manifestName)
+	return writeAtomic(path, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&m)
+	})
+}
+
+// reloadLocked re-parses a demoted entry's snapshot and rebuilds its CSR
+// view; called with st.mu held, from Acquire.
+func (st *Store) reloadLocked(e *Entry) error {
+	ckt, err := st.parseSnapshot(e.file, e.display, e.globals)
+	if err != nil {
+		return err
+	}
+	e.ckt = ckt
+	e.view = core.NewCSR(ckt)
+	e.scratch = core.ScratchPool{}
+	e.bytes = estimateBytes(ckt)
+	e.resident = true
+	st.residentBytes += e.bytes
+	st.reloads++
+	st.logf("store: reloaded circuit %q from snapshot", e.name)
+	return nil
+}
+
+// patternFile maps a pattern name to its snapshot filename.  Pattern names
+// come from .SUBCKT identifiers; characters outside the snapshot-safe set
+// are hex-escaped so distinct names stay distinct.
+func patternFile(name string) string {
+	safe := make([]byte, 0, len(name)+4)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '.', c == '_', c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, fmt.Sprintf("%%%02x", c)...)
+		}
+	}
+	return string(safe) + ".subckt.sp"
+}
+
+// SavePattern persists one uploaded pattern template so it survives a
+// daemon restart; a store without a data directory accepts and ignores the
+// call.  The template is written as a .SUBCKT definition and re-listed in
+// the manifest.
+func (st *Store) SavePattern(name string, template *graph.Circuit) error {
+	if st.dir == "" {
+		return nil
+	}
+	path := filepath.Join(st.dir, patternsDir, patternFile(name))
+	err := writeAtomic(path, func(f *os.File) error {
+		return netlist.WriteSubckt(f, template)
+	})
+	if err != nil {
+		return fmt.Errorf("writing pattern snapshot %s: %w", path, err)
+	}
+	st.mu.Lock()
+	st.patterns[name] = template
+	st.mu.Unlock()
+	return st.writeManifest()
+}
+
+// Patterns returns the persisted pattern templates loaded at boot (plus
+// any saved since); the caller must clone before mutating a template.
+func (st *Store) Patterns() map[string]*graph.Circuit {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]*graph.Circuit, len(st.patterns))
+	for k, v := range st.patterns {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+// Package store implements subgeminid's multi-circuit memory: a named,
+// ref-counted store of resident circuits, each entry owning the circuit
+// graph, its shared flat CSR view, and a Phase II scratch pool sized to it.
+//
+// The store exists because the paper's motivating workloads (§I:
+// library-cell identification, hierarchy extraction, LVS) are long-lived,
+// many-query sessions over a few large netlists.  One daemon hosting many
+// named circuits amortizes flattening and CSR construction across every
+// query against a circuit, while an LRU policy under a configurable byte
+// budget keeps the resident set bounded: entries whose snapshot is on disk
+// are demoted to non-resident when the budget is exceeded and transparently
+// reloaded on next use.
+//
+// Durability: with a data directory configured, every Put writes the
+// circuit through internal/netlist.WriteCircuit to
+// <dir>/circuits/<name>.sp (temp file + rename, so a crash never leaves a
+// torn snapshot) and then rewrites <dir>/manifest.json the same way.  On
+// boot, Open replays the manifest, reloading every snapshotted circuit and
+// re-marking its globals.  Uploaded pattern templates are persisted
+// alongside under <dir>/patterns/ so a restarted daemon keeps its compiled
+// pattern library warm.
+//
+// Concurrency: the store has one mutex for the name table, LRU list, and
+// ref counts.  Each entry additionally carries its own RWMutex guarding
+// the monotonic global-net marks on its circuit, preserving the server's
+// invariant that a match only ever reads the shared circuit (globals are
+// pre-marked under the entry write lock before matching begins).  An entry
+// is never mutated structurally after creation — replacing a name installs
+// a fresh entry, and in-flight matches keep the old one alive through
+// their handles.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"subgemini/internal/core"
+	"subgemini/internal/graph"
+)
+
+// ErrNotFound reports a name with no store entry.
+var ErrNotFound = errors.New("no such circuit")
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the data directory for durable snapshots; "" keeps the store
+	// memory-only (no persistence, and no LRU demotion — an entry without
+	// a snapshot cannot be reloaded, so it is never evicted).
+	Dir string
+
+	// MaxBytes bounds the estimated bytes of resident circuits; 0 means
+	// unlimited.  When an insert pushes the total over the budget,
+	// least-recently-used idle entries with snapshots are demoted until
+	// the total fits (or nothing more is evictable).
+	MaxBytes int64
+
+	// Globals lists net names marked global on every stored circuit (the
+	// daemon-level special signals).
+	Globals []string
+
+	// Logf, when non-nil, receives one line per eviction, reload, and
+	// boot-time recovery event.
+	Logf func(format string, args ...any)
+}
+
+// Store is the named circuit table.  Create one with Open.
+type Store struct {
+	dir     string
+	maxBytes int64 // MaxBytes; named to discourage direct use, see overLocked
+	globals []string
+	logf    func(format string, args ...any)
+
+	mu            sync.Mutex
+	entries       map[string]*Entry
+	lru           *list.List // of *Entry; front = most recently used
+	patterns      map[string]*graph.Circuit
+	residentBytes int64
+	evictions     int64
+	reloads       int64
+}
+
+// Entry is one named circuit.  The circuit pointer, CSR view, and scratch
+// pool are fixed for the entry's lifetime while resident; only the global
+// marks on the circuit change, under markMu.
+type Entry struct {
+	name    string // store key
+	display string // circuit's own name (may differ from the key)
+	file    string // snapshot filename under dir/circuits, "" = memory-only
+	globals []string
+	saved   time.Time
+
+	elem *list.Element
+	refs int
+
+	// markMu guards the monotonic global-net marks: matches hold RLock for
+	// their whole run, markers take Lock.  See Handle.RLockWithGlobals.
+	markMu   sync.RWMutex
+	ckt      *graph.Circuit
+	view     *core.CSR
+	scratch  core.ScratchPool
+	bytes    int64
+	resident bool
+
+	// devices/nets cache the shape so Info works on demoted entries.
+	devices, nets int
+}
+
+// Info describes one entry for listings and API responses.
+type Info struct {
+	Name     string   `json:"name"`
+	Display  string   `json:"display,omitempty"`
+	Devices  int      `json:"devices"`
+	Nets     int      `json:"nets"`
+	Globals  []string `json:"globals,omitempty"`
+	Resident bool     `json:"resident"`
+	Snapshot bool     `json:"snapshot"`
+	Bytes    int64    `json:"bytes"`
+}
+
+// Stats is the store-level gauge set for /metrics.
+type Stats struct {
+	Circuits      int
+	Resident      int
+	ResidentBytes int64
+	Evictions     int64
+	Reloads       int64
+}
+
+// Open builds a Store and, when cfg.Dir is set, creates the directory
+// layout and reloads every circuit and pattern recorded in the manifest.
+// A corrupt manifest or missing snapshot is a boot error: a daemon that
+// silently dropped circuits would violate the durability contract.
+func Open(cfg Config) (*Store, error) {
+	st := &Store{
+		dir:      cfg.Dir,
+		maxBytes:  cfg.MaxBytes,
+		globals:  append([]string(nil), cfg.Globals...),
+		logf:     cfg.Logf,
+		entries:  make(map[string]*Entry),
+		lru:      list.New(),
+		patterns: make(map[string]*graph.Circuit),
+	}
+	if st.logf == nil {
+		st.logf = func(string, ...any) {}
+	}
+	if cfg.Dir != "" {
+		if err := st.loadDir(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// ValidName reports whether name is usable as a store key (and hence a
+// snapshot filename component): 1–64 characters from [A-Za-z0-9._-], not
+// starting with a dot or dash.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > 64 || name[0] == '.' || name[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// estimateBytes approximates the resident footprint of a circuit plus its
+// CSR view and scratch pool.  The constants cover the graph structs, name
+// strings, adjacency slices, and the CSR's flat arrays; the estimate only
+// needs to be proportional, since the budget it feeds is itself a knob.
+func estimateBytes(c *graph.Circuit) int64 {
+	return int64(c.NumDevices())*160 + int64(c.NumNets())*120 + int64(c.NumPins())*96
+}
+
+// Put installs (or replaces) the named entry, marking the store-level
+// globals on the circuit, building its CSR view, and — with a data
+// directory — writing its snapshot and the updated manifest before the
+// entry becomes visible.  In-flight matches against a replaced entry keep
+// running against the old circuit through their handles.
+func (st *Store) Put(name string, ckt *graph.Circuit) (Info, error) {
+	if !ValidName(name) {
+		return Info{}, fmt.Errorf("invalid circuit name %q (want 1-64 chars of [A-Za-z0-9._-], not starting with '.' or '-')", name)
+	}
+	for _, g := range st.globals {
+		ckt.MarkGlobal(g)
+	}
+	e := &Entry{
+		name:     name,
+		display:  ckt.Name,
+		ckt:      ckt,
+		view:     core.NewCSR(ckt),
+		bytes:    estimateBytes(ckt),
+		resident: true,
+		devices:  ckt.NumDevices(),
+		nets:     ckt.NumNets(),
+		saved:    time.Now(),
+	}
+	for _, n := range ckt.Globals() {
+		e.globals = append(e.globals, n.Name)
+	}
+	if st.dir != "" {
+		file, err := st.writeSnapshot(name, ckt)
+		if err != nil {
+			return Info{}, err
+		}
+		e.file = file
+	}
+
+	st.mu.Lock()
+	var staleFile string
+	if old, ok := st.entries[name]; ok {
+		st.dropLocked(old)
+		// A replace can switch snapshot formats (chip.sp → chip.json);
+		// drop the out-of-format file so only the manifest's survives.
+		if old.file != "" && old.file != e.file {
+			staleFile = old.file
+		}
+	}
+	st.entries[name] = e
+	e.elem = st.lru.PushFront(e)
+	st.residentBytes += e.bytes
+	st.evictLocked()
+	info := st.infoLocked(e)
+	st.mu.Unlock()
+
+	if st.dir != "" {
+		st.removeSnapshot(staleFile)
+		if err := st.writeManifest(); err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}
+
+// Acquire returns a ref-counted handle on the named entry, reloading a
+// demoted entry from its snapshot first.  Callers must Release the handle
+// when their match completes; the ref count pins the entry's resident
+// state against eviction.
+func (st *Store) Acquire(name string) (*Handle, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if !e.resident {
+		if err := st.reloadLocked(e); err != nil {
+			return nil, fmt.Errorf("reloading circuit %q from snapshot: %w", name, err)
+		}
+	}
+	e.refs++
+	st.lru.MoveToFront(e.elem)
+	return &Handle{st: st, e: e}, nil
+}
+
+// Delete removes the named entry and its snapshot.  Handles already
+// acquired stay valid; the entry's memory is reclaimed when they release.
+func (st *Store) Delete(name string) error {
+	st.mu.Lock()
+	e, ok := st.entries[name]
+	if ok {
+		delete(st.entries, name)
+		st.dropLocked(e)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if st.dir != "" {
+		st.removeSnapshot(e.file)
+		return st.writeManifest()
+	}
+	return nil
+}
+
+// Get returns the Info for one entry.
+func (st *Store) Get(name string) (Info, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[name]
+	if !ok {
+		return Info{}, false
+	}
+	return st.infoLocked(e), true
+}
+
+// List returns every entry's Info, sorted by name.
+func (st *Store) List() []Info {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Info, 0, len(st.entries))
+	for _, e := range st.entries {
+		out = append(out, st.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of named entries.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// Stats returns the gauge snapshot for /metrics.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Circuits:      len(st.entries),
+		ResidentBytes: st.residentBytes,
+		Evictions:     st.evictions,
+		Reloads:       st.reloads,
+	}
+	for _, e := range st.entries {
+		if e.resident {
+			s.Resident++
+		}
+	}
+	return s
+}
+
+// Close flushes the manifest.  Snapshots are written at Put time, so this
+// only rewrites the index (cheap) to capture any Delete-only sessions.
+func (st *Store) Close() error {
+	if st.dir == "" {
+		return nil
+	}
+	return st.writeManifest()
+}
+
+// infoLocked builds an Info under st.mu.
+func (st *Store) infoLocked(e *Entry) Info {
+	return Info{
+		Name:     e.name,
+		Display:  e.display,
+		Devices:  e.devices,
+		Nets:     e.nets,
+		Globals:  append([]string(nil), e.globals...),
+		Resident: e.resident,
+		Snapshot: e.file != "",
+		Bytes:    e.bytes,
+	}
+}
+
+// dropLocked detaches an entry from the LRU accounting (replacement and
+// deletion paths).
+func (st *Store) dropLocked(e *Entry) {
+	if e.elem != nil {
+		st.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	if e.resident {
+		st.residentBytes -= e.bytes
+	}
+}
+
+// evictLocked demotes least-recently-used idle snapshotted entries until
+// the resident total fits the budget.  Entries that are referenced, not
+// resident, or have no snapshot to reload from are skipped — a memory-only
+// entry is never silently dropped.
+func (st *Store) evictLocked() {
+	if st.maxBytes <= 0 {
+		return
+	}
+	for el := st.lru.Back(); el != nil && st.residentBytes > st.maxBytes; {
+		e := el.Value.(*Entry)
+		el = el.Prev()
+		if e.refs > 0 || !e.resident || e.file == "" {
+			continue
+		}
+		e.ckt = nil
+		e.view = nil
+		e.scratch = core.ScratchPool{}
+		e.resident = false
+		st.residentBytes -= e.bytes
+		st.evictions++
+		st.logf("store: evicted circuit %q (%d bytes est.) under %d-byte budget", e.name, e.bytes, st.maxBytes)
+	}
+}
+
+// release drops one handle reference.
+func (st *Store) release(e *Entry) {
+	st.mu.Lock()
+	e.refs--
+	st.evictLocked()
+	st.mu.Unlock()
+}
+
+// Handle is a ref-counted lease on an entry.  It exposes the shared
+// circuit state a match needs and the entry-level lock protocol.
+type Handle struct {
+	st       *Store
+	e        *Entry
+	released bool
+}
+
+// Name returns the store key.
+func (h *Handle) Name() string { return h.e.name }
+
+// Circuit returns the shared circuit.  Callers must follow the lock
+// protocol: hold RLockWithGlobals (or RLock) while reading it.
+func (h *Handle) Circuit() *graph.Circuit { return h.e.ckt }
+
+// CSR returns the entry's prebuilt flat view, shareable across matchers.
+func (h *Handle) CSR() *core.CSR { return h.e.view }
+
+// Scratch returns the entry's Phase II scratch pool.
+func (h *Handle) Scratch() *core.ScratchPool { return &h.e.scratch }
+
+// Globals returns the names marked global on the entry's circuit at Put
+// time (store-level globals plus the netlist's own .GLOBAL nets).
+func (h *Handle) Globals() []string { return h.e.globals }
+
+// Release returns the lease.  Releasing twice is a no-op.
+func (h *Handle) Release() {
+	if h.released {
+		return
+	}
+	h.released = true
+	h.st.release(h.e)
+}
+
+// RLock takes the entry read lock without marking anything; use it for
+// read-only access (cloning, shape queries) that tolerates current marks.
+func (h *Handle) RLock() { h.e.markMu.RLock() }
+
+// RUnlock releases the entry read lock.
+func (h *Handle) RUnlock() { h.e.markMu.RUnlock() }
+
+// RLockWithGlobals acquires the entry read lock with every given net name
+// already marked global on the circuit.  Marking needs the write lock, so
+// the fast path checks under RLock and upgrades only when a mark is
+// missing; marks are monotonic and the entry's circuit pointer never
+// changes, so one upgrade round suffices.  Once this returns, the
+// matcher's own global marking finds every mark already set and the match
+// reads the shared circuit strictly read-only.
+func (h *Handle) RLockWithGlobals(names []string) {
+	e := h.e
+	e.markMu.RLock()
+	missing := false
+	for _, name := range names {
+		if n := e.ckt.NetByName(name); n != nil && !n.Global {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return
+	}
+	e.markMu.RUnlock()
+	e.markMu.Lock()
+	for _, name := range names {
+		e.ckt.MarkGlobal(name)
+	}
+	e.markMu.Unlock()
+	e.markMu.RLock()
+}

@@ -1,0 +1,300 @@
+// Command smoke_daemon is the end-to-end smoke test behind `make
+// smoke-daemon`: it builds subgeminid, boots it with a temporary data
+// directory, uploads two circuits, runs one synchronous match and one
+// asynchronous extract job, restarts the daemon, and asserts both circuits
+// (and the job record) survived the restart.  It exercises the real binary
+// over real HTTP — the process-level counterpart of the in-process
+// restart tests in internal/server.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/smoke_daemon
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const nandNetlist = `
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END
+`
+
+const invPairNetlist = `
+.GLOBAL VDD GND
+MP1 b a VDD pmos
+MN1 b a GND nmos
+MP2 c b VDD pmos
+MN2 c b GND nmos
+.END
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke-daemon: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke-daemon: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "subgeminid-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "subgeminid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/subgeminid")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building subgeminid: %w", err)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	// First daemon: upload, match, run a job.
+	d, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if err := d.putCircuit("alpha", nandNetlist); err != nil {
+		return err
+	}
+	if err := d.putCircuit("beta", invPairNetlist); err != nil {
+		return err
+	}
+	count, err := d.match("alpha", "NAND2")
+	if err != nil {
+		return err
+	}
+	if count != 1 {
+		return fmt.Errorf("sync match: NAND2 on alpha = %d, want 1", count)
+	}
+
+	jobID, err := d.submitExtractJob("alpha", []string{"NAND2", "INV"})
+	if err != nil {
+		return err
+	}
+	state, jerr, err := d.waitJob(jobID)
+	if err != nil {
+		return err
+	}
+	if state != "done" {
+		return fmt.Errorf("extract job ended %q: %s", state, jerr)
+	}
+	fmt.Printf("smoke-daemon: first boot ok (sync match + job %s)\n", jobID)
+
+	if err := d.stop(); err != nil {
+		return fmt.Errorf("first shutdown: %w", err)
+	}
+
+	// Second daemon over the same data directory: everything reloads.
+	d2, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer d2.kill()
+
+	keys, err := d2.listCircuits()
+	if err != nil {
+		return err
+	}
+	if !keys["alpha"] || !keys["beta"] || len(keys) != 2 {
+		return fmt.Errorf("after restart the store has %v, want alpha and beta", keys)
+	}
+	if count, err = d2.match("alpha", "NAND2"); err != nil {
+		return err
+	} else if count != 1 {
+		return fmt.Errorf("post-restart match: NAND2 on alpha = %d, want 1", count)
+	}
+	if count, err = d2.match("beta", "INV"); err != nil {
+		return err
+	} else if count != 2 {
+		return fmt.Errorf("post-restart match: INV on beta = %d, want 2", count)
+	}
+	if state, _, err = d2.jobState(jobID); err != nil {
+		return err
+	} else if state != "done" {
+		return fmt.Errorf("job %s after restart is %q, want done", jobID, state)
+	}
+	fmt.Println("smoke-daemon: restart reloaded both circuits and the job record")
+
+	return d2.stop()
+}
+
+// daemon is one running subgeminid process plus its base URL.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the binary on an ephemeral port and waits for its
+// "listening on" line.
+func startDaemon(bin, dataDir string) (*daemon, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-globals", "VDD,GND", "-drain", "10s")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("  daemon:", line)
+		if addr, ok := strings.CutPrefix(line, "listening on "); ok {
+			d.base = "http://" + strings.TrimSpace(addr)
+			// Keep draining stdout so the daemon never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+					fmt.Println("  daemon:", sc.Text())
+				}
+			}()
+			return d, nil
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return nil, fmt.Errorf("daemon exited before reporting its listen address")
+}
+
+// stop shuts the daemon down gracefully and waits for it to exit.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+}
+
+// kill is the deferred safety net; stop() already waited in the happy path.
+func (d *daemon) kill() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+func (d *daemon) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, d.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func (d *daemon) putCircuit(name, src string) error {
+	return d.do("PUT", "/v1/circuits/"+name, strings.NewReader(src), nil)
+}
+
+func (d *daemon) listCircuits() (map[string]bool, error) {
+	var list []struct {
+		Key string `json:"key"`
+	}
+	if err := d.do("GET", "/v1/circuits", nil, &list); err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool, len(list))
+	for _, c := range list {
+		keys[c.Key] = true
+	}
+	return keys, nil
+}
+
+func (d *daemon) match(circuit, pattern string) (int, error) {
+	body := fmt.Sprintf(`{"circuit":%q,"pattern":%q}`, circuit, pattern)
+	var resp struct {
+		Count int `json:"count"`
+	}
+	if err := d.do("POST", "/v1/match", strings.NewReader(body), &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+func (d *daemon) submitExtractJob(circuit string, cells []string) (string, error) {
+	payload := map[string]any{
+		"kind":    "extract",
+		"extract": map[string]any{"circuit": circuit, "cells": cells},
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := d.do("POST", "/v1/jobs", strings.NewReader(string(raw)), &view); err != nil {
+		return "", err
+	}
+	return view.ID, nil
+}
+
+func (d *daemon) jobState(id string) (state, jerr string, err error) {
+	var view struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := d.do("GET", "/v1/jobs/"+id, nil, &view); err != nil {
+		return "", "", err
+	}
+	return view.State, view.Error, nil
+}
+
+func (d *daemon) waitJob(id string) (state, jerr string, err error) {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		state, jerr, err = d.jobState(id)
+		if err != nil {
+			return "", "", err
+		}
+		switch state {
+		case "done", "failed", "cancelled":
+			return state, jerr, nil
+		}
+		if time.Now().After(deadline) {
+			return "", "", fmt.Errorf("job %s still %q after 30s", id, state)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"subgemini/internal/extract"
 	"subgemini/internal/gemini"
 	"subgemini/internal/graph"
+	"subgemini/internal/jobs"
 	"subgemini/internal/netlist"
 	"subgemini/internal/server"
 	"subgemini/internal/sprecog"
@@ -188,11 +189,25 @@ type (
 	ServerBatchRequest = server.BatchRequest
 	// ServerBatchResponse is the body of a batch reply.
 	ServerBatchResponse = server.BatchResponse
+	// ServerCircuitInfo describes one stored circuit (PUT/GET
+	// /v1/circuits/{name} and the legacy /v1/circuit endpoints).
+	ServerCircuitInfo = server.CircuitInfo
+	// ServerJobRequest is the body of POST /v1/jobs.
+	ServerJobRequest = server.JobRequest
+	// ServerExtractRequest is the payload of an extract job.
+	ServerExtractRequest = server.ExtractRequest
+	// ServerExtractResponse is the result of a finished extract job.
+	ServerExtractResponse = server.ExtractResponse
+	// ServerJobView is a job's externally visible state (GET /v1/jobs/{id}).
+	ServerJobView = jobs.View
 )
 
 // NewServer builds the daemon state for cmd/subgeminid or for embedding
-// the matching service into another process.
-func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+// the matching service into another process.  With ServerConfig.DataDir
+// set, stored circuits and job records are reloaded from disk, so boot can
+// fail on a corrupt data directory.  Callers owning the server's lifetime
+// should Close it to drain jobs and flush snapshots.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Netlist I/O.
 type (
