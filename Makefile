@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff bench bench-smoke smoke-daemon bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet race diff bench bench-smoke bench-sweep smoke-daemon bench-compare docs docs-check clean
 
 all: tier1
 
@@ -24,11 +24,18 @@ diff:
 # without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPhase1|BenchmarkFindScratch' -benchtime 1x ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x ./internal/sweep/
+
+# Library-sweep table only: sweep vs sequential-loop timings across circuit
+# sizes and worker counts, archived as BENCH_sweep.json.
+bench-sweep:
+	$(GO) run ./cmd/benchtab -table sweep -json BENCH_sweep.json
 
 # Process-level daemon smoke: boot subgeminid with a temporary data
-# directory, upload two circuits, run a sync match and an async extract
-# job, restart the daemon, and assert both circuits (and the job record)
-# reload from the snapshots.
+# directory, upload two circuits and a pattern library, run a sync match,
+# an async extract job and an async sweep job, restart the daemon, and
+# assert the circuits, the library, and the job records reload from the
+# snapshots.
 smoke-daemon:
 	$(GO) run ./scripts/smoke_daemon
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table results|scaling|baseline|ablation|coverage|phase1|all] [-quick] [-json out.json]
+//	benchtab [-table results|scaling|baseline|ablation|coverage|phase1|sweep|all] [-quick] [-json out.json]
 //
 // Absolute times are machine-dependent; the shapes the paper claims —
 // instance counts, tight candidate vectors, flat time-per-matched-device,
@@ -40,10 +40,11 @@ type jsonOutput struct {
 	Ablation      []bench.AblationRow `json:"ablation,omitempty"`
 	Coverage      []bench.CoverageRow `json:"coverage,omitempty"`
 	Phase1        []bench.Phase1Row   `json:"phase1,omitempty"`
+	Sweep         []bench.SweepRow    `json:"sweep,omitempty"`
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, phase1, all")
+	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, phase1, sweep, all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
@@ -85,6 +86,11 @@ func main() {
 	run("phase1", func() error {
 		rows, err := phase1(*quick)
 		out.Phase1 = rows
+		return err
+	})
+	run("sweep", func() error {
+		rows, err := sweepTable(*quick)
+		out.Sweep = rows
 		return err
 	})
 
@@ -246,6 +252,32 @@ func phase1(quick bool) ([]bench.Phase1Row, error) {
 	}
 	w.Flush()
 	fmt.Println("(all configurations must agree on every column but the time; worker rows need real cores to win)")
+	fmt.Println()
+	return rows, nil
+}
+
+func sweepTable(quick bool) ([]bench.SweepRow, error) {
+	rows, err := bench.SweepScaling(quick)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== Library sweep: one amortized run vs a sequential matcher loop ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdevices\tpatterns\tworkers\tinstances\tdeduped\tsequential\tsweep\tspeedup")
+	last := ""
+	for _, r := range rows {
+		if r.Circuit != last {
+			if last != "" {
+				fmt.Fprintln(w, "\t\t\t\t\t\t\t\t")
+			}
+			last = r.Circuit
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%v\t%v\t%.2fx\n",
+			r.Circuit, r.Devices, r.Patterns, r.Workers, r.Instances, r.Deduped,
+			round(r.Sequential), round(r.Sweep), r.Speedup)
+	}
+	w.Flush()
+	fmt.Println("(per-pattern instance counts are checked against the sequential loop; worker rows need real cores to win)")
 	fmt.Println()
 	return rows, nil
 }

@@ -5,11 +5,19 @@
 //
 //	subgemini -circuit chip.sp -pattern cells.sp -subckt NAND2 [flags]
 //	subgemini -circuit chip.sp -cell NAND2 [flags]
+//	subgemini -circuit chip.sp -library NAND2,NOR2,INV [flags]
+//	subgemini -circuit chip.sp -pattern cells.sp -library all [flags]
 //
 // The circuit file's top-level cards form the main circuit (subcircuit
 // instances are flattened).  The pattern comes either from a .SUBCKT in
 // -pattern (selected with -subckt; if the file has exactly one definition,
 // -subckt may be omitted) or from the built-in cell library via -cell.
+//
+// -library sweeps a whole set of patterns in one run, sharing the circuit
+// adjacency view and initial Phase I labeling across them: a comma list of
+// names (built-in cells, or .SUBCKTs of -pattern, which shadow same-named
+// cells), or "all" for every .SUBCKT of -pattern (every built-in cell when
+// -pattern is absent).  Output is a per-pattern count table.
 //
 // Flags:
 //
@@ -39,7 +47,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"subgemini"
 )
@@ -62,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		patternPath = flag.String("pattern", "", "netlist file holding the pattern .SUBCKT")
 		subcktName  = flag.String("subckt", "", "name of the pattern .SUBCKT in -pattern")
 		cellName    = flag.String("cell", "", "use a built-in library cell as the pattern")
+		libraryCSV  = flag.String("library", "", `sweep a comma-separated set of patterns in one run ("all" = every -pattern .SUBCKT, or every built-in cell)`)
 		globalsCSV  = flag.String("globals", "", "comma-separated special-signal nets")
 		bindCSV     = flag.String("bind", "", "port bindings PORT=NET[,PORT=NET...]: each pattern port matches only the named net")
 		nonOverlap  = flag.Bool("nonoverlap", false, "report only disjoint instances")
@@ -80,6 +91,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *circuitPath == "" {
 		return fmt.Errorf("-circuit is required")
+	}
+	if *libraryCSV != "" {
+		if *cellName != "" || *subcktName != "" {
+			return fmt.Errorf("-library replaces -cell/-subckt; drop them")
+		}
+		if *nonOverlap {
+			return fmt.Errorf("-library uses overlap semantics; drop -nonoverlap")
+		}
+		circuit, err := loadMain(*circuitPath)
+		if err != nil {
+			return err
+		}
+		lib, err := loadLibrary(*patternPath, *libraryCSV)
+		if err != nil {
+			return err
+		}
+		return runSweep(circuit, lib, sweepFlags{
+			globalsCSV: *globalsCSV,
+			maxInst:    *maxInst,
+			workers:    *workers,
+			p1Workers:  *p1Workers,
+			quiet:      *quiet,
+			asJSON:     *asJSON,
+		}, stdout)
 	}
 	if (*patternPath == "") == (*cellName == "") {
 		return fmt.Errorf("exactly one of -pattern or -cell is required")
@@ -186,6 +221,120 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintln(stdout, "stats:", res.Report.String())
+	return nil
+}
+
+// sweepFlags carries the subset of CLI options the -library mode honors.
+type sweepFlags struct {
+	globalsCSV string
+	maxInst    int
+	workers    int
+	p1Workers  int
+	quiet      bool
+	asJSON     bool
+}
+
+// loadLibrary resolves -library into named pattern templates.  User
+// .SUBCKTs from -pattern shadow same-named built-in cells; "all" selects
+// every .SUBCKT of -pattern, or the whole built-in library without one.
+func loadLibrary(patternPath, csv string) ([]subgemini.SweepPattern, error) {
+	var f *subgemini.NetlistFile
+	if patternPath != "" {
+		var err error
+		if f, err = parseFile(patternPath); err != nil {
+			return nil, err
+		}
+	}
+	var names []string
+	if csv == "all" {
+		if f != nil {
+			for name := range f.Subckts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+		} else {
+			for _, c := range subgemini.Cells() {
+				names = append(names, c.Name)
+			}
+		}
+	} else {
+		names = strings.Split(csv, ",")
+	}
+	lib := make([]subgemini.SweepPattern, 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if f != nil {
+			if _, ok := f.Subckts[name]; ok {
+				tpl, err := f.Pattern(name)
+				if err != nil {
+					return nil, err
+				}
+				lib = append(lib, subgemini.SweepPattern{Name: name, Template: tpl})
+				continue
+			}
+		}
+		def := subgemini.Cell(name)
+		if def == nil {
+			return nil, fmt.Errorf("no library cell or -pattern .SUBCKT named %q (cells: %s)", name, cellNames())
+		}
+		lib = append(lib, subgemini.SweepPattern{Name: name, Template: def.Pattern()})
+	}
+	return lib, nil
+}
+
+// runSweep executes the -library mode: one amortized run over the whole
+// set, reported as a per-pattern count table.
+func runSweep(circuit *subgemini.Circuit, lib []subgemini.SweepPattern, fl sweepFlags, stdout io.Writer) error {
+	opts := subgemini.SweepOptions{
+		MaxInstances:  fl.maxInst,
+		Phase1Workers: fl.p1Workers,
+	}
+	if fl.globalsCSV != "" {
+		opts.Globals = strings.Split(fl.globalsCSV, ",")
+	}
+	switch {
+	case fl.workers > 0:
+		opts.Workers = fl.workers
+	case fl.workers < 0:
+		opts.Workers = 0 // all CPUs
+	default:
+		opts.Workers = 1 // sequential, like the single-pattern default
+	}
+	rep, err := subgemini.Sweep(circuit, lib, opts)
+	if err != nil {
+		return err
+	}
+	if fl.quiet {
+		fmt.Fprintln(stdout, rep.Instances())
+		return nil
+	}
+	if fl.asJSON {
+		type entry struct {
+			Pattern string `json:"pattern"`
+			Alias   string `json:"alias,omitempty"`
+			Count   int    `json:"count"`
+		}
+		out := make([]entry, 0, len(rep.Results))
+		for i := range rep.Results {
+			pr := &rep.Results[i]
+			out = append(out, entry{Pattern: pr.Name, Alias: pr.Alias, Count: len(pr.Instances)})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(stdout, "circuit %s: %d devices, %d nets\n", circuit.Name, circuit.NumDevices(), circuit.NumNets())
+	fmt.Fprintf(stdout, "library: %d patterns, %d matcher runs (%d deduped), %v\n",
+		len(rep.Results), rep.Runs, rep.Deduped, rep.Duration.Round(time.Microsecond))
+	for i := range rep.Results {
+		pr := &rep.Results[i]
+		note := ""
+		if pr.Alias != "" {
+			note = "  (= " + pr.Alias + ")"
+		}
+		fmt.Fprintf(stdout, "%-12s %6d%s\n", pr.Name, len(pr.Instances), note)
+	}
+	fmt.Fprintf(stdout, "total        %6d\n", rep.Instances())
 	return nil
 }
 

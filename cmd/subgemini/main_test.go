@@ -170,3 +170,56 @@ func TestCLIJSON(t *testing.T) {
 		t.Errorf("mapping wrong: %+v", insts[0])
 	}
 }
+
+func TestCLILibrarySweep(t *testing.T) {
+	ckt := writeTemp(t, "c.sp", circuitSrc)
+
+	// Built-in names: the NAND2+INV circuit holds one of each.
+	out, err := runCLI(t, "-circuit", ckt, "-library", "NAND2,INV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"library: 2 patterns, 2 matcher runs", "NAND2", "INV", "total             2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("library output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -q prints the total; a -pattern .SUBCKT shadows nothing here but is
+	// swept alongside the built-in, and duplicates are reported as deduped.
+	pat := writeTemp(t, "p.sp", patternSrc)
+	out, err = runCLI(t, "-circuit", ckt, "-pattern", pat, "-library", "NANDX,NAND2", "-q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "2" {
+		t.Errorf("quiet sweep total = %q, want 2", out)
+	}
+
+	// JSON form carries per-pattern counts in input order.
+	out, err = runCLI(t, "-circuit", ckt, "-pattern", pat, "-library", "all", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Pattern string `json:"pattern"`
+		Count   int    `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(entries) != 1 || entries[0].Pattern != "NANDX" || entries[0].Count != 1 {
+		t.Errorf("json sweep = %+v, want [{NANDX 1}]", entries)
+	}
+
+	// Flag validation.
+	if _, err := runCLI(t, "-circuit", ckt, "-library", "INV", "-cell", "INV"); err == nil {
+		t.Error("library+cell accepted, want error")
+	}
+	if _, err := runCLI(t, "-circuit", ckt, "-library", "INV", "-nonoverlap"); err == nil {
+		t.Error("library+nonoverlap accepted, want error")
+	}
+	if _, err := runCLI(t, "-circuit", ckt, "-library", "NO_SUCH"); err == nil {
+		t.Error("unknown library name accepted, want error")
+	}
+}

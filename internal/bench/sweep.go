@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/stdcell"
+	"subgemini/internal/sweep"
+)
+
+// SweepRow is one line of the library-sweep table: a standard-cell library
+// matched against one circuit, sequentially (a fresh matcher per pattern)
+// and as one sweep over a given worker count, keeping the fastest time of
+// several iterations.
+type SweepRow struct {
+	Circuit    string
+	Devices    int
+	Patterns   int
+	Workers    int
+	Instances  int
+	Deduped    int
+	Sequential time.Duration
+	Sweep      time.Duration
+	Speedup    float64
+}
+
+// sweepLibrary is the benchmark pattern set: a broad slice of the built-in
+// library, small cells through the full adder and flip-flop.
+func sweepLibrary() []sweep.Pattern {
+	cells := []*stdcell.CellDef{
+		stdcell.INV, stdcell.BUF, stdcell.NAND2, stdcell.NAND3,
+		stdcell.NOR2, stdcell.AND2, stdcell.XOR2, stdcell.MUX2,
+		stdcell.FA, stdcell.DFF,
+	}
+	lib := make([]sweep.Pattern, len(cells))
+	for i, c := range cells {
+		lib[i] = sweep.Pattern{Name: c.Name, Template: c.Pattern()}
+	}
+	return lib
+}
+
+// SweepScaling measures the library-sweep engine against the sequential
+// loop it replaces, across circuit sizes and sweep worker counts.  The
+// sequential and swept per-pattern instance counts must agree exactly, so
+// the table doubles as a coarse differential check.  quick truncates to
+// the smallest circuit and a single iteration.
+func SweepScaling(quick bool) ([]SweepRow, error) {
+	sizes := []int{4, 6, 8} // ArrayMultiplier width: devices grow quadratically
+	iters := 3
+	if quick {
+		sizes = sizes[:1]
+		iters = 1
+	}
+	workerCounts := []int{1, 2, 4}
+	lib := sweepLibrary()
+	var rows []SweepRow
+	for _, n := range sizes {
+		d := gen.ArrayMultiplier(n)
+
+		// Sequential reference: a fresh matcher (and circuit view) per
+		// pattern, exactly what a caller without the sweep engine writes.
+		var seqDur time.Duration
+		seqCounts := make([]int, len(lib))
+		for it := 0; it < iters; it++ {
+			start := time.Now()
+			for i, p := range lib {
+				m, err := core.NewMatcher(d.C, core.Options{Globals: Rails})
+				if err != nil {
+					return rows, err
+				}
+				res, err := m.Find(p.Template.Clone())
+				if err != nil {
+					return rows, err
+				}
+				seqCounts[i] = len(res.Instances)
+			}
+			if el := time.Since(start); it == 0 || el < seqDur {
+				seqDur = el
+			}
+		}
+
+		for _, w := range workerCounts {
+			row := SweepRow{
+				Circuit:    fmt.Sprintf("mult%d", n),
+				Devices:    d.C.NumDevices(),
+				Patterns:   len(lib),
+				Workers:    w,
+				Sequential: seqDur,
+			}
+			for it := 0; it < iters; it++ {
+				start := time.Now()
+				rep, err := sweep.Run(d.C, lib, sweep.Options{Globals: Rails, Workers: w})
+				if err != nil {
+					return rows, err
+				}
+				el := time.Since(start)
+				if it == 0 {
+					row.Instances = rep.Instances()
+					row.Deduped = rep.Deduped
+					row.Sweep = el
+					for i := range rep.Results {
+						if got := len(rep.Results[i].Instances); got != seqCounts[i] {
+							return rows, fmt.Errorf("bench: mult%d/w%d: sweep found %d %s instances, sequential found %d",
+								n, w, got, rep.Results[i].Name, seqCounts[i])
+						}
+					}
+				} else if el < row.Sweep {
+					row.Sweep = el
+				}
+			}
+			if row.Sweep > 0 {
+				row.Speedup = float64(row.Sequential) / float64(row.Sweep)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -109,6 +109,15 @@ type Options struct {
 	// allocation of a match request.
 	Scratch *ScratchPool
 
+	// InitLabels, when non-nil, supplies a precomputed initial Phase I
+	// labeling of the main circuit (see NewInitLabels), letting a library
+	// sweep label the main graph once and share the result read-only
+	// across its per-pattern matchers.  It must describe the same circuit
+	// with the same global marks (both are checked; a mismatch falls back
+	// to computing the labeling as usual), and it is ignored under
+	// AblateGlobalFold, whose device labels differ from the shared ones.
+	InitLabels *InitLabels
+
 	// Cancel, when non-nil, is polled between Phase I relabeling passes
 	// and between Phase II candidates; the first non-nil return aborts
 	// the run and Find/FindParallel return that error.  Wiring a request

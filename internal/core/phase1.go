@@ -145,16 +145,22 @@ func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
 		}
 	}
 	if m.gInitLab == nil {
-		m.gInitLab = make([]label.Value, p.gSpace.Size())
-		for _, d := range m.g.Devices {
-			m.gInitLab[p.gSpace.DevVID(d)] = initialDeviceLabel(m, d)
-		}
-		for _, n := range m.g.Nets {
-			v := p.gSpace.NetVID(n)
-			if n.Global {
-				m.gInitLab[v] = label.GlobalLabel(n.Name)
-			} else {
-				m.gInitLab[v] = label.DegreeLabel(n.Degree())
+		if il := m.opts.InitLabels; !m.opts.AblateGlobalFold && il.Fits(m.g) {
+			// A precomputed labeling was supplied (library sweep): adopt the
+			// shared slice read-only instead of rebuilding it per matcher.
+			m.gInitLab = il.lab
+		} else {
+			m.gInitLab = make([]label.Value, p.gSpace.Size())
+			for _, d := range m.g.Devices {
+				m.gInitLab[p.gSpace.DevVID(d)] = initialDeviceLabel(m, d)
+			}
+			for _, n := range m.g.Nets {
+				v := p.gSpace.NetVID(n)
+				if n.Global {
+					m.gInitLab[v] = label.GlobalLabel(n.Name)
+				} else {
+					m.gInitLab[v] = label.DegreeLabel(n.Degree())
+				}
 			}
 		}
 	}
@@ -190,16 +196,10 @@ func newPhase1(m *Matcher, pat *pattern, rep *stats.Report) *phase1 {
 // with one buried in a stack), which is what makes rail-anchored patterns
 // cheap to locate.
 func initialDeviceLabel(m *Matcher, d *graph.Device) label.Value {
-	acc := m.typeLabel(d.Type)
 	if m.opts.AblateGlobalFold {
-		return acc
+		return m.typeLabel(d.Type)
 	}
-	for _, pin := range d.Pins {
-		if pin.Net.Global {
-			acc = label.Combine(acc, pin.Class, label.GlobalLabel(pin.Net.Name))
-		}
-	}
-	return acc
+	return foldedDeviceLabel(m.typeLabel, d)
 }
 
 // run executes the optimized Phase I algorithm (paper §III) and returns the

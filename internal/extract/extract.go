@@ -16,6 +16,7 @@ package extract
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"subgemini/internal/core"
 	"subgemini/internal/graph"
@@ -71,9 +72,22 @@ type Spec struct {
 // largest-first extraction order.
 func (s *Spec) Size() int { return s.Pattern.NumDevices() }
 
-// SpecFromCell adapts a built-in library cell.
+// cellTemplates memoizes CellDef.Pattern() per cell definition, so repeated
+// extractions (every Cells call, every daemon extract job) stop recompiling
+// the same library cells.  The map is keyed by definition pointer and the
+// registry is fixed at init, so it is naturally bounded; cached templates
+// are never handed out directly — callers get clones.
+var cellTemplates sync.Map // *stdcell.CellDef -> *graph.Circuit
+
+// SpecFromCell adapts a built-in library cell.  The cell's pattern circuit
+// is compiled once and cloned per call.
 func SpecFromCell(cell *stdcell.CellDef) Spec {
-	return Spec{Name: cell.Name, Ports: cell.Ports, Pattern: cell.Pattern()}
+	if t, ok := cellTemplates.Load(cell); ok {
+		return Spec{Name: cell.Name, Ports: cell.Ports, Pattern: t.(*graph.Circuit).Clone()}
+	}
+	t := cell.Pattern()
+	cellTemplates.Store(cell, t.Clone())
+	return Spec{Name: cell.Name, Ports: cell.Ports, Pattern: t}
 }
 
 // SpecsFromNetlist turns every .SUBCKT of a parsed netlist into an
@@ -112,6 +126,18 @@ func Cells(c *graph.Circuit, cells []*stdcell.CellDef, opts Options) ([]Extracti
 }
 
 // Specs is Cells for arbitrary pattern specs.
+//
+// Unlike rule checking, the spec loop cannot delegate to a library sweep:
+// each round that extracts instances mutates the circuit, and under the
+// paper's induced-subgraph semantics removing devices can create instances
+// of a later cell that did not exist before (an extra load on an internal
+// net blocks a match until the loading device is itself extracted), so no
+// cell's result — not even a zero count — can be precomputed on the
+// unmutated circuit.  What can be amortized safely is amortized: one
+// Phase II scratch pool serves every round (it re-checks sizes, so the
+// shrinking circuit is fine), and one matcher — with its cached CSR view
+// and initial labeling — is reused across consecutive rounds that extract
+// nothing and therefore leave the circuit untouched.
 func Specs(c *graph.Circuit, specs []Spec, opts Options) ([]Extraction, error) {
 	ordered := append([]Spec(nil), specs...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -122,34 +148,53 @@ func Specs(c *graph.Circuit, specs []Spec, opts Options) ([]Extraction, error) {
 	})
 	var result []Extraction
 	serial := 0
+	scratch := &core.ScratchPool{}
+	var m *core.Matcher
 	for _, spec := range ordered {
-		count, err := one(c, spec, &opts, &serial)
+		if m == nil {
+			var err error
+			if m, err = extractMatcher(c, &opts, scratch); err != nil {
+				return result, fmt.Errorf("extract: %s: %w", spec.Name, err)
+			}
+		}
+		count, err := one(c, spec, &opts, &serial, m)
 		if err != nil {
 			return result, fmt.Errorf("extract: %s: %w", spec.Name, err)
+		}
+		if count > 0 {
+			// The circuit changed shape; the matcher's cached views are
+			// stale and its consumed marks refer to removed devices.
+			m = nil
 		}
 		result = append(result, Extraction{Cell: spec.Name, Count: count})
 	}
 	return result, nil
 }
 
-// One extracts a single cell from the circuit in place and returns how many
-// instances were replaced.
-func One(c *graph.Circuit, cell *stdcell.CellDef, opts Options) (int, error) {
-	serial := 0
-	return one(c, SpecFromCell(cell), &opts, &serial)
-}
-
-func one(c *graph.Circuit, cell Spec, opts *Options, serial *int) (int, error) {
-	pat := cell.Pattern
-	m, err := core.NewMatcher(c, core.Options{
+// extractMatcher builds the NonOverlapping matcher one() drives.
+func extractMatcher(c *graph.Circuit, opts *Options, scratch *core.ScratchPool) (*core.Matcher, error) {
+	return core.NewMatcher(c, core.Options{
 		Globals: opts.Globals,
 		Policy:  core.NonOverlapping,
 		Seed:    opts.Seed,
 		Cancel:  opts.Cancel,
+		Scratch: scratch,
 	})
+}
+
+// One extracts a single cell from the circuit in place and returns how many
+// instances were replaced.
+func One(c *graph.Circuit, cell *stdcell.CellDef, opts Options) (int, error) {
+	serial := 0
+	m, err := extractMatcher(c, &opts, nil)
 	if err != nil {
 		return 0, err
 	}
+	return one(c, SpecFromCell(cell), &opts, &serial, m)
+}
+
+func one(c *graph.Circuit, cell Spec, opts *Options, serial *int, m *core.Matcher) (int, error) {
+	pat := cell.Pattern
 	res, err := m.Find(pat)
 	if err != nil {
 		return 0, err

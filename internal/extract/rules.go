@@ -5,6 +5,7 @@ import (
 
 	"subgemini/internal/core"
 	"subgemini/internal/graph"
+	"subgemini/internal/sweep"
 )
 
 // Rule is a questionable circuit construct described as a pattern circuit,
@@ -34,20 +35,28 @@ func (v *Violation) Describe() string {
 
 // Check matches every rule pattern against the circuit and returns all
 // occurrences, overlapping ones included (a device may participate in
-// several violations).
+// several violations).  Rule checking never mutates the circuit, so the
+// whole library goes through one sweep.Run: the main graph's CSR view and
+// initial Phase I labeling are built once and shared across all rules, and
+// structurally identical rule patterns collapse onto a single match.
+// Violations come back in rule order, then instance order within a rule —
+// the same order the sequential loop produced.
 func Check(c *graph.Circuit, rules []*Rule, globals []string) ([]Violation, error) {
-	m, err := core.NewMatcher(c, core.Options{Globals: globals, Policy: core.MatchAll})
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	lib := make([]sweep.Pattern, len(rules))
+	for i, r := range rules {
+		lib[i] = sweep.Pattern{Name: r.Name, Template: r.Pattern}
+	}
+	rep, err := sweep.Run(c, lib, sweep.Options{Globals: globals})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("extract: rules: %w", err)
 	}
 	var out []Violation
-	for _, r := range rules {
-		res, err := m.Find(r.Pattern)
-		if err != nil {
-			return out, fmt.Errorf("extract: rule %s: %w", r.Name, err)
-		}
-		for _, inst := range res.Instances {
-			out = append(out, Violation{Rule: r, Instance: inst})
+	for i := range rep.Results {
+		for _, inst := range rep.Results[i].Instances {
+			out = append(out, Violation{Rule: rules[i], Instance: inst})
 		}
 	}
 	return out, nil

@@ -427,36 +427,13 @@ func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph
 	}
 	s.met.observe(pat.Name, &res.Report)
 
-	resp := &MatchResponse{
+	return &MatchResponse{
 		Circuit:   h.Name(),
 		Pattern:   pat.Name,
 		Count:     len(res.Instances),
-		Instances: make([]InstanceJSON, 0, len(res.Instances)),
-		Stats: StatsJSON{
-			Instances:      res.Report.Instances,
-			MatchedDevices: res.Report.MatchedDevices,
-			CVSize:         res.Report.CVSize,
-			KeyVertex:      res.Report.KeyVertex,
-			Candidates:     res.Report.Candidates,
-			Phase1Passes:   res.Report.Phase1Passes,
-			Phase2Passes:   res.Report.Phase2Passes,
-			Guesses:        res.Report.Guesses,
-			Backtracks:     res.Report.Backtracks,
-			Phase1Micros:   res.Report.Phase1Duration.Microseconds(),
-			Phase2Micros:   res.Report.Phase2Duration.Microseconds(),
-		},
-	}
-	for _, inst := range res.Instances {
-		ji := InstanceJSON{Devices: make(map[string]string), Nets: make(map[string]string)}
-		for sd, gd := range inst.DevMap {
-			ji.Devices[sd.Name] = gd.Name
-		}
-		for sn, gn := range inst.NetMap {
-			ji.Nets[sn.Name] = gn.Name
-		}
-		resp.Instances = append(resp.Instances, ji)
-	}
-	return resp, nil
+		Instances: instancesJSON(res.Instances),
+		Stats:     statsJSON(&res.Report),
+	}, nil
 }
 
 // cancelHook adapts a request context to the matcher's cancellation hook,

@@ -21,6 +21,7 @@ const (
 	jobKindMatch   = "match"
 	jobKindBatch   = "batch"
 	jobKindExtract = "extract"
+	jobKindSweep   = "sweep"
 )
 
 // JobRequest is the body of POST /v1/jobs: a kind plus exactly the payload
@@ -32,6 +33,7 @@ type JobRequest struct {
 	Match   *MatchRequest   `json:"match,omitempty"`
 	Batch   *BatchRequest   `json:"batch,omitempty"`
 	Extract *ExtractRequest `json:"extract,omitempty"`
+	Sweep   *SweepRequest   `json:"sweep,omitempty"`
 }
 
 // ExtractRequest asks for cell extraction (transistors → gates) against a
@@ -140,9 +142,20 @@ func (s *Server) jobRunner(req *JobRequest) (jobs.Runner, *httpError) {
 		return func(ctx context.Context) (any, error) {
 			return s.runExtractJob(ctx, er)
 		}, nil
+	case jobKindSweep:
+		if req.Sweep == nil {
+			return nil, errf(http.StatusBadRequest, `job kind "sweep" needs a "sweep" payload`)
+		}
+		if e := validateSweep(req.Sweep); e != nil {
+			return nil, e
+		}
+		sr := req.Sweep
+		return func(ctx context.Context) (any, error) {
+			return s.runSweepJob(ctx, sr)
+		}, nil
 	default:
 		return nil, errf(http.StatusBadRequest,
-			`unknown job kind %q (want "match", "batch", or "extract")`, req.Kind)
+			`unknown job kind %q (want "match", "batch", "extract", or "sweep")`, req.Kind)
 	}
 }
 
@@ -276,18 +289,38 @@ func (s *Server) extractSpecs(req *ExtractRequest) ([]extract.Spec, error) {
 	switch {
 	case len(req.Cells) > 0:
 		for _, name := range req.Cells {
-			def := stdcell.Get(name)
-			if def == nil {
+			if stdcell.Get(name) == nil {
 				return nil, fmt.Errorf("no built-in cell named %q", name)
 			}
-			specs = append(specs, extract.SpecFromCell(def))
+			specs = append(specs, s.cachedSpec(name))
 		}
 	case req.Netlist == "":
 		for _, def := range stdcell.All() {
-			specs = append(specs, extract.SpecFromCell(def))
+			specs = append(specs, s.cachedSpec(def.Name))
 		}
 	}
 	return specs, nil
+}
+
+// cachedSpec builds an extraction spec for a built-in cell through the
+// compiled-pattern cache, so repeated extract jobs reuse one compiled
+// template (and its hit shows up in the cache counters) instead of
+// rebuilding the cell's pattern per job.  Port order is read from the
+// clone: pattern construction adds ports first, so index order is
+// declaration order.
+func (s *Server) cachedSpec(name string) extract.Spec {
+	pat, _, err := s.cache.resolve(name, true)
+	if err != nil {
+		// The caller verified the cell exists; a race with cache eviction
+		// still recompiles rather than fails.
+		return extract.SpecFromCell(stdcell.Get(name))
+	}
+	ports := pat.Ports()
+	names := make([]string, len(ports))
+	for i, p := range ports {
+		names[i] = p.Name
+	}
+	return extract.Spec{Name: name, Ports: names, Pattern: pat}
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {

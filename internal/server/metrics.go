@@ -11,6 +11,7 @@ import (
 	"subgemini/internal/jobs"
 	"subgemini/internal/stats"
 	"subgemini/internal/store"
+	"subgemini/internal/sweep"
 )
 
 // histBounds are the bucket upper bounds, in seconds, of the per-phase
@@ -79,8 +80,61 @@ type metrics struct {
 	phase1 histogram // Phase I wall time per run
 	phase2 histogram // Phase II wall time per run
 
-	mu       sync.Mutex
-	patterns map[string]*patternStats
+	// Library-sweep accounting.  sweepRuns keys per-pattern totals by a
+	// bounded label set (see sweepLabel): sweep libraries are user-defined,
+	// so unlike the match-side patterns map the per-pattern series here
+	// must not grow without bound.
+	sweeps         atomic.Int64 // sweep invocations
+	sweepPatterns  atomic.Int64 // patterns swept, deduplicated ones included
+	sweepDeduped   atomic.Int64 // patterns answered from a structural twin's run
+	sweepInstances atomic.Int64 // instances found across all sweep patterns
+	sweepDur       histogram    // sweep wall time per invocation
+	sweepRuns      stats.Aggregate
+
+	mu          sync.Mutex
+	patterns    map[string]*patternStats
+	sweepLabels map[string]bool
+}
+
+// maxSweepPatternLabels caps the distinct pattern labels the sweep series
+// may carry; patterns beyond the cap are lumped under "_other".
+const maxSweepPatternLabels = 64
+
+// sweepLabel maps a pattern name to its metric label, admitting new names
+// until the cardinality cap and folding the rest into "_other".
+func (m *metrics) sweepLabel(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sweepLabels[name] {
+		return name
+	}
+	if len(m.sweepLabels) >= maxSweepPatternLabels {
+		return "_other"
+	}
+	if m.sweepLabels == nil {
+		m.sweepLabels = make(map[string]bool)
+	}
+	m.sweepLabels[name] = true
+	return name
+}
+
+// observeSweep folds one finished library sweep into the sweep series.
+// Deduplicated patterns share their representative's run, so only
+// representatives feed the per-pattern aggregate — otherwise one run's
+// work would be counted once per structural twin.
+func (m *metrics) observeSweep(rep *sweep.Report) {
+	m.sweeps.Add(1)
+	m.sweepPatterns.Add(int64(len(rep.Results)))
+	m.sweepDeduped.Add(int64(rep.Deduped))
+	m.sweepInstances.Add(int64(rep.Instances()))
+	m.sweepDur.observe(rep.Duration)
+	for i := range rep.Results {
+		pr := &rep.Results[i]
+		if pr.Alias != "" {
+			continue
+		}
+		m.sweepRuns.AddPattern(m.sweepLabel(pr.Name), &pr.Report)
+	}
 }
 
 // observe folds one finished match run into every per-run series: the
@@ -164,9 +218,15 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_jobs_running %d\n", ext.jobsRunning)
 	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", ext.circuitDevices)
 	fmt.Fprintf(w, "subgeminid_circuit_nets %d\n", ext.circuitNets)
+	fmt.Fprintf(w, "subgeminid_sweeps_total %d\n", m.sweeps.Load())
+	fmt.Fprintf(w, "subgeminid_sweep_patterns_total %d\n", m.sweepPatterns.Load())
+	fmt.Fprintf(w, "subgeminid_sweep_deduped_total %d\n", m.sweepDeduped.Load())
+	fmt.Fprintf(w, "subgeminid_sweep_instances_total %d\n", m.sweepInstances.Load())
 	m.phase1.write(w, "subgeminid_match_phase1_seconds")
 	m.phase2.write(w, "subgeminid_match_phase2_seconds")
+	m.sweepDur.write(w, "subgeminid_sweep_seconds")
 	m.writePatterns(w)
+	m.writeSweepPatterns(w)
 }
 
 // writePatterns renders the pattern-labeled counters in sorted order so the
@@ -188,5 +248,18 @@ func (m *metrics) writePatterns(w io.Writer) {
 		fmt.Fprintf(w, "subgeminid_pattern_candidates_matched_total{pattern=%q} %d\n", name, ps.matched)
 		fmt.Fprintf(w, "subgeminid_pattern_candidates_failed_total{pattern=%q} %d\n", name, ps.candidates-ps.matched)
 		fmt.Fprintf(w, "subgeminid_pattern_instances_total{pattern=%q} %d\n", name, ps.instances)
+	}
+}
+
+// writeSweepPatterns renders the bounded pattern-labeled sweep series; the
+// stats.Aggregate pattern dimension keeps attribution even though sweep
+// reports from many patterns merge into one stream.
+func (m *metrics) writeSweepPatterns(w io.Writer) {
+	for _, ps := range m.sweepRuns.Patterns() {
+		fmt.Fprintf(w, "subgeminid_sweep_pattern_runs_total{pattern=%q} %d\n", ps.Pattern, ps.Runs)
+		fmt.Fprintf(w, "subgeminid_sweep_pattern_early_aborts_total{pattern=%q} %d\n", ps.Pattern, ps.EarlyAborts)
+		fmt.Fprintf(w, "subgeminid_sweep_pattern_candidates_total{pattern=%q} %d\n", ps.Pattern, ps.Sum.Candidates)
+		fmt.Fprintf(w, "subgeminid_sweep_pattern_pruned_total{pattern=%q} %d\n", ps.Pattern, ps.Sum.Phase1Pruned)
+		fmt.Fprintf(w, "subgeminid_sweep_pattern_instances_total{pattern=%q} %d\n", ps.Pattern, ps.Sum.Instances)
 	}
 }

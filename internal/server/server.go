@@ -254,6 +254,11 @@ func (s *Server) routes() {
 	// Legacy single-circuit API: aliases for the default circuit.
 	s.mux.HandleFunc("POST /v1/circuit", s.handleLegacyCircuitUpload)
 	s.mux.HandleFunc("GET /v1/circuit", s.handleLegacyCircuitInfo)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("PUT /v1/libraries/{name}", s.handleLibraryPut)
+	s.mux.HandleFunc("GET /v1/libraries/{name}", s.handleLibraryGet)
+	s.mux.HandleFunc("DELETE /v1/libraries/{name}", s.handleLibraryDelete)
+	s.mux.HandleFunc("GET /v1/libraries", s.handleLibraryList)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"subgemini/internal/jobs"
+)
+
+func decodeSweep(t *testing.T, body []byte) *SweepResponse {
+	t.Helper()
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("invalid sweep response: %v\n%s", err, body)
+	}
+	return &resp
+}
+
+func TestLibraryCRUDAndRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Config{Globals: rails, DataDir: dir})
+
+	// PUT with built-in names plus an inline netlist pattern.
+	rec := do(t, s, "PUT", "/v1/libraries/std", LibraryRequest{
+		Patterns: []string{"NAND2", "INV"},
+		Netlist:  invPattern,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("put library: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var info LibraryInfo
+	json.Unmarshal(rec.Body.Bytes(), &info)
+	want := []string{"NAND2", "INV", "MYINV"}
+	if info.Name != "std" || len(info.Patterns) != 3 {
+		t.Fatalf("put library returned %+v, want std with %v", info, want)
+	}
+	for i, p := range want {
+		if info.Patterns[i] != p {
+			t.Errorf("library pattern[%d] = %q, want %q", i, info.Patterns[i], p)
+		}
+	}
+
+	// GET round-trips; list includes it.
+	rec = do(t, s, "GET", "/v1/libraries/std", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get library: status %d", rec.Code)
+	}
+	rec = do(t, s, "GET", "/v1/libraries", nil)
+	var list []LibraryInfo
+	json.Unmarshal(rec.Body.Bytes(), &list)
+	if len(list) != 1 || list[0].Name != "std" {
+		t.Errorf("library list = %+v, want [std]", list)
+	}
+
+	// Error cases.
+	if rec := do(t, s, "PUT", "/v1/libraries/.bad", LibraryRequest{Patterns: []string{"INV"}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid name: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "PUT", "/v1/libraries/x", LibraryRequest{Patterns: []string{"NO_SUCH"}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown pattern: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "PUT", "/v1/libraries/x", LibraryRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty library: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "PUT", "/v1/libraries/x", LibraryRequest{Netlist: "MP1 y a VDD"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("netlist without subckt: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/v1/libraries/ghost", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("missing library: status %d, want 404", rec.Code)
+	}
+
+	// A second server over the same data dir sees the library, and the
+	// netlist-supplied pattern resolves (it was persisted alongside).
+	s.Close(t.Context())
+	s2 := mustNew(t, Config{Globals: rails, DataDir: dir})
+	rec = do(t, s2, "GET", "/v1/libraries/std", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("library after restart: status %d", rec.Code)
+	}
+	json.Unmarshal(rec.Body.Bytes(), &info)
+	if len(info.Patterns) != 3 || info.Patterns[2] != "MYINV" {
+		t.Errorf("library after restart = %+v, want %v", info.Patterns, want)
+	}
+	if rec := do(t, s2, "PUT", "/v1/circuits/c", nandNetlist); rec.Code != http.StatusOK {
+		t.Fatalf("put circuit: status %d", rec.Code)
+	}
+	rec = do(t, s2, "POST", "/v1/sweep", SweepRequest{Circuit: "c", Library: "std"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep after restart: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// DELETE, then it is gone — also after another restart.
+	if rec := do(t, s2, "DELETE", "/v1/libraries/std", nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete library: status %d", rec.Code)
+	}
+	if rec := do(t, s2, "GET", "/v1/libraries/std", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("get deleted: status %d, want 404", rec.Code)
+	}
+	if rec := do(t, s2, "DELETE", "/v1/libraries/std", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", rec.Code)
+	}
+	s2.Close(t.Context())
+	s3 := mustNew(t, Config{Globals: rails, DataDir: dir})
+	if rec := do(t, s3, "GET", "/v1/libraries/std", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("deleted library resurrected after restart: status %d", rec.Code)
+	}
+}
+
+func TestSweepSyncAgreesWithSequentialMatches(t *testing.T) {
+	s, wantFA := newAdderServer(t, nil)
+	patterns := []string{"FA", "NAND2", "INV", "XOR2"}
+
+	rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Patterns: patterns})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeSweep(t, rec.Body.Bytes())
+	if resp.Patterns != len(patterns) || resp.Runs+resp.Deduped != len(patterns) {
+		t.Fatalf("sweep shape = %d patterns, %d runs + %d deduped", resp.Patterns, resp.Runs, resp.Deduped)
+	}
+	for i, pr := range resp.Results {
+		if pr.Pattern != patterns[i] {
+			t.Errorf("result[%d] = %q, want input order %q", i, pr.Pattern, patterns[i])
+		}
+		mrec := do(t, s, "POST", "/v1/match", MatchRequest{Pattern: pr.Pattern})
+		if mrec.Code != http.StatusOK {
+			t.Fatalf("match %s: status %d", pr.Pattern, mrec.Code)
+		}
+		if mr := decodeMatch(t, mrec); mr.Count != pr.Count {
+			t.Errorf("%s: sweep found %d, sequential match found %d", pr.Pattern, pr.Count, mr.Count)
+		}
+	}
+	if resp.Results[0].Count != wantFA {
+		t.Errorf("FA count = %d, want %d", resp.Results[0].Count, wantFA)
+	}
+
+	// Duplicate names dedupe: the alias rides on the representative's run.
+	rec = do(t, s, "POST", "/v1/sweep", SweepRequest{Patterns: []string{"NAND2", "NAND2"}, IncludeInstances: true})
+	resp = decodeSweep(t, rec.Body.Bytes())
+	if resp.Runs != 1 || resp.Deduped != 1 {
+		t.Errorf("duplicate sweep: %d runs + %d deduped, want 1 + 1", resp.Runs, resp.Deduped)
+	}
+	if resp.Results[1].Alias != "NAND2" {
+		t.Errorf("duplicate alias = %q, want NAND2", resp.Results[1].Alias)
+	}
+	if len(resp.Results[0].Instances) != resp.Results[0].Count {
+		t.Errorf("include_instances returned %d instances for count %d",
+			len(resp.Results[0].Instances), resp.Results[0].Count)
+	}
+
+	// Validation: exactly one of library/patterns.
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty sweep: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Library: "l", Patterns: []string{"INV"}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("library+patterns: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Library: "ghost"}); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown library: status %d, want 404", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Patterns: []string{"NO_SUCH"}}); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown pattern: status %d, want 404", rec.Code)
+	}
+
+	// Metrics: sweep counters and per-pattern aggregates are exposed.
+	met := parseMetrics(t, do(t, s, "GET", "/metrics", nil).Body.String())
+	if met["subgeminid_sweeps_total"] != 2 {
+		t.Errorf("sweeps_total = %v, want 2", met["subgeminid_sweeps_total"])
+	}
+	if met["subgeminid_sweep_patterns_total"] != 6 {
+		t.Errorf("sweep_patterns_total = %v, want 6", met["subgeminid_sweep_patterns_total"])
+	}
+	if met["subgeminid_sweep_deduped_total"] != 1 {
+		t.Errorf("sweep_deduped_total = %v, want 1", met["subgeminid_sweep_deduped_total"])
+	}
+	if got := met[`subgeminid_sweep_pattern_runs_total{pattern="FA"}`]; got != 1 {
+		t.Errorf(`per-pattern runs{FA} = %v, want 1`, got)
+	}
+	if got := met[`subgeminid_sweep_pattern_instances_total{pattern="FA"}`]; got != float64(wantFA) {
+		t.Errorf(`per-pattern instances{FA} = %v, want %d`, got, wantFA)
+	}
+}
+
+func TestSweepJobAndCancellation(t *testing.T) {
+	s, wantFA := newAdderServer(t, nil)
+	if rec := do(t, s, "PUT", "/v1/libraries/lib", LibraryRequest{Patterns: []string{"FA", "INV"}}); rec.Code != http.StatusOK {
+		t.Fatalf("put library: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Async sweep against the stored library.
+	view := submitJob(t, s, JobRequest{Kind: "sweep", Sweep: &SweepRequest{Library: "lib"}})
+	view = waitJob(t, s, view.ID)
+	if view.State != jobs.Done {
+		t.Fatalf("sweep job ended %s: %s", view.State, view.Error)
+	}
+	resp := decodeSweep(t, view.Result)
+	if resp.Library != "lib" || len(resp.Results) != 2 || resp.Results[0].Count != wantFA {
+		t.Errorf("sweep job result = %+v, want lib with FA count %d", resp, wantFA)
+	}
+
+	// Submit-time validation mirrors the synchronous endpoint.
+	if rec := do(t, s, "POST", "/v1/jobs", JobRequest{Kind: "sweep"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing payload: status %d, want 400", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/jobs", JobRequest{Kind: "sweep", Sweep: &SweepRequest{}}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty sweep payload: status %d, want 400", rec.Code)
+	}
+
+	// Mid-sweep cancellation: block the matcher inside a candidate check,
+	// cancel the job, and the run unwinds to the cancelled state.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testCandidateHook = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	view = submitJob(t, s, JobRequest{Kind: "sweep", Sweep: &SweepRequest{Library: "lib"}})
+	<-started
+	if rec := do(t, s, "DELETE", "/v1/jobs/"+view.ID, nil); rec.Code != http.StatusOK {
+		t.Fatalf("cancel sweep job: status %d: %s", rec.Code, rec.Body.String())
+	}
+	close(release)
+	view = waitJob(t, s, view.ID)
+	if view.State != jobs.Cancelled {
+		t.Errorf("cancelled sweep job ended %s, want cancelled (error %q)", view.State, view.Error)
+	}
+}

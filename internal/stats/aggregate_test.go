@@ -56,6 +56,37 @@ func TestAggregateNilAndReset(t *testing.T) {
 	}
 }
 
+// TestAggregatePatternDimension: AddPattern keeps per-pattern attribution
+// while still feeding the grand totals, so merged report streams (library
+// sweeps) remain attributable.
+func TestAggregatePatternDimension(t *testing.T) {
+	var a Aggregate
+	a.AddPattern("NAND2", &Report{Instances: 3, Candidates: 5})
+	a.AddPattern("NAND2", &Report{Instances: 1, Candidates: 2, EarlyAbort: true})
+	a.AddPattern("INV", &Report{Instances: 7, Candidates: 9})
+	a.Add(&Report{Instances: 100}) // anonymous: totals only
+
+	s := a.Snapshot()
+	if s.Runs != 4 || s.Sum.Instances != 111 || s.Sum.Candidates != 16 {
+		t.Errorf("grand totals wrong: %+v", s)
+	}
+	ps := a.Patterns()
+	if len(ps) != 2 || ps[0].Pattern != "INV" || ps[1].Pattern != "NAND2" {
+		t.Fatalf("Patterns() = %+v, want INV then NAND2", ps)
+	}
+	if ps[0].Runs != 1 || ps[0].Sum.Instances != 7 {
+		t.Errorf("INV totals wrong: %+v", ps[0])
+	}
+	if ps[1].Runs != 2 || ps[1].Sum.Instances != 4 || ps[1].EarlyAborts != 1 {
+		t.Errorf("NAND2 totals wrong: %+v", ps[1])
+	}
+
+	a.Reset()
+	if len(a.Patterns()) != 0 {
+		t.Error("Reset left per-pattern totals behind")
+	}
+}
+
 // TestAggregateConcurrent exercises the lock under the race detector.
 func TestAggregateConcurrent(t *testing.T) {
 	var a Aggregate

@@ -45,9 +45,10 @@ func netlistRoundTrips(c *graph.Circuit) bool {
 // manifest is the on-disk index, always written whole via an atomic
 // rename so readers never observe a torn file.
 type manifest struct {
-	Version  int          `json:"version"`
-	Circuits []circuitRec `json:"circuits"`
-	Patterns []patternRec `json:"patterns,omitempty"`
+	Version   int          `json:"version"`
+	Circuits  []circuitRec `json:"circuits"`
+	Patterns  []patternRec `json:"patterns,omitempty"`
+	Libraries []libraryRec `json:"libraries,omitempty"`
 }
 
 type circuitRec struct {
@@ -63,6 +64,14 @@ type circuitRec struct {
 type patternRec struct {
 	Name string `json:"name"`
 	File string `json:"file"`
+}
+
+// libraryRec is a named ordered list of pattern names: the unit a library
+// sweep matches.  Libraries are small (names only), so they live inside
+// the manifest itself rather than as separate snapshot files.
+type libraryRec struct {
+	Name     string   `json:"name"`
+	Patterns []string `json:"patterns"`
 }
 
 // writeAtomic writes data to path via a temp file in the same directory
@@ -129,8 +138,12 @@ func (st *Store) loadDir() error {
 		}
 		st.patterns[rec.Name] = tpl
 	}
-	if len(m.Circuits)+len(m.Patterns) > 0 {
-		st.logf("store: reloaded %d circuit(s), %d pattern(s) from %s", len(m.Circuits), len(m.Patterns), st.dir)
+	for _, rec := range m.Libraries {
+		st.libraries[rec.Name] = append([]string(nil), rec.Patterns...)
+	}
+	if len(m.Circuits)+len(m.Patterns)+len(m.Libraries) > 0 {
+		st.logf("store: reloaded %d circuit(s), %d pattern(s), %d librar(ies) from %s",
+			len(m.Circuits), len(m.Patterns), len(m.Libraries), st.dir)
 	}
 	st.mu.Lock()
 	st.evictLocked()
@@ -265,9 +278,13 @@ func (st *Store) writeManifest() error {
 	for name := range st.patterns {
 		m.Patterns = append(m.Patterns, patternRec{Name: name, File: patternFile(name)})
 	}
+	for name, pats := range st.libraries {
+		m.Libraries = append(m.Libraries, libraryRec{Name: name, Patterns: append([]string(nil), pats...)})
+	}
 	st.mu.Unlock()
 	sort.Slice(m.Circuits, func(i, j int) bool { return m.Circuits[i].Name < m.Circuits[j].Name })
 	sort.Slice(m.Patterns, func(i, j int) bool { return m.Patterns[i].Name < m.Patterns[j].Name })
+	sort.Slice(m.Libraries, func(i, j int) bool { return m.Libraries[i].Name < m.Libraries[j].Name })
 
 	path := filepath.Join(st.dir, manifestName)
 	return writeAtomic(path, func(f *os.File) error {
@@ -343,4 +360,58 @@ func (st *Store) Patterns() map[string]*graph.Circuit {
 		out[k] = v
 	}
 	return out
+}
+
+// SaveLibrary records a named ordered list of pattern names — the unit a
+// library sweep matches — replacing any previous definition, and persists
+// it in the manifest so it survives a restart.  The store does not resolve
+// the names; the serving layer validates them against its pattern sources.
+func (st *Store) SaveLibrary(name string, patterns []string) error {
+	if !ValidName(name) {
+		return fmt.Errorf("invalid library name %q", name)
+	}
+	st.mu.Lock()
+	st.libraries[name] = append([]string(nil), patterns...)
+	st.mu.Unlock()
+	if st.dir == "" {
+		return nil
+	}
+	return st.writeManifest()
+}
+
+// Library returns the named library's pattern list.
+func (st *Store) Library(name string) ([]string, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pats, ok := st.libraries[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), pats...), true
+}
+
+// Libraries returns all library definitions, a copy keyed by name.
+func (st *Store) Libraries() map[string][]string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string][]string, len(st.libraries))
+	for k, v := range st.libraries {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// DeleteLibrary removes the named library; ErrNotFound if absent.
+func (st *Store) DeleteLibrary(name string) error {
+	st.mu.Lock()
+	_, ok := st.libraries[name]
+	delete(st.libraries, name)
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: library %q", ErrNotFound, name)
+	}
+	if st.dir == "" {
+		return nil
+	}
+	return st.writeManifest()
 }

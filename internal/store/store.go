@@ -69,15 +69,16 @@ type Config struct {
 
 // Store is the named circuit table.  Create one with Open.
 type Store struct {
-	dir     string
+	dir      string
 	maxBytes int64 // MaxBytes; named to discourage direct use, see overLocked
-	globals []string
-	logf    func(format string, args ...any)
+	globals  []string
+	logf     func(format string, args ...any)
 
 	mu            sync.Mutex
 	entries       map[string]*Entry
 	lru           *list.List // of *Entry; front = most recently used
 	patterns      map[string]*graph.Circuit
+	libraries     map[string][]string // library name -> ordered pattern names
 	residentBytes int64
 	evictions     int64
 	reloads       int64
@@ -136,13 +137,14 @@ type Stats struct {
 // silently dropped circuits would violate the durability contract.
 func Open(cfg Config) (*Store, error) {
 	st := &Store{
-		dir:      cfg.Dir,
+		dir:       cfg.Dir,
 		maxBytes:  cfg.MaxBytes,
-		globals:  append([]string(nil), cfg.Globals...),
-		logf:     cfg.Logf,
-		entries:  make(map[string]*Entry),
-		lru:      list.New(),
-		patterns: make(map[string]*graph.Circuit),
+		globals:   append([]string(nil), cfg.Globals...),
+		logf:      cfg.Logf,
+		entries:   make(map[string]*Entry),
+		lru:       list.New(),
+		patterns:  make(map[string]*graph.Circuit),
+		libraries: make(map[string][]string),
 	}
 	if st.logf == nil {
 		st.logf = func(string, ...any) {}

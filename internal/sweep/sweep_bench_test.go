@@ -1,0 +1,59 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/sweep"
+)
+
+// BenchmarkSweep and BenchmarkSweepSequential answer the acceptance
+// question for the library-sweep engine: sweeping a ≥8-pattern stdcell
+// library over one circuit versus the sequential per-pattern Find loop it
+// replaces.  Compare with:
+//
+//	go test ./internal/sweep -bench 'BenchmarkSweep' -benchtime 5x
+func BenchmarkSweep(b *testing.B) {
+	g := gen.ArrayMultiplier(8).C
+	lib := testLibrary()
+	opts := sweep.Options{Globals: rails, Seed: 1}
+	if _, err := sweep.Run(g, lib, opts); err != nil { // warm global marks
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(g, lib, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Instances() == 0 {
+			b.Fatal("no instances")
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) {
+	g := gen.ArrayMultiplier(8).C
+	lib := testLibrary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, p := range lib {
+			m, err := core.NewMatcher(g, core.Options{Globals: rails, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := m.Find(p.Template.Clone())
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(res.Instances)
+		}
+		if total == 0 {
+			b.Fatal("no instances")
+		}
+	}
+}

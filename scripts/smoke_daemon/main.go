@@ -1,10 +1,11 @@
 // Command smoke_daemon is the end-to-end smoke test behind `make
 // smoke-daemon`: it builds subgeminid, boots it with a temporary data
-// directory, uploads two circuits, runs one synchronous match and one
-// asynchronous extract job, restarts the daemon, and asserts both circuits
-// (and the job record) survived the restart.  It exercises the real binary
-// over real HTTP — the process-level counterpart of the in-process
-// restart tests in internal/server.
+// directory, uploads two circuits and a pattern library, runs one
+// synchronous match, one asynchronous extract job, and one asynchronous
+// library-sweep job, restarts the daemon, and asserts the circuits, the
+// library, and the job records survived the restart.  It exercises the
+// real binary over real HTTP — the process-level counterpart of the
+// in-process restart tests in internal/server.
 //
 // Usage (from the repository root):
 //
@@ -100,7 +101,21 @@ func run() error {
 	if state != "done" {
 		return fmt.Errorf("extract job ended %q: %s", state, jerr)
 	}
-	fmt.Printf("smoke-daemon: first boot ok (sync match + job %s)\n", jobID)
+
+	// A pattern library plus an async sweep over it.
+	if err := d.putLibrary("gates", []string{"NAND2", "INV"}); err != nil {
+		return err
+	}
+	sweepID, err := d.submitSweepJob("alpha", "gates")
+	if err != nil {
+		return err
+	}
+	if state, jerr, err = d.waitJob(sweepID); err != nil {
+		return err
+	} else if state != "done" {
+		return fmt.Errorf("sweep job ended %q: %s", state, jerr)
+	}
+	fmt.Printf("smoke-daemon: first boot ok (sync match + jobs %s, %s)\n", jobID, sweepID)
 
 	if err := d.stop(); err != nil {
 		return fmt.Errorf("first shutdown: %w", err)
@@ -135,7 +150,25 @@ func run() error {
 	} else if state != "done" {
 		return fmt.Errorf("job %s after restart is %q, want done", jobID, state)
 	}
-	fmt.Println("smoke-daemon: restart reloaded both circuits and the job record")
+	if state, _, err = d2.jobState(sweepID); err != nil {
+		return err
+	} else if state != "done" {
+		return fmt.Errorf("sweep job %s after restart is %q, want done", sweepID, state)
+	}
+	pats, err := d2.getLibrary("gates")
+	if err != nil {
+		return err
+	}
+	if len(pats) != 2 || pats[0] != "NAND2" || pats[1] != "INV" {
+		return fmt.Errorf("library after restart = %v, want [NAND2 INV]", pats)
+	}
+	// The reloaded library still sweeps: NAND2 and INV each match once.
+	if counts, err := d2.sweep("alpha", "gates"); err != nil {
+		return err
+	} else if counts["NAND2"] != 1 || counts["INV"] != 1 {
+		return fmt.Errorf("post-restart sweep counts = %v, want NAND2:1 INV:1", counts)
+	}
+	fmt.Println("smoke-daemon: restart reloaded both circuits, the library, and the job records")
 
 	return d2.stop()
 }
@@ -256,6 +289,60 @@ func (d *daemon) submitExtractJob(circuit string, cells []string) (string, error
 	payload := map[string]any{
 		"kind":    "extract",
 		"extract": map[string]any{"circuit": circuit, "cells": cells},
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := d.do("POST", "/v1/jobs", strings.NewReader(string(raw)), &view); err != nil {
+		return "", err
+	}
+	return view.ID, nil
+}
+
+func (d *daemon) putLibrary(name string, patterns []string) error {
+	raw, err := json.Marshal(map[string]any{"patterns": patterns})
+	if err != nil {
+		return err
+	}
+	return d.do("PUT", "/v1/libraries/"+name, strings.NewReader(string(raw)), nil)
+}
+
+func (d *daemon) getLibrary(name string) ([]string, error) {
+	var info struct {
+		Patterns []string `json:"patterns"`
+	}
+	if err := d.do("GET", "/v1/libraries/"+name, nil, &info); err != nil {
+		return nil, err
+	}
+	return info.Patterns, nil
+}
+
+func (d *daemon) sweep(circuit, library string) (map[string]int, error) {
+	body := fmt.Sprintf(`{"circuit":%q,"library":%q}`, circuit, library)
+	var resp struct {
+		Results []struct {
+			Pattern string `json:"pattern"`
+			Count   int    `json:"count"`
+		} `json:"results"`
+	}
+	if err := d.do("POST", "/v1/sweep", strings.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(resp.Results))
+	for _, r := range resp.Results {
+		counts[r.Pattern] = r.Count
+	}
+	return counts, nil
+}
+
+func (d *daemon) submitSweepJob(circuit, library string) (string, error) {
+	payload := map[string]any{
+		"kind":  "sweep",
+		"sweep": map[string]any{"circuit": circuit, "library": library},
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {

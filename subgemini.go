@@ -15,6 +15,8 @@
 //   - circuit graphs: New, AddNet/AddDevice (see Circuit)
 //   - netlist I/O: ParseNetlist, WriteNetlist, WriteSubckt
 //   - matching: Find, NewMatcher, Options, Instance
+//   - library sweeps: Sweep, SweepPattern, SweepOptions (one circuit,
+//     many patterns, shared Phase I groundwork)
 //   - algorithm tracing: Tracer, NewTraceCollector, NewJSONLTracer
 //     (see ALGORITHM.md for the phase-by-phase walkthrough)
 //   - graph isomorphism (Gemini): Compare
@@ -45,6 +47,7 @@ import (
 	"subgemini/internal/server"
 	"subgemini/internal/sprecog"
 	"subgemini/internal/stdcell"
+	"subgemini/internal/sweep"
 	"subgemini/internal/trace"
 	"subgemini/internal/verilog"
 )
@@ -124,6 +127,28 @@ func FindParallel(g, s *Circuit, opts Options, workers int) (*Result, error) {
 		return nil, err
 	}
 	return m.FindParallel(s, workers)
+}
+
+// Library sweeps (amortized multi-pattern matching).
+type (
+	// SweepPattern is one named entry of a sweep library.
+	SweepPattern = sweep.Pattern
+	// SweepOptions configures a library sweep.
+	SweepOptions = sweep.Options
+	// SweepReport is the merged outcome of a sweep: per-pattern results in
+	// input order plus run/dedup accounting.
+	SweepReport = sweep.Report
+	// SweepPatternResult is one pattern's share of a sweep report.
+	SweepPatternResult = sweep.PatternResult
+)
+
+// Sweep matches a whole pattern library against one circuit in a single
+// run, building the main-graph adjacency view and initial Phase I labeling
+// once, deduplicating structurally identical patterns, and fanning the
+// per-pattern runs over a bounded worker pool.  Results are bit-identical
+// to looping Find over the library, in library order.
+func Sweep(g *Circuit, library []SweepPattern, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(g, library, opts)
 }
 
 // FindNaive runs the exhaustive depth-first reference matcher — the
