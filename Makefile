@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff bench bench-smoke bench-sweep smoke-daemon bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet race diff bench bench-smoke bench-sweep smoke-daemon chaos-smoke bench-compare docs docs-check clean
 
 all: tier1
 
@@ -12,7 +12,7 @@ all: tier1
 # The differential run and the benchmark smoke keep the Phase I engines
 # honest: every engine configuration must agree bit for bit, and the
 # benchmarks must at least compile and complete one iteration.
-tier1: vet docs-check race diff bench-smoke smoke-daemon
+tier1: vet docs-check race diff bench-smoke smoke-daemon chaos-smoke
 
 # Phase I engine differential: legacy vs CSR vs striped CSR on random
 # circuits, twice (scratch-pool reuse across runs is part of the contract),
@@ -38,6 +38,14 @@ bench-sweep:
 # snapshots.
 smoke-daemon:
 	$(GO) run ./scripts/smoke_daemon
+
+# Chaos smoke: the failure-mode counterpart of smoke-daemon.  Boots the
+# real binary and rehearses a SIGKILL mid-job (boot recovery fails the
+# interrupted record), an injected disk error (-faults flips /readyz and
+# recovers), and overload (bulk endpoints shed 429 while a single match
+# stays live and a pathological match is cut by its deadline, leak-free).
+chaos-smoke:
+	$(GO) run ./scripts/chaos_daemon
 
 build:
 	$(GO) build ./...
@@ -74,13 +82,15 @@ bench-compare:
 	else echo "(benchstat not installed; raw runs above)"; fi; \
 	rm -rf $$tmp
 
-# Rebuild the tracer-generated tables in ALGORITHM.md from the paper's
-# Fig. 1 example (cmd/docgen); docs-check fails when they are stale.
+# Rebuild the generated documentation sections (cmd/docgen): the tracer
+# tables in ALGORITHM.md from the paper's Fig. 1 example, and the metrics
+# reference + fault-point tables in OPERATIONS.md from the server and
+# faults registries; docs-check fails when either is stale.
 docs:
-	$(GO) run ./cmd/docgen -write ALGORITHM.md
+	$(GO) run ./cmd/docgen -write ALGORITHM.md OPERATIONS.md
 
 docs-check:
-	$(GO) run ./cmd/docgen -check ALGORITHM.md
+	$(GO) run ./cmd/docgen -check ALGORITHM.md OPERATIONS.md
 
 clean:
 	$(GO) clean ./...

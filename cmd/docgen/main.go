@@ -1,17 +1,24 @@
-// Docgen regenerates the tracer-generated sections of ALGORITHM.md: it
-// runs the paper's Fig. 1 worked example (internal/gen/paperex) through the
-// matcher with both trace sinks installed and splices the resulting tables
-// between marker comments, so the documentation cannot drift from what the
-// code actually does.  A staleness test in this package (and `make
-// docs-check`) fails whenever the committed file no longer matches the
-// regenerated output; `make docs` (or `go run ./cmd/docgen -write`)
-// refreshes it.
+// Docgen regenerates the generated sections of the repository's living
+// documents, so they cannot drift from what the code actually does:
+//
+//   - ALGORITHM.md: the tracer-produced tables of the paper's Fig. 1
+//     worked example (internal/gen/paperex), rendered by running the real
+//     matcher with both trace sinks installed.
+//   - OPERATIONS.md: the subgeminid metrics reference, generated from the
+//     server's metric registry (server.MetricsReference), and the
+//     fault-injection point table, generated from the faults registry
+//     (faults.List).
+//
+// A staleness test in this package (and `make docs-check`) fails whenever
+// a committed file no longer matches the regenerated output; `make docs`
+// (or `go run ./cmd/docgen -write`) refreshes them.
 //
 // Usage:
 //
-//	docgen [-write | -check] [ALGORITHM.md]
+//	docgen [-write | -check] [file ...]
 //
-// With no flag the regenerated document is printed to stdout.
+// With no files both documents are processed; with no flag the regenerated
+// documents are printed to stdout.
 package main
 
 import (
@@ -20,53 +27,80 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"subgemini/internal/core"
+	"subgemini/internal/faults"
 	"subgemini/internal/gen/paperex"
+	"subgemini/internal/server"
 	"subgemini/internal/trace"
+
+	// The fault-point table must see every registration; the server import
+	// above pulls in jobs, store, and sweep transitively, but keep the
+	// dependency explicit for the points those packages own.
+	_ "subgemini/internal/jobs"
+	_ "subgemini/internal/store"
+	_ "subgemini/internal/sweep"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("docgen: ")
-	write := flag.Bool("write", false, "rewrite the file in place")
-	check := flag.Bool("check", false, "exit nonzero if the file is stale")
+	write := flag.Bool("write", false, "rewrite the files in place")
+	check := flag.Bool("check", false, "exit nonzero if any file is stale")
 	flag.Parse()
-	path := "ALGORITHM.md"
-	if flag.NArg() == 1 {
-		path = flag.Arg(0)
-	} else if flag.NArg() > 1 {
-		log.Fatal("usage: docgen [-write | -check] [ALGORITHM.md]")
+	paths := flag.Args()
+	if len(paths) == 0 {
+		paths = []string{"ALGORITHM.md", "OPERATIONS.md"}
 	}
-
-	doc, err := os.ReadFile(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fresh, err := regenerate(string(doc))
-	if err != nil {
-		log.Fatal(err)
-	}
-	switch {
-	case *check:
-		if fresh != string(doc) {
-			log.Fatalf("%s is stale: regenerate it with `make docs`", path)
+	stale := false
+	for _, path := range paths {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
 		}
-	case *write:
-		if fresh != string(doc) {
-			if err := os.WriteFile(path, []byte(fresh), 0o644); err != nil {
-				log.Fatal(err)
+		fresh, err := regenerate(path, string(doc))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		switch {
+		case *check:
+			if fresh != string(doc) {
+				log.Printf("%s is stale: regenerate it with `make docs`", path)
+				stale = true
 			}
+		case *write:
+			if fresh != string(doc) {
+				if err := os.WriteFile(path, []byte(fresh), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		default:
+			os.Stdout.WriteString(fresh)
 		}
-	default:
-		os.Stdout.WriteString(fresh)
+	}
+	if stale {
+		os.Exit(1)
 	}
 }
 
-// generate runs the Fig. 1 example once and returns the generated blocks by
-// marker name.
-func generate() (map[string]string, error) {
+// blocksFor returns the generated blocks for one document, keyed by marker
+// name.
+func blocksFor(path string) (map[string]string, error) {
+	switch base := filepath.Base(path); base {
+	case "ALGORITHM.md":
+		return algorithmBlocks()
+	case "OPERATIONS.md":
+		return operationsBlocks()
+	default:
+		return nil, fmt.Errorf("no generated blocks known for %s", base)
+	}
+}
+
+// algorithmBlocks runs the Fig. 1 example once and returns the generated
+// trace blocks.
+func algorithmBlocks() (map[string]string, error) {
 	var table bytes.Buffer
 	col := trace.NewCollector(0)
 	res, err := core.Find(paperex.PaperMain(), paperex.PaperPattern(), core.Options{
@@ -95,6 +129,20 @@ func generate() (map[string]string, error) {
 	}, nil
 }
 
+// operationsBlocks renders the runbook's generated reference tables from
+// the live registries.
+func operationsBlocks() (map[string]string, error) {
+	var fp strings.Builder
+	fp.WriteString("| Point | Fires at |\n|---|---|\n")
+	for _, p := range faults.List() {
+		fmt.Fprintf(&fp, "| `%s` | %s |\n", p.Name, p.Desc)
+	}
+	return map[string]string{
+		"metrics-reference": strings.TrimRight(server.MetricsReferenceMarkdown(), "\n"),
+		"fault-points":      strings.TrimRight(fp.String(), "\n"),
+	}, nil
+}
+
 func fence(s string) string {
 	return "```text\n" + strings.TrimRight(s, "\n") + "\n```"
 }
@@ -103,8 +151,8 @@ func fence(s string) string {
 // Every block must have its marker pair present, and every marker pair in
 // the document must correspond to a known block, so a renamed section fails
 // loudly instead of silently sticking to stale content.
-func regenerate(doc string) (string, error) {
-	blocks, err := generate()
+func regenerate(path, doc string) (string, error) {
+	blocks, err := blocksFor(path)
 	if err != nil {
 		return "", err
 	}

@@ -6,29 +6,33 @@ import (
 	"testing"
 )
 
-// TestAlgorithmMDIsFresh is the staleness gate: it regenerates the
-// tracer-produced blocks from the current matcher and fails when the
-// committed ALGORITHM.md differs.  Being part of `go test ./...` puts it in
-// tier-1, so documentation drift breaks the build until `make docs` runs.
-func TestAlgorithmMDIsFresh(t *testing.T) {
-	doc, err := os.ReadFile("../../ALGORITHM.md")
+// checkFresh is the staleness gate for one document: it regenerates the
+// generated blocks from the current code and fails when the committed file
+// differs.  Being part of `go test ./...` puts it in tier-1, so
+// documentation drift breaks the build until `make docs` runs.
+func checkFresh(t *testing.T, path string) {
+	t.Helper()
+	doc, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := regenerate(string(doc))
+	fresh, err := regenerate(path, string(doc))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fresh != string(doc) {
-		t.Error("ALGORITHM.md generated tables are stale; refresh them with `make docs`")
+		t.Errorf("%s generated sections are stale; refresh them with `make docs`", path)
 	}
 }
+
+func TestAlgorithmMDIsFresh(t *testing.T)  { checkFresh(t, "../../ALGORITHM.md") }
+func TestOperationsMDIsFresh(t *testing.T) { checkFresh(t, "../../OPERATIONS.md") }
 
 // TestGenerateBlocks sanity-checks the generated content itself: the trace
 // rendering must show the paper's candidate outcomes and the Table-1 view
 // must include both Phase II candidate tables.
 func TestGenerateBlocks(t *testing.T) {
-	blocks, err := generate()
+	blocks, err := algorithmBlocks()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +53,41 @@ func TestGenerateBlocks(t *testing.T) {
 	}
 }
 
+// TestOperationsBlocks: the runbook tables must carry every registered
+// fault point and the shed/readiness metrics this PR introduced.
+func TestOperationsBlocks(t *testing.T) {
+	blocks, err := operationsBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := blocks["fault-points"]
+	for _, want := range []string{
+		"jobs.persist", "jobs.run", "server.handler",
+		"store.reload", "store.write-manifest", "store.write-snapshot", "sweep.worker",
+	} {
+		if !strings.Contains(fp, "`"+want+"`") {
+			t.Errorf("fault-point table missing %q:\n%s", want, fp)
+		}
+	}
+	mr := blocks["metrics-reference"]
+	for _, want := range []string{"subgeminid_shed_total", "subgeminid_ready", "subgeminid_jobs_persist_retries_total"} {
+		if !strings.Contains(mr, "`"+want+"`") {
+			t.Errorf("metrics reference missing %q", want)
+		}
+	}
+}
+
 func TestRegenerateRejectsBadMarkers(t *testing.T) {
-	if _, err := regenerate("no markers at all\n"); err == nil {
+	if _, err := regenerate("ALGORITHM.md", "no markers at all\n"); err == nil {
 		t.Error("document without markers accepted")
 	}
 	doc := "<!-- generated:begin paper-example-trace -->\n<!-- generated:end paper-example-trace -->\n" +
 		"<!-- generated:begin paper-example-table1 -->\n<!-- generated:end paper-example-table1 -->\n" +
 		"<!-- generated:begin unknown-block -->\n<!-- generated:end unknown-block -->\n"
-	if _, err := regenerate(doc); err == nil {
+	if _, err := regenerate("ALGORITHM.md", doc); err == nil {
 		t.Error("document with an unknown marker pair accepted")
+	}
+	if _, err := regenerate("UNKNOWN.md", "anything"); err == nil {
+		t.Error("file with no known block set accepted")
 	}
 }

@@ -25,7 +25,8 @@
 //	GET  /v1/jobs/{id}           poll a job (state, result when done)
 //	DEL  /v1/jobs/{id}           cancel a queued or running job
 //	GET  /v1/cells               list built-in cells and uploaded patterns
-//	GET  /healthz                liveness probe
+//	GET  /healthz                liveness probe (process is up)
+//	GET  /readyz                 readiness probe (not draining, store healthy)
 //	GET  /metrics                Prometheus-style metrics: counters, store
 //	                             and job gauges, per-phase histograms,
 //	                             per-pattern outcome counters
@@ -54,12 +55,23 @@
 //	-phase1-workers N    default Phase I relabeling fan-out for requests
 //	                     that do not set "workers" (0 = sequential)
 //	-max-body N          request body limit in bytes
+//	-shed-inflight N     shed batch/sweep/job submissions (429+Retry-After)
+//	                     while N matches are in flight; single matches
+//	                     stay live (0 = off)
+//	-shed-memory-bytes N same, while the Go heap in use is >= N (0 = off)
+//	-retry-after D       Retry-After hint on shed responses (0 = 2s)
+//	-faults SPEC         arm fault-injection points (testing only); also
+//	                     settable via $SUBGEMINID_FAULTS
 //	-no-preload          skip compiling the built-in library at startup
+//	-drain D             graceful-shutdown drain period
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests get a drain period, running jobs are
-// drained (queued ones are cancelled), and snapshots are flushed before
-// the process exits.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// not-ready, the listener stops accepting, in-flight requests get a drain
+// period, running jobs are drained (queued ones are cancelled), and
+// snapshots are flushed before the process exits.
+//
+// OPERATIONS.md is the operator runbook: every flag and endpoint, the
+// overload and failure behavior, and the generated metrics reference.
 package main
 
 import (
@@ -78,6 +90,7 @@ import (
 	"time"
 
 	"subgemini"
+	"subgemini/internal/faults"
 )
 
 func main() {
@@ -114,15 +127,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobWorkers  = flags.Int("job-workers", 0, "async job worker pool size (0 = 2)")
 		jobQueue    = flags.Int("job-queue", 0, "async job queue depth (0 = 64)")
 		jobKeep     = flags.Duration("job-retention", 0, "how long finished job records are retained (0 = 1h)")
+		shedIn      = flags.Int("shed-inflight", 0, "shed batch/sweep/job submissions while this many matches are in flight (0 = off)")
+		shedMem     = flags.Int64("shed-memory-bytes", 0, "shed batch/sweep/job submissions while the Go heap in use is at or past this (0 = off)")
+		retryAfter  = flags.Duration("retry-after", 0, "Retry-After hint on shed responses, rounded to whole seconds (0 = 2s)")
+		faultSpec   = flags.String("faults", "", "arm fault-injection points, e.g. 'store.reload=error:1,jobs.run=panic' (testing only; overrides $SUBGEMINID_FAULTS)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+	if spec := *faultSpec; spec != "" || os.Getenv("SUBGEMINID_FAULTS") != "" {
+		if spec == "" {
+			spec = os.Getenv("SUBGEMINID_FAULTS")
+		}
+		n, err := faults.ArmString(spec)
+		if err != nil {
+			return fmt.Errorf("arming faults: %w", err)
+		}
+		fmt.Fprintf(stderr, "subgeminid: FAULT INJECTION ARMED: %d point(s) from %q\n", n, spec)
 	}
 
 	cfg := subgemini.ServerConfig{
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		MaxConcurrent:   *maxConc,
+		ShedInflight:    *shedIn,
+		ShedMemoryBytes: *shedMem,
+		RetryAfter:      *retryAfter,
 		MaxWorkers:      *maxWorkers,
 		Phase1Workers:   *p1Workers,
 		MaxBodyBytes:    *maxBody,
@@ -182,6 +212,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(stdout, "shutting down")
+	// Flip readiness before the listener drains: load balancers watching
+	// /readyz stop routing here while in-flight requests finish.
+	srv.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

@@ -118,17 +118,21 @@ type Options struct {
 	// AblateGlobalFold, whose device labels differ from the shared ones.
 	InitLabels *InitLabels
 
-	// Cancel, when non-nil, is polled between Phase I relabeling passes
-	// and between Phase II candidates; the first non-nil return aborts
-	// the run and Find/FindParallel return that error.  Wiring a request
-	// context in is one line:
+	// Cancel, when non-nil, is polled at bounded intervals throughout the
+	// run: between and *inside* Phase I relabeling passes (every few
+	// thousand vertices of the main-graph worklist, so a deadline holds
+	// even while one pass walks a huge circuit) and between and *inside*
+	// Phase II candidates (every few dozen solve passes, so a single
+	// pathological candidate with deep guess recursion cannot hold a
+	// worker past its deadline).  The first non-nil return aborts the run;
+	// Find/FindParallel then return that error together with a partial
+	// Result whose Report.CancelledAt records which phase was cut.
+	// Wiring a request context in is one line:
 	//
 	//	opts.Cancel = ctx.Err
 	//
-	// Polling happens at pass/candidate granularity: a run is abandoned
-	// promptly — including during candidate generation on huge circuits,
-	// where a single Phase I pass visits every vertex — without checking
-	// inside the innermost relabeling loops.
+	// The hook must be safe for concurrent use (ctx.Err is): FindParallel
+	// workers and striped Phase I passes poll it from several goroutines.
 	Cancel func() error
 
 	// Trace, when non-nil, receives a human-readable account of the run.
@@ -407,7 +411,10 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
 	if err != nil {
-		return nil, err
+		// p1.run errors only when Options.Cancel fired; hand back the
+		// partial report so callers can see where the run was cut.
+		res.Report.CancelledAt = "phase1"
+		return res, err
 	}
 	res.Report.CVSize = len(cv)
 	if p1.tracer != nil {
@@ -457,12 +464,20 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 			break
 		}
 		if err := m.opts.cancelled(); err != nil {
+			res.Report.CancelledAt = "phase2"
 			res.Report.Phase2Duration = time.Since(t1)
-			return nil, err
+			return res, err
 		}
 		res.Report.Candidates++
 		for {
 			inst := p2.verifyCandidate(key, c)
+			if p2.cancelErr != nil {
+				// Cancellation fired mid-candidate, deep inside the solve
+				// recursion; the candidate's partial state was discarded.
+				res.Report.CancelledAt = "phase2"
+				res.Report.Phase2Duration = time.Since(t1)
+				return res, p2.cancelErr
+			}
 			if inst == nil {
 				break
 			}

@@ -18,6 +18,15 @@ func SetP1Grain(n int) (restore func()) {
 	return func() { p1Grain = old }
 }
 
+// SetP1CancelBlock overrides the in-pass cancellation block size and
+// returns a restore func, so cancellation tests can force mid-pass polling
+// on small circuits.
+func SetP1CancelBlock(n int) (restore func()) {
+	old := p1CancelBlock
+	p1CancelBlock = n
+	return func() { p1CancelBlock = old }
+}
+
 // RunPhase1ForTest runs candidate generation alone, mirroring Find's
 // global cross-marking, and returns the key vertex, candidate vector, and
 // the report counters Phase I filled in.

@@ -72,7 +72,8 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
 	if err != nil {
-		return nil, err
+		res.Report.CancelledAt = "phase1"
+		return res, err
 	}
 	res.Report.CVSize = len(cv)
 	if tr != nil {
@@ -108,6 +109,7 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		instances []*Instance
 		report    stats.Report
 		err       error
+		cancel    error // cancellation latched inside this worker's solve
 	}
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
@@ -133,15 +135,30 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 					sh.report.CandidatesMatched++
 					sh.instances = append(sh.instances, inst)
 				}
+				if p2.cancelErr != nil {
+					// Cancellation fired deep inside this worker's solve
+					// recursion; record it and stop claiming candidates.
+					sh.cancel = p2.cancelErr
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
 	res.Report.Phase2Duration = time.Since(t1)
 	// Cancellation is monotonic (a cancelled context stays cancelled), so
-	// one poll after the join decides whether the run was cut short.
-	if err := m.opts.cancelled(); err != nil {
-		return nil, err
+	// one poll after the join decides whether the run was cut short; the
+	// per-shard latch catches a hook whose error was observed only inside a
+	// worker's solve recursion.
+	cancelErr := m.opts.cancelled()
+	for w := range shards {
+		if cancelErr == nil && shards[w].cancel != nil {
+			cancelErr = shards[w].cancel
+		}
+	}
+	if cancelErr != nil {
+		res.Report.CancelledAt = "phase2"
+		return res, cancelErr
 	}
 
 	// newPhase2 errors mean a pre-match constraint is unsatisfiable (a

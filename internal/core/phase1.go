@@ -82,6 +82,11 @@ type phase1 struct {
 	// allocated lazily on the first striped consistency check.
 	par *p1Par
 
+	// cancelErr latches the first non-nil Options.Cancel result observed
+	// inside a relabeling pass (the strided CSR path polls every
+	// p1CancelBlock worklist vertices); run checks it after each pass.
+	cancelErr error
+
 	// tracer, when non-nil, records per-round state for the Fig. 2/4-style
 	// rendering (Options.TraceTable).
 	tracer *phase1Tracer
@@ -205,8 +210,10 @@ func initialDeviceLabel(m *Matcher, d *graph.Device) label.Value {
 // run executes the optimized Phase I algorithm (paper §III) and returns the
 // key vertex and candidate vector.  An empty candidate vector means Phase I
 // proved no instance exists.  The error is non-nil only when Options.Cancel
-// fired: cancellation is polled before every relabeling pass so a deadline
-// holds even while candidate generation walks a huge main graph.
+// fired: cancellation is polled before every relabeling pass, and the CSR
+// engine additionally polls inside each main-graph pass (every
+// p1CancelBlock worklist vertices, with striped workers watching a shared
+// stop flag), so a deadline holds even while one pass walks a huge circuit.
 func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 	p.rep.Phase1Workers = p.workers
 	if p.m.opts.TraceTable != nil {
@@ -238,8 +245,13 @@ func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 		p.rep.Phase1Passes++
 
 		// Relabel all valid net vertices, then corrupt those with corrupt
-		// device neighbors.
+		// device neighbors.  A cancellation latched inside the pass must be
+		// reported before the consistency bool is interpreted, so a cut
+		// pass is never misread as an early abort.
 		p.relabelNets()
+		if p.cancelErr != nil {
+			return 0, nil, p.cancelErr
+		}
 		p.corruptNets()
 		if !p.consistency(false) {
 			p.rep.EarlyAbort = true
@@ -258,6 +270,9 @@ func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 		// Relabel all valid device vertices, then corrupt those with
 		// corrupt net neighbors.
 		p.relabelDevices()
+		if p.cancelErr != nil {
+			return 0, nil, p.cancelErr
+		}
 		p.corruptDevices()
 		if !p.consistency(true) {
 			p.rep.EarlyAbort = true

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"subgemini/internal/csr"
 	"subgemini/internal/label"
@@ -32,6 +33,11 @@ import (
 // It is a variable so the differential test can force striping on small
 // circuits.
 var p1Grain = 2048
+
+// p1CancelBlock is how many worklist vertices one goroutine relabels
+// between cancellation checks when Options.Cancel is set.  It is a
+// variable so tests can force in-pass polling on small circuits.
+var p1CancelBlock = 4096
 
 // initCSR builds the flat views and the initial worklists.  The main-graph
 // view is cached on the Matcher (structure never changes); the pattern view
@@ -95,27 +101,88 @@ func relabelBatch(g *csr.Graph, act []int32, lab []label.Value) {
 	}
 }
 
+// relabelBatchBlocks relabels act in p1CancelBlock-sized blocks, calling
+// stop between blocks and abandoning the rest of the slice when it returns
+// true.  An abandoned pass leaves labels half-updated, which is fine: the
+// only caller of a stopped pass is a cancelled run, whose labels are never
+// read again.
+func relabelBatchBlocks(g *csr.Graph, act []int32, lab []label.Value, stop func() bool) {
+	for len(act) > 0 {
+		n := len(act)
+		if n > p1CancelBlock {
+			n = p1CancelBlock
+		}
+		relabelBatch(g, act[:n], lab)
+		act = act[n:]
+		if len(act) > 0 && stop() {
+			return
+		}
+	}
+}
+
+// pollCancel polls Options.Cancel, latching the first error in p.cancelErr.
+// Only one goroutine per pass calls it (the coordinator); striped workers
+// watch the shared stop flag instead, so a user hook written for the
+// sequential engine is never invoked concurrently by Phase I itself.
+func (p *phase1) pollCancel() bool {
+	if p.cancelErr != nil {
+		return true
+	}
+	if err := p.m.opts.cancelled(); err != nil {
+		p.cancelErr = err
+		return true
+	}
+	return false
+}
+
 // relabelCSR runs one relabeling pass: the pattern worklist sequentially
 // (pattern graphs are tiny), the main-graph worklist striped when large
 // enough.  Labels are written in place; see the determinism argument above.
+// With Options.Cancel set, the pass polls between p1CancelBlock-sized
+// blocks so a deadline holds mid-pass on huge worklists; cancellation never
+// changes the labels a completed pass produces, so determinism is intact.
 func (p *phase1) relabelCSR(sAct, gAct []int32) {
 	relabelBatch(p.sCSR, sAct, p.sLab)
 	n := len(gAct)
 	chunks := p.chunkCount(n)
 	if chunks == 1 {
-		relabelBatch(p.gCSR, gAct, p.gLab)
+		if p.m.opts.Cancel == nil {
+			relabelBatch(p.gCSR, gAct, p.gLab)
+		} else {
+			relabelBatchBlocks(p.gCSR, gAct, p.gLab, p.pollCancel)
+		}
 		return
 	}
 	var wg sync.WaitGroup
+	var stop atomic.Bool
 	for k := 1; k < chunks; k++ {
 		lo, hi := k*n/chunks, (k+1)*n/chunks
 		wg.Add(1)
 		go func(part []int32) {
 			defer wg.Done()
-			relabelBatch(p.gCSR, part, p.gLab)
+			if p.m.opts.Cancel == nil {
+				relabelBatch(p.gCSR, part, p.gLab)
+			} else {
+				relabelBatchBlocks(p.gCSR, part, p.gLab, stop.Load)
+			}
 		}(gAct[lo:hi])
 	}
-	relabelBatch(p.gCSR, gAct[:n/chunks], p.gLab)
+	if p.m.opts.Cancel == nil {
+		relabelBatch(p.gCSR, gAct[:n/chunks], p.gLab)
+	} else {
+		// Chunk 0 runs on the calling goroutine and is the only poller of
+		// the user hook; a latched error raises the workers' stop flag.
+		relabelBatchBlocks(p.gCSR, gAct[:n/chunks], p.gLab, func() bool {
+			if p.pollCancel() {
+				stop.Store(true)
+				return true
+			}
+			return false
+		})
+		if p.cancelErr != nil {
+			stop.Store(true)
+		}
+	}
 	wg.Wait()
 }
 

@@ -87,7 +87,17 @@ type phase2 struct {
 	// snapDepth.
 	snapPool  []*snapshot
 	snapDepth int
+
+	// cancelErr latches the first non-nil Options.Cancel result observed
+	// inside the solve recursion; once set, solve and guess unwind without
+	// doing further work and the caller must abandon the run.
+	cancelErr error
 }
+
+// p2CancelStride is how many solve passes run between Options.Cancel polls.
+// A pass does at least O(pattern) work, so the stride bounds the work
+// between polls without putting the callback on the per-pass hot path.
+const p2CancelStride = 32
 
 type labVID struct {
 	lab label.Value
@@ -340,10 +350,22 @@ func (p *phase2) verify(key, c label.VID) *Instance {
 
 // solve runs the relabel / check / mark-safe / match loop until every
 // pattern vertex is matched, guessing on stalls (paper §IV algorithm
-// VerifyImage).
+// VerifyImage).  Options.Cancel is polled every p2CancelStride passes, at
+// any recursion depth, so even a single pathological candidate (deep
+// symmetric guessing, the exponential-tail case) honors its deadline; a
+// cancelled solve returns false with p.cancelErr set.
 func (p *phase2) solve(depth int) bool {
 	for {
+		if p.cancelErr != nil {
+			return false
+		}
 		p.rep.Phase2Passes++
+		if p.rep.Phase2Passes%p2CancelStride == 0 && p.m.opts.Cancel != nil {
+			if err := p.m.opts.Cancel(); err != nil {
+				p.cancelErr = err
+				return false
+			}
+		}
 		p.relabelRound()
 		progress, ok := p.partitionRound()
 		if p.tracer != nil {
@@ -691,6 +713,11 @@ func (p *phase2) guess(depth int) bool {
 		p.rep.Backtracks++
 		p.restore(snap)
 		p.release()
+		if p.cancelErr != nil {
+			// The failed solve was a cancellation, not a refutation: stop
+			// trying alternatives and unwind the whole recursion.
+			return false
+		}
 	}
 	return false
 }

@@ -1,0 +1,283 @@
+// Package faults is a deterministic fault-injection registry for proving
+// that subgeminid's recovery paths actually work.  Packages declare named
+// injection points (Register) and call Fire at the matching code site;
+// operators and tests arm points with a spec — return an error, panic, or
+// delay, a bounded number of times — through Arm, ArmString, or the
+// SUBGEMINID_FAULTS environment variable wired up by cmd/subgeminid's
+// -faults flag.
+//
+// The registry is built for production binaries: when nothing is armed,
+// Fire is a single atomic load and returns nil — no map lookup, no lock,
+// no allocation — so injection points can sit on persistence and handler
+// paths permanently instead of living behind build tags.  Arming is
+// explicit and deterministic: a spec fires on exact hit counts (skip the
+// first N hits, then fire M times), so a chaos scenario that kills the
+// second snapshot write does so on every run.
+//
+// Points are registered at package init time with a one-line description;
+// cmd/docgen renders the registered set into OPERATIONS.md, so the
+// runbook's fault matrix cannot drift from the code.  See OPERATIONS.md
+// §"Fault injection" for the operator-facing view.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by an armed "error" point.
+// Sites propagate it like any real failure; tests match it with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Mode selects what an armed point does when it fires.
+type Mode string
+
+const (
+	// ModeError makes Fire return an error (Spec.Err or ErrInjected).
+	ModeError Mode = "error"
+	// ModePanic makes Fire panic, exercising recovery paths.
+	ModePanic Mode = "panic"
+	// ModeDelay makes Fire sleep for Spec.Delay and return nil, stretching
+	// a normally instant operation so tests can observe in-between states.
+	ModeDelay Mode = "delay"
+)
+
+// Spec describes one armed injection.
+type Spec struct {
+	Mode  Mode
+	Skip  int           // hits to pass through before the first firing
+	Count int           // firings before the point disarms itself; <=0 = unlimited
+	Delay time.Duration // sleep for ModeDelay
+	Err   error         // returned by ModeError; nil = ErrInjected
+}
+
+// Point is one registered injection point.
+type Point struct {
+	Name string
+	Desc string
+}
+
+// armed is the live state of one armed point.
+type armed struct {
+	spec  Spec
+	hits  int // Fire calls seen since arming
+	fired int // firings so far
+}
+
+var (
+	armedCount atomic.Int32 // fast-path gate: 0 = nothing armed anywhere
+
+	mu       sync.Mutex
+	active   = map[string]*armed{}
+	fired    = map[string]int64{}
+	register = map[string]string{}
+)
+
+// Register declares an injection point; call it from the owning package's
+// init so the registry (and the generated runbook) always reflects the
+// binary.  Re-registering a name overwrites its description.
+func Register(name, desc string) {
+	mu.Lock()
+	defer mu.Unlock()
+	register[name] = desc
+}
+
+// List returns every registered point sorted by name.
+func List() []Point {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Point, 0, len(register))
+	for name, desc := range register {
+		out = append(out, Point{Name: name, Desc: desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Arm installs a spec on a point, replacing any previous one.  The point
+// need not be registered — tests may arm ad-hoc names — but production
+// specs should stick to registered points so the runbook stays truthful.
+func Arm(name string, spec Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := active[name]; !ok {
+		armedCount.Add(1)
+	}
+	active[name] = &armed{spec: spec}
+}
+
+// Disarm removes a point's spec; unknown names are a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := active[name]; ok {
+		delete(active, name)
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point and zeroes the fired counters; tests call it
+// in cleanup so armed faults never leak across cases.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armedCount.Add(int32(-len(active)))
+	active = map[string]*armed{}
+	fired = map[string]int64{}
+}
+
+// Armed returns how many points currently carry a spec.
+func Armed() int { return int(armedCount.Load()) }
+
+// Fired returns how many times the named point has fired since the last
+// Reset.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[name]
+}
+
+// FiredTotal returns the total firings across all points since Reset.
+func FiredTotal() int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	var n int64
+	for _, v := range fired {
+		n += v
+	}
+	return n
+}
+
+// Fire is the injection site call.  With nothing armed anywhere it costs
+// one atomic load; with the named point armed it applies the spec: skip
+// the first Skip hits, then fire Count times (error, panic, or delay),
+// then disarm itself.
+func Fire(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	return fire(name)
+}
+
+// fire is the slow path, split out so Fire inlines.
+func fire(name string) error {
+	mu.Lock()
+	a, ok := active[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	if a.hits <= a.spec.Skip {
+		mu.Unlock()
+		return nil
+	}
+	a.fired++
+	fired[name]++
+	spec := a.spec
+	if spec.Count > 0 && a.fired >= spec.Count {
+		delete(active, name)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+
+	switch spec.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("faults: injected panic at %q", name))
+	case ModeDelay:
+		time.Sleep(spec.Delay)
+		return nil
+	default:
+		if spec.Err != nil {
+			return fmt.Errorf("%s: %w", name, spec.Err)
+		}
+		return fmt.Errorf("%s: %w", name, ErrInjected)
+	}
+}
+
+// ArmString arms a comma-separated spec matrix, the format of the
+// SUBGEMINID_FAULTS environment variable and the subgeminid -faults flag:
+//
+//	point=mode[:arg[:arg]] , ...
+//
+// where mode is error, panic, or delay and the optional colon-separated
+// args are an integer count ("error:3" fires three times; default 1; 0 or
+// "inf" = unlimited), a duration for delay ("delay:50ms:2"), and
+// "skip=N" to pass the first N hits through ("error:1:skip=2" fires on
+// the third hit only).  Examples:
+//
+//	store.write-snapshot=error:1
+//	jobs.persist=error:2,sweep.worker=panic
+//	store.reload=delay:250ms:inf
+//
+// It returns how many points were armed, or an error describing the first
+// malformed entry (nothing is armed on error).
+func ArmString(s string) (int, error) {
+	type pending struct {
+		name string
+		spec Spec
+	}
+	var specs []pending
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || rest == "" {
+			return 0, fmt.Errorf("faults: malformed spec %q (want point=mode[:args])", item)
+		}
+		parts := strings.Split(rest, ":")
+		spec := Spec{Count: 1}
+		switch Mode(parts[0]) {
+		case ModeError:
+			spec.Mode = ModeError
+		case ModePanic:
+			spec.Mode = ModePanic
+		case ModeDelay:
+			spec.Mode = ModeDelay
+		default:
+			return 0, fmt.Errorf("faults: spec %q: unknown mode %q (want error, panic, or delay)", item, parts[0])
+		}
+		for _, arg := range parts[1:] {
+			switch {
+			case arg == "inf":
+				spec.Count = 0
+			case strings.HasPrefix(arg, "skip="):
+				n, err := strconv.Atoi(arg[len("skip="):])
+				if err != nil || n < 0 {
+					return 0, fmt.Errorf("faults: spec %q: bad skip %q", item, arg)
+				}
+				spec.Skip = n
+			default:
+				if n, err := strconv.Atoi(arg); err == nil {
+					if n < 0 {
+						return 0, fmt.Errorf("faults: spec %q: negative count", item)
+					}
+					spec.Count = n
+					continue
+				}
+				d, err := time.ParseDuration(arg)
+				if err != nil {
+					return 0, fmt.Errorf("faults: spec %q: argument %q is neither a count, a duration, nor skip=N", item, arg)
+				}
+				spec.Delay = d
+			}
+		}
+		if spec.Mode == ModeDelay && spec.Delay <= 0 {
+			return 0, fmt.Errorf("faults: spec %q: delay mode needs a duration (delay:50ms)", item)
+		}
+		specs = append(specs, pending{name, spec})
+	}
+	for _, p := range specs {
+		Arm(p.name, p.spec)
+	}
+	return len(specs), nil
+}

@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFastPath(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	if err := Fire("nonexistent"); err != nil {
+		t.Fatalf("Fire with nothing armed = %v, want nil", err)
+	}
+	if Armed() != 0 {
+		t.Fatalf("Armed() = %d, want 0", Armed())
+	}
+}
+
+func TestErrorCountAndSelfDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", Spec{Mode: ModeError, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("after count exhausted Fire = %v, want nil", err)
+	}
+	if Armed() != 0 {
+		t.Fatalf("point did not self-disarm: Armed() = %d", Armed())
+	}
+	if Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("p"))
+	}
+}
+
+func TestSkip(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", Spec{Mode: ModeError, Count: 1, Skip: 2})
+	if err := Fire("p"); err != nil {
+		t.Fatalf("hit 1 (skipped) = %v", err)
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("hit 2 (skipped) = %v", err)
+	}
+	if err := Fire("p"); err == nil {
+		t.Fatal("hit 3 should fire")
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("hit 4 (disarmed) = %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	sentinel := errors.New("disk on fire")
+	Arm("p", Spec{Mode: ModeError, Count: 1, Err: sentinel})
+	if err := Fire("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("Fire = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", Spec{Mode: ModePanic, Count: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), `"p"`) {
+			t.Fatalf("panic message %q does not name the point", r)
+		}
+	}()
+	Fire("p")
+}
+
+func TestDelayMode(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", Spec{Mode: ModeDelay, Count: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("delay Fire = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	Arm("p", Spec{Mode: ModeError, Count: 0})
+	for i := 0; i < 10; i++ {
+		if err := Fire("p"); err == nil {
+			t.Fatalf("firing %d = nil, want error (unlimited count)", i)
+		}
+	}
+	if Armed() != 1 {
+		t.Fatalf("unlimited point disarmed itself: Armed() = %d", Armed())
+	}
+}
+
+func TestRegisterAndList(t *testing.T) {
+	t.Cleanup(Reset)
+	Register("z.point", "last")
+	Register("a.point", "first")
+	pts := List()
+	var names []string
+	for _, p := range pts {
+		names = append(names, p.Name)
+	}
+	// List is sorted; our two points appear in order among any others
+	// registered by imported packages.
+	ai, zi := -1, -1
+	for i, n := range names {
+		if n == "a.point" {
+			ai = i
+		}
+		if n == "z.point" {
+			zi = i
+		}
+	}
+	if ai < 0 || zi < 0 || ai > zi {
+		t.Fatalf("List() = %v, want a.point before z.point", names)
+	}
+}
+
+func TestArmString(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	n, err := ArmString("a=error:2, b=panic, c=delay:15ms:inf, d=error:1:skip=3")
+	if err != nil {
+		t.Fatalf("ArmString: %v", err)
+	}
+	if n != 4 || Armed() != 4 {
+		t.Fatalf("armed %d points (Armed=%d), want 4", n, Armed())
+	}
+	if err := Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a first fire = %v", err)
+	}
+	// d skips three hits.
+	for i := 0; i < 3; i++ {
+		if err := Fire("d"); err != nil {
+			t.Fatalf("d skipped hit %d = %v", i, err)
+		}
+	}
+	if err := Fire("d"); err == nil {
+		t.Fatal("d fourth hit should fire")
+	}
+}
+
+func TestArmStringErrors(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, bad := range []string{
+		"noequals",
+		"p=",
+		"p=frobnicate",
+		"p=error:-1",
+		"p=delay",          // delay without duration
+		"p=error:skip=-2",  // negative skip
+		"p=error:bogusarg", // neither count nor duration
+	} {
+		Reset()
+		if _, err := ArmString(bad); err == nil {
+			t.Errorf("ArmString(%q) succeeded, want error", bad)
+		}
+		if Armed() != 0 {
+			t.Errorf("ArmString(%q) armed points despite error", bad)
+		}
+	}
+	// Empty items are tolerated.
+	if n, err := ArmString(" , ,"); err != nil || n != 0 {
+		t.Fatalf("ArmString of empties = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestConcurrentFire exercises the armed slow path from many goroutines
+// under -race: exactly Count firings must be observed in total.
+func TestConcurrentFire(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	const count = 100
+	Arm("p", Spec{Mode: ModeError, Count: count})
+	var (
+		wg   sync.WaitGroup
+		hits = make([]int, 8)
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if Fire("p") != nil {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int
+	for _, h := range hits {
+		total += h
+	}
+	if total != count {
+		t.Fatalf("total firings = %d, want %d", total, count)
+	}
+	if Fired("p") != count {
+		t.Fatalf("Fired = %d, want %d", Fired("p"), count)
+	}
+}

@@ -1,0 +1,86 @@
+package jobs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subgemini/internal/faults"
+)
+
+// TestPersistRetryRecovers: two injected record-write failures are absorbed
+// by the retry loop — the job completes, the retries are counted, and the
+// record lands on disk.
+func TestPersistRetryRecovers(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	e, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	// The first persist (the submit transition) loses its first two
+	// attempts; the third succeeds and every later transition is clean.
+	faults.Arm("jobs.persist", faults.Spec{Mode: faults.ModeError, Count: 2})
+	v, err := e.Submit("match", nil, func(context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, e, v.ID, Done)
+	if c := e.Counters(); c.PersistRetries != 2 {
+		t.Errorf("PersistRetries = %d, want 2", c.PersistRetries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, v.ID+".json")); err != nil {
+		t.Errorf("job record missing after retried persist: %v", err)
+	}
+}
+
+// TestPersistGiveUpNonFatal: a persist that exhausts all attempts is logged
+// and dropped — the job itself still runs to completion, and the record is
+// written by the next clean transition.
+func TestPersistGiveUpNonFatal(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	e, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	faults.Arm("jobs.persist", faults.Spec{Mode: faults.ModeError, Count: persistAttempts})
+	v, err := e.Submit("match", nil, func(context.Context) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, e, v.ID, Done)
+	if c := e.Counters(); c.PersistRetries != persistAttempts-1 {
+		t.Errorf("PersistRetries = %d, want %d", c.PersistRetries, persistAttempts-1)
+	}
+	if _, err := os.Stat(filepath.Join(dir, v.ID+".json")); err != nil {
+		t.Errorf("job record missing after later clean persist: %v", err)
+	}
+}
+
+// TestRunFaultPanicIsolated: the jobs.run point fires inside the worker's
+// recover scope, so an injected panic fails that one job and the worker
+// lives on.
+func TestRunFaultPanicIsolated(t *testing.T) {
+	defer faults.Reset()
+	e, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeNow(t, e)
+
+	faults.Arm("jobs.run", faults.Spec{Mode: faults.ModePanic, Count: 1})
+	v, _ := e.Submit("match", nil, func(context.Context) (any, error) { return 1, nil })
+	v = waitState(t, e, v.ID, Failed)
+	if v.Error == "" {
+		t.Error("injected panic produced an empty job error")
+	}
+
+	ok, _ := e.Submit("match", nil, func(context.Context) (any, error) { return 2, nil })
+	waitState(t, e, ok.ID, Done)
+}

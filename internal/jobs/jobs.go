@@ -10,16 +10,29 @@
 //
 // States move queued → running → done | failed | cancelled.  Cancelling a
 // queued job is immediate; cancelling a running job cancels its context,
-// which the matcher polls between Phase I passes and Phase II candidates,
-// so the worker frees promptly.
+// which the matcher polls at bounded intervals throughout both phases —
+// including inside a single Phase II candidate's solve recursion — so the
+// worker frees promptly even mid-way through a pathological match.
 //
 // Durability: with a directory configured, every state transition rewrites
-// the job's record (<dir>/<id>.json, temp file + rename).  On boot the
-// engine replays the directory; any job found queued or running was
-// interrupted by a crash and is marked failed — the engine cannot re-run
-// it (the work closure died with the old process), but the client polling
-// that id gets a truthful terminal state instead of a 404 or an eternal
-// "running".
+// the job's record (<dir>/<id>.json, temp file + fsync + rename).  Record
+// writes retry a bounded number of times with a short backoff before
+// giving up — transient store I/O errors (a full page cache flush, an
+// interrupted syscall) must not silently drop a transition — and the
+// retry count is surfaced in Counters.PersistRetries.  A write that still
+// fails after the retries is logged, not returned: an unwritable record
+// must not wedge the job lifecycle (the in-memory state stays
+// authoritative until restart).  On boot the engine replays the
+// directory; any job found queued or running was interrupted by a crash
+// and is marked failed — the engine cannot re-run it (the work closure
+// died with the old process), but the client polling that id gets a
+// truthful terminal state instead of a 404 or an eternal "running".
+//
+// Fault injection: the "jobs.persist" point fires on every record-write
+// attempt and the "jobs.run" point fires before each work closure
+// executes (see internal/faults), so tests and the chaos driver can prove
+// the retry loop, the panic isolation, and the boot recovery actually
+// work.
 package jobs
 
 import (
@@ -35,7 +48,14 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"subgemini/internal/faults"
 )
+
+func init() {
+	faults.Register("jobs.persist", "each attempt to write a job record to disk (error exercises the retry loop)")
+	faults.Register("jobs.run", "job runner invocation, before the work closure executes (panic exercises worker isolation)")
+}
 
 // State is a job's lifecycle position.
 type State string
@@ -111,11 +131,12 @@ type job struct {
 
 // Counters is the engine's monotonic counter set for /metrics.
 type Counters struct {
-	Submitted int64
-	Done      int64
-	Failed    int64
-	Cancelled int64
-	Recovered int64 // interrupted jobs marked failed at boot
+	Submitted      int64
+	Done           int64
+	Failed         int64
+	Cancelled      int64
+	Recovered      int64 // interrupted jobs marked failed at boot
+	PersistRetries int64 // record-write attempts retried after an I/O error
 }
 
 // Engine runs jobs.  Create one with New; stop it with Close.
@@ -328,6 +349,11 @@ func (e *Engine) runSafe(fn Runner, ctx context.Context) (res any, err error) {
 			err = fmt.Errorf("job panicked: %v", rec)
 		}
 	}()
+	// Inside the recover scope: an armed panic exercises the same isolation
+	// a misbehaving runner would.
+	if err := faults.Fire("jobs.run"); err != nil {
+		return nil, err
+	}
 	return fn(ctx)
 }
 
@@ -462,19 +488,45 @@ func (e *Engine) pruneLocked() {
 	}
 }
 
+// persistAttempts and persistBackoff bound the record-write retry loop:
+// up to three attempts with 2ms/4ms pauses (persist runs with e.mu held,
+// so the total stall is kept under ~10ms even when every attempt fails).
+const (
+	persistAttempts = 3
+	persistBackoff  = 2 * time.Millisecond
+)
+
 // persist rewrites one job record; called with e.mu held (or from the
-// single-threaded boot replay).  Persistence
-// errors are logged, not returned: an unwritable record must not wedge the
-// job lifecycle (the in-memory state stays authoritative until restart).
+// single-threaded boot replay).  Transient I/O errors are retried with a
+// short bounded backoff; an error that survives every attempt is logged,
+// not returned: an unwritable record must not wedge the job lifecycle
+// (the in-memory state stays authoritative until restart).
 func (e *Engine) persist(j *job) {
 	if e.cfg.Dir == "" {
 		return
 	}
+	var err error
+	for attempt := 0; attempt < persistAttempts; attempt++ {
+		if attempt > 0 {
+			e.counts.PersistRetries++
+			time.Sleep(persistBackoff << (attempt - 1))
+		}
+		if err = e.persistOnce(j); err == nil {
+			return
+		}
+	}
+	e.cfg.Logf("jobs: persisting %s (gave up after %d attempts): %v", j.view.ID, persistAttempts, err)
+}
+
+// persistOnce is one atomic record-write attempt: temp file, fsync, rename.
+func (e *Engine) persistOnce(j *job) error {
+	if err := faults.Fire("jobs.persist"); err != nil {
+		return err
+	}
 	path := filepath.Join(e.cfg.Dir, j.view.ID+".json")
 	tmp, err := os.CreateTemp(e.cfg.Dir, ".tmp-*")
 	if err != nil {
-		e.cfg.Logf("jobs: persisting %s: %v", j.view.ID, err)
-		return
+		return err
 	}
 	defer os.Remove(tmp.Name())
 	enc := json.NewEncoder(tmp)
@@ -489,7 +541,5 @@ func (e *Engine) persist(j *job) {
 	if err == nil {
 		err = os.Rename(tmp.Name(), path)
 	}
-	if err != nil {
-		e.cfg.Logf("jobs: persisting %s: %v", j.view.ID, err)
-	}
+	return err
 }

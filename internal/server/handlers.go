@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"subgemini/internal/core"
+	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
 	"subgemini/internal/store"
@@ -187,6 +188,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shedBulk(w, "batch") {
+		return
+	}
 	var req BatchRequest
 	if e := decodeBody(r, &req); e != nil {
 		writeError(w, e)
@@ -587,5 +591,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		jobsRunning:    running,
 		circuitDevices: devices,
 		circuitNets:    nets,
+		ready:          s.notReady() == "",
+		storeHealthy:   s.store.Healthy(),
+		faultsArmed:    faults.Armed(),
+		faultsFired:    faults.FiredTotal(),
 	})
 }

@@ -70,6 +70,9 @@ type ExtractResponse struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.shedBulk(w, "jobs") {
+		return
+	}
 	var req JobRequest
 	if e := decodeBody(r, &req); e != nil {
 		writeError(w, e)

@@ -77,6 +77,11 @@ type metrics struct {
 	inflight  atomic.Int64 // match runs currently executing
 	matchRuns stats.Aggregate
 
+	// Load-shedding counters, one per bulk endpoint (see shedBulk).
+	shedBatch atomic.Int64
+	shedSweep atomic.Int64
+	shedJobs  atomic.Int64
+
 	phase1 histogram // Phase I wall time per run
 	phase2 histogram // Phase II wall time per run
 
@@ -94,6 +99,18 @@ type metrics struct {
 	mu          sync.Mutex
 	patterns    map[string]*patternStats
 	sweepLabels map[string]bool
+}
+
+// shed counts one turned-away bulk request under its endpoint label.
+func (m *metrics) shed(endpoint string) {
+	switch endpoint {
+	case "batch":
+		m.shedBatch.Add(1)
+	case "sweep":
+		m.shedSweep.Add(1)
+	case "jobs":
+		m.shedJobs.Add(1)
+	}
 }
 
 // maxSweepPatternLabels caps the distinct pattern labels the sweep series
@@ -171,6 +188,18 @@ type externalMetrics struct {
 	jobsRunning    int
 	circuitDevices int
 	circuitNets    int
+	ready          bool // /readyz verdict at scrape time
+	storeHealthy   bool // store.Healthy() at scrape time
+	faultsArmed    int  // armed fault-injection points
+	faultsFired    int64
+}
+
+// b01 renders a boolean gauge.
+func b01(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // write renders the metrics dump.
@@ -185,6 +214,10 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_requests_errors_total %d\n", m.errors.Load())
 	fmt.Fprintf(w, "subgeminid_requests_timeouts_total %d\n", m.timeouts.Load())
 	fmt.Fprintf(w, "subgeminid_requests_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "subgeminid_shed_total{endpoint=\"batch\"} %d\n", m.shedBatch.Load())
+	fmt.Fprintf(w, "subgeminid_shed_total{endpoint=\"jobs\"} %d\n", m.shedJobs.Load())
+	fmt.Fprintf(w, "subgeminid_shed_total{endpoint=\"sweep\"} %d\n", m.shedSweep.Load())
+	fmt.Fprintf(w, "subgeminid_ready %d\n", b01(ext.ready))
 	fmt.Fprintf(w, "subgeminid_matches_inflight %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "subgeminid_match_runs_total %d\n", snap.Runs)
 	fmt.Fprintf(w, "subgeminid_match_early_aborts_total %d\n", snap.EarlyAborts)
@@ -209,11 +242,13 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_store_resident_bytes %d\n", ext.store.ResidentBytes)
 	fmt.Fprintf(w, "subgeminid_store_evictions_total %d\n", ext.store.Evictions)
 	fmt.Fprintf(w, "subgeminid_store_reloads_total %d\n", ext.store.Reloads)
+	fmt.Fprintf(w, "subgeminid_store_healthy %d\n", b01(ext.storeHealthy))
 	fmt.Fprintf(w, "subgeminid_jobs_submitted_total %d\n", ext.jobs.Submitted)
 	fmt.Fprintf(w, "subgeminid_jobs_done_total %d\n", ext.jobs.Done)
 	fmt.Fprintf(w, "subgeminid_jobs_failed_total %d\n", ext.jobs.Failed)
 	fmt.Fprintf(w, "subgeminid_jobs_cancelled_total %d\n", ext.jobs.Cancelled)
 	fmt.Fprintf(w, "subgeminid_jobs_recovered_total %d\n", ext.jobs.Recovered)
+	fmt.Fprintf(w, "subgeminid_jobs_persist_retries_total %d\n", ext.jobs.PersistRetries)
 	fmt.Fprintf(w, "subgeminid_jobs_queued %d\n", ext.jobsQueued)
 	fmt.Fprintf(w, "subgeminid_jobs_running %d\n", ext.jobsRunning)
 	fmt.Fprintf(w, "subgeminid_circuit_devices %d\n", ext.circuitDevices)
@@ -222,6 +257,8 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_sweep_patterns_total %d\n", m.sweepPatterns.Load())
 	fmt.Fprintf(w, "subgeminid_sweep_deduped_total %d\n", m.sweepDeduped.Load())
 	fmt.Fprintf(w, "subgeminid_sweep_instances_total %d\n", m.sweepInstances.Load())
+	fmt.Fprintf(w, "subgeminid_faults_armed %d\n", ext.faultsArmed)
+	fmt.Fprintf(w, "subgeminid_faults_fired_total %d\n", ext.faultsFired)
 	m.phase1.write(w, "subgeminid_match_phase1_seconds")
 	m.phase2.write(w, "subgeminid_match_phase2_seconds")
 	m.sweepDur.write(w, "subgeminid_sweep_seconds")

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"subgemini/internal/stats"
+	"subgemini/internal/sweep"
+)
+
+// TestMetricsReferenceSync is the registry↔dump staleness gate: a fully
+// populated metrics dump must render exactly the families MetricsReference
+// declares, and every declared family must appear in the dump.  Adding a
+// metric to metrics.write without documenting it here (and regenerating
+// OPERATIONS.md) fails tier-1, and so does documenting a metric that no
+// longer exists.
+func TestMetricsReferenceSync(t *testing.T) {
+	var m metrics
+	// Populate the labeled series so their families appear in the dump.
+	m.observe("X", &stats.Report{})
+	m.observeSweep(&sweep.Report{
+		Results:  []sweep.PatternResult{{Name: "X"}},
+		Runs:     1,
+		Duration: time.Millisecond,
+	})
+	var buf bytes.Buffer
+	m.write(&buf, externalMetrics{ready: true, storeHealthy: true})
+
+	expected := map[string]bool{}
+	for _, d := range MetricsReference() {
+		if d.Type == "histogram" {
+			expected[d.Name+"_bucket"] = true
+			expected[d.Name+"_sum"] = true
+			expected[d.Name+"_count"] = true
+		} else {
+			expected[d.Name] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		seen[name] = true
+		if !expected[name] {
+			t.Errorf("dump renders %q but MetricsReference does not declare it", name)
+		}
+	}
+	for name := range expected {
+		if !seen[name] {
+			t.Errorf("MetricsReference declares %q but the dump never renders it", name)
+		}
+	}
+}
+
+// TestMetricsReferenceMarkdown pins the table shape docgen splices into
+// OPERATIONS.md: a header, one row per family, names backquoted.
+func TestMetricsReferenceMarkdown(t *testing.T) {
+	md := MetricsReferenceMarkdown()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if want := len(MetricsReference()) + 2; len(lines) != want {
+		t.Fatalf("markdown table has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "| Metric |") {
+		t.Errorf("table header = %q", lines[0])
+	}
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(line, "| `subgeminid_") {
+			t.Errorf("table row %q does not lead with a backquoted metric name", line)
+		}
+	}
+}

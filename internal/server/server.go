@@ -25,7 +25,8 @@
 //	GET    /v1/jobs/{id}            poll one job's state and result
 //	DELETE /v1/jobs/{id}            cancel a queued or running job
 //	GET    /v1/cells                list built-in cells and uploaded patterns
-//	GET    /healthz                 liveness probe
+//	GET    /healthz                 liveness probe (process is up)
+//	GET    /readyz                  readiness probe (not draining, store healthy)
 //	GET    /metrics                 Prometheus-style text metrics
 //	GET    /debug/pprof/            Go runtime profiles (CPU, heap, goroutine, ...)
 //
@@ -47,6 +48,17 @@
 // behind long matches.  Global marks are monotonic and circuit-wide,
 // matching the CLI semantics where .GLOBAL directives and -globals apply
 // to the whole run.
+//
+// Under overload the daemon sheds by priority rather than degrading
+// uniformly: when the configured inflight or heap budget is exceeded
+// (Config.ShedInflight / Config.ShedMemoryBytes), the bulk endpoints —
+// batch matches, sweeps, and async job submission — answer 429 with a
+// Retry-After hint while single synchronous matches keep flowing through
+// admission control.  /readyz reports not-ready while the daemon is
+// draining for shutdown or the store's last persistence operation failed
+// (see store.Healthy), so orchestrators stop routing before requests start
+// failing; /healthz stays a pure liveness probe.  See OPERATIONS.md for
+// the operator-facing view of all of this.
 package server
 
 import (
@@ -56,13 +68,19 @@ import (
 	"net/http/pprof"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/jobs"
 	"subgemini/internal/netlist"
 	"subgemini/internal/store"
 )
+
+func init() {
+	faults.Register("server.handler", "start of every HTTP request, inside the panic-isolation scope (error answers 503, panic exercises recovery)")
+}
 
 // DefaultCircuit is the store key the legacy single-circuit endpoints
 // (POST/GET /v1/circuit) and circuit-less match requests operate on.
@@ -136,6 +154,23 @@ type Config struct {
 	// way).  0 leaves Phase I sequential by default.
 	Phase1Workers int
 
+	// ShedInflight, when > 0, turns on priority load shedding: while at
+	// least this many synchronous match runs are in flight, the bulk
+	// endpoints (POST /v1/match/batch, POST /v1/sweep, POST /v1/jobs) are
+	// shed with 429 + Retry-After so single POST /v1/match requests keep
+	// getting slots.  0 disables inflight-based shedding.
+	ShedInflight int
+
+	// ShedMemoryBytes, when > 0, sheds the same bulk endpoints while the
+	// Go heap in use is at or past this many bytes — bulk work is the
+	// memory amplifier (wide batches, whole-library sweeps), so it is what
+	// gets turned away first.  0 disables memory-based shedding.
+	ShedMemoryBytes int64
+
+	// RetryAfter is the Retry-After hint on shed responses, rounded down
+	// to whole seconds (minimum 1).  0 selects 2s.
+	RetryAfter time.Duration
+
 	// PreloadBuiltins compiles every built-in library cell into the
 	// pattern cache at construction time, so first requests are cache
 	// hits.  Preloading counts neither hits nor misses.
@@ -157,6 +192,13 @@ type Server struct {
 	sem   chan struct{}
 	met   metrics
 	mux   *http.ServeMux
+
+	// draining flips once shutdown begins: /readyz goes not-ready so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+
+	// mem coarsely samples the Go heap for memory-based shedding.
+	mem memSampler
 
 	// testCandidateHook, when non-nil, runs on every cancellation poll of
 	// every match.  Tests use it to make runs deterministically slow or to
@@ -183,6 +225,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxWorkers <= 0 {
 		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -265,6 +310,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Go's profiling endpoints, on the daemon's own mux rather than
 	// http.DefaultServeMux, so they share the panic isolation and request
@@ -353,6 +399,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.met.errors.Add(1)
 		}
 	}()
+	// Fault point inside the recovery scope: error mode turns requests
+	// away with 503, panic mode exercises the isolation path above.
+	if err := faults.Fire("server.handler"); err != nil {
+		writeError(sw, errf(http.StatusServiceUnavailable, "injected handler fault: %v", err))
+		return
+	}
 	s.mux.ServeHTTP(sw, r)
 }
 

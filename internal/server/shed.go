@@ -1,0 +1,107 @@
+package server
+
+// Priority load shedding and readiness.  The daemon's overload posture is
+// asymmetric on purpose: a single synchronous match is the latency-
+// sensitive interactive operation, while batches, sweeps, and async job
+// submissions are bulk work that amplifies both memory and queue depth.
+// When either configured budget is exceeded, the bulk endpoints answer
+// 429 with a Retry-After hint and the match path keeps its admission
+// semaphore to itself.
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// memSamplePeriod bounds how often shedding re-reads runtime.MemStats.
+// ReadMemStats stops the world briefly; under overload — exactly when
+// shedBulk runs hottest — an uncached read per request would add its own
+// load.  Heap growth on the timescale of a shedding decision is far
+// coarser than this period.
+const memSamplePeriod = 50 * time.Millisecond
+
+// memSampler caches the Go heap-in-use reading between periodic refreshes.
+// The zero value is ready; the first call samples immediately.
+type memSampler struct {
+	lastNS atomic.Int64
+	heap   atomic.Uint64
+}
+
+// heapInUse returns the cached HeapAlloc, refreshing it at most once per
+// memSamplePeriod.  The CompareAndSwap elects one refresher under
+// concurrency; losers return the (at worst one period old) cached value.
+func (ms *memSampler) heapInUse() uint64 {
+	now := time.Now().UnixNano()
+	last := ms.lastNS.Load()
+	if now-last >= int64(memSamplePeriod) && ms.lastNS.CompareAndSwap(last, now) {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		ms.heap.Store(m.HeapAlloc)
+	}
+	return ms.heap.Load()
+}
+
+// shedBulk decides whether a bulk endpoint must be turned away right now,
+// and if so writes the structured 429 itself and returns true.  endpoint
+// is the metrics label ("batch", "sweep", or "jobs").
+func (s *Server) shedBulk(w http.ResponseWriter, endpoint string) bool {
+	reason := ""
+	if n := s.cfg.ShedInflight; n > 0 {
+		if in := s.met.inflight.Load(); in >= int64(n) {
+			reason = fmt.Sprintf("%d match runs in flight (budget %d)", in, n)
+		}
+	}
+	if reason == "" && s.cfg.ShedMemoryBytes > 0 {
+		if heap := s.mem.heapInUse(); heap >= uint64(s.cfg.ShedMemoryBytes) {
+			reason = fmt.Sprintf("heap in use %d bytes (budget %d)", heap, s.cfg.ShedMemoryBytes)
+		}
+	}
+	if reason == "" {
+		return false
+	}
+	s.met.shed(endpoint)
+	retry := int(s.cfg.RetryAfter / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":         fmt.Sprintf("%s shed under load: %s; single POST /v1/match stays available", endpoint, reason),
+		"shed":          true,
+		"retry_after_s": retry,
+	})
+	return true
+}
+
+// SetDraining flips the shutdown signal /readyz reports.  The daemon sets
+// it right before the HTTP listener starts its graceful drain, so load
+// balancers pull the instance while in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// notReady returns why the daemon should not receive new traffic, or ""
+// when it should.  Liveness (/healthz) is intentionally separate: a
+// draining or store-degraded daemon is alive and must not be restarted,
+// just unrouted.
+func (s *Server) notReady() string {
+	if s.draining.Load() {
+		return "draining: shutdown in progress"
+	}
+	if !s.store.Healthy() {
+		return "store: last persistence operation failed"
+	}
+	return ""
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if reason := s.notReady(); reason != "" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready:", reason)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"subgemini/internal/faults"
+)
+
+// TestShedOrderUnderInflightBudget: with one match holding the inflight
+// budget, the bulk endpoints — batch, jobs, sweep — are shed with 429 and
+// a Retry-After header while a second single match still gets through.
+func TestShedOrderUnderInflightBudget(t *testing.T) {
+	s, want := newAdderServer(t, func(c *Config) {
+		c.MaxConcurrent = 2
+		c.ShedInflight = 1
+		c.RetryAfter = 3 * time.Second
+	})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocking := make(chan bool, 1)
+	blocking <- true
+	s.testCandidateHook = func() {
+		// Only the first match blocks; the shed-order probe match below
+		// must run to completion while the budget is exceeded.
+		select {
+		case <-blocking:
+			once.Do(func() { close(started) })
+			<-release
+		default:
+		}
+	}
+
+	first := make(chan int, 1)
+	go func() {
+		first <- do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "FA"}).Code
+	}()
+	<-started
+
+	for _, tc := range []struct {
+		endpoint, path string
+		body           any
+	}{
+		{"batch", "/v1/match/batch", BatchRequest{Requests: []MatchRequest{{Pattern: "INV"}}}},
+		{"jobs", "/v1/jobs", JobRequest{Kind: "match", Match: &MatchRequest{Pattern: "INV"}}},
+		{"sweep", "/v1/sweep", SweepRequest{Patterns: []string{"INV"}}},
+	} {
+		rec := do(t, s, "POST", tc.path, tc.body)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Errorf("%s under load: status %d, want 429: %s", tc.endpoint, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("Retry-After"); got != "3" {
+			t.Errorf("%s Retry-After = %q, want \"3\"", tc.endpoint, got)
+		}
+		if !strings.Contains(rec.Body.String(), `"shed": true`) {
+			t.Errorf("%s shed response not structured: %s", tc.endpoint, rec.Body.String())
+		}
+	}
+
+	// The single-match path stays live: the second slot serves it even
+	// though every bulk endpoint is being turned away.
+	rec := do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "FA"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("single match under shed: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeMatch(t, rec); resp.Count != want {
+		t.Errorf("single match under shed found %d, want %d", resp.Count, want)
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("budget-holding match: status %d", code)
+	}
+
+	// Budget free again: the bulk endpoints recover.
+	rec = do(t, s, "POST", "/v1/match/batch", BatchRequest{Requests: []MatchRequest{{Pattern: "INV"}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch after load: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	met := parseMetrics(t, do(t, s, "GET", "/metrics", nil).Body.String())
+	for _, ep := range []string{"batch", "jobs", "sweep"} {
+		key := `subgeminid_shed_total{endpoint="` + ep + `"}`
+		if met[key] != 1 {
+			t.Errorf("%s = %v, want 1", key, met[key])
+		}
+	}
+}
+
+// TestShedMemoryBudget: a 1-byte heap budget sheds every bulk request
+// immediately while single matches keep working.
+func TestShedMemoryBudget(t *testing.T) {
+	s, want := newAdderServer(t, func(c *Config) { c.ShedMemoryBytes = 1 })
+	rec := do(t, s, "POST", "/v1/jobs", JobRequest{Kind: "match", Match: &MatchRequest{Pattern: "FA"}})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("job submit over memory budget: status %d, want 429", rec.Code)
+	}
+	rec = do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "FA"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("match over memory budget: status %d, want 200", rec.Code)
+	}
+	if resp := decodeMatch(t, rec); resp.Count != want {
+		t.Errorf("match found %d, want %d", resp.Count, want)
+	}
+}
+
+// TestReadyzDrainAndStoreHealth: /readyz follows the draining flag and the
+// store's persistence health while /healthz stays 200 throughout.
+func TestReadyzDrainAndStoreHealth(t *testing.T) {
+	defer faults.Reset()
+	s, _ := newAdderServer(t, func(c *Config) { c.DataDir = t.TempDir() })
+	if rec := do(t, s, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("fresh /readyz: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	s.SetDraining(true)
+	rec := do(t, s, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("draining /readyz: status %d body %q, want 503 draining", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("draining /healthz: status %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+	s.SetDraining(false)
+
+	// A failed snapshot write degrades readiness; the next clean
+	// persistence operation restores it.
+	faults.Arm("store.write-snapshot", faults.Spec{Mode: faults.ModeError, Count: 1})
+	if rec := do(t, s, "PUT", "/v1/circuits/c1", nandNetlist); rec.Code == http.StatusOK {
+		t.Fatal("circuit PUT succeeded despite injected snapshot-write failure")
+	}
+	rec = do(t, s, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "store") {
+		t.Errorf("degraded /readyz: status %d body %q, want 503 store", rec.Code, rec.Body.String())
+	}
+	met := parseMetrics(t, do(t, s, "GET", "/metrics", nil).Body.String())
+	if met["subgeminid_ready"] != 0 || met["subgeminid_store_healthy"] != 0 {
+		t.Errorf("ready=%v store_healthy=%v, want 0 0",
+			met["subgeminid_ready"], met["subgeminid_store_healthy"])
+	}
+
+	if rec := do(t, s, "PUT", "/v1/circuits/c1", nandNetlist); rec.Code != http.StatusOK {
+		t.Fatalf("clean circuit PUT: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Errorf("recovered /readyz: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReadyzFlipsDuringReload: with an entry demoted to its snapshot, an
+// injected reload failure fails the match that needed it and flips
+// readiness; the retry reloads cleanly and recovers.
+func TestReadyzFlipsDuringReload(t *testing.T) {
+	defer faults.Reset()
+	s, _ := newAdderServer(t, func(c *Config) {
+		c.DataDir = t.TempDir()
+		c.MaxStoreBytes = 1 // every idle snapshotted entry demotes
+	})
+	if rec := do(t, s, "PUT", "/v1/circuits/c1", nandNetlist); rec.Code != http.StatusOK {
+		t.Fatalf("PUT c1: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	faults.Arm("store.reload", faults.Spec{Mode: faults.ModeError, Count: 1})
+	rec := do(t, s, "POST", "/v1/match", MatchRequest{Circuit: "c1", Pattern: "NAND2"})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("match during failed reload: status %d, want 500: %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, "GET", "/readyz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during failed reload: status %d, want 503", rec.Code)
+	}
+
+	rec = do(t, s, "POST", "/v1/match", MatchRequest{Circuit: "c1", Pattern: "NAND2"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("match after reload recovery: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeMatch(t, rec); resp.Count != 1 {
+		t.Errorf("reloaded match found %d NAND2, want 1", resp.Count)
+	}
+	if rec := do(t, s, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Errorf("/readyz after recovery: status %d", rec.Code)
+	}
+}
+
+// TestInjectedHandlerFaults: the server.handler point turns requests away
+// with 503 in error mode and exercises panic isolation in panic mode — a
+// request dies mid-flight with a 500 and the daemon keeps serving.
+func TestInjectedHandlerFaults(t *testing.T) {
+	defer faults.Reset()
+	s, want := newAdderServer(t, nil)
+
+	faults.Arm("server.handler", faults.Spec{Mode: faults.ModeError, Count: 1})
+	if rec := do(t, s, "GET", "/v1/circuits", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("error-mode request: status %d, want 503", rec.Code)
+	}
+
+	faults.Arm("server.handler", faults.Spec{Mode: faults.ModePanic, Count: 1})
+	if rec := do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "FA"}); rec.Code != http.StatusInternalServerError {
+		t.Errorf("panic-mode request: status %d, want 500", rec.Code)
+	}
+
+	// The daemon survived the mid-request kill.
+	rec := do(t, s, "POST", "/v1/match", MatchRequest{Pattern: "FA"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-panic match: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeMatch(t, rec); resp.Count != want {
+		t.Errorf("post-panic match found %d, want %d", resp.Count, want)
+	}
+	met := parseMetrics(t, do(t, s, "GET", "/metrics", nil).Body.String())
+	if met["subgeminid_faults_fired_total"] < 2 {
+		t.Errorf("faults_fired_total = %v, want >= 2", met["subgeminid_faults_fired_total"])
+	}
+}

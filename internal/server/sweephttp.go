@@ -176,6 +176,9 @@ func (s *Server) handleLibraryList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.shedBulk(w, "sweep") {
+		return
+	}
 	var req SweepRequest
 	if e := decodeBody(r, &req); e != nil {
 		writeError(w, e)

@@ -40,6 +40,12 @@ type Report struct {
 	// Outcome.
 	Instances      int // instances found
 	MatchedDevices int // total devices inside matched instances
+
+	// CancelledAt records where Options.Cancel cut the run short: "phase1"
+	// (during candidate generation) or "phase2" (during candidate
+	// verification).  Empty for runs that completed.  A cancelled run's
+	// other counters cover the work done up to the cut.
+	CancelledAt string
 }
 
 // Total returns the combined Phase I + Phase II duration.
@@ -47,9 +53,13 @@ func (r *Report) Total() time.Duration { return r.Phase1Duration + r.Phase2Durat
 
 // String formats the report for logs and the benchtab tool.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"instances=%d matchedDevs=%d cv=%d key=%s p1passes=%d p2passes=%d guesses=%d backtracks=%d t1=%v t2=%v",
 		r.Instances, r.MatchedDevices, r.CVSize, r.KeyVertex,
 		r.Phase1Passes, r.Phase2Passes, r.Guesses, r.Backtracks,
 		r.Phase1Duration.Round(time.Microsecond), r.Phase2Duration.Round(time.Microsecond))
+	if r.CancelledAt != "" {
+		s += " cancelled=" + r.CancelledAt
+	}
+	return s
 }

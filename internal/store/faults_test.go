@@ -1,0 +1,81 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"subgemini/internal/faults"
+	"subgemini/internal/gen"
+	"subgemini/internal/stdcell"
+)
+
+// TestHealthTracksPersistenceIO: Healthy() reflects the outcome of the most
+// recent persistence operation — an injected snapshot-write failure flips it
+// false, the next clean write flips it back.
+func TestHealthTracksPersistenceIO(t *testing.T) {
+	defer faults.Reset()
+	st, err := Open(Config{Dir: t.TempDir(), Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy() {
+		t.Fatal("fresh store not healthy")
+	}
+
+	faults.Arm("store.write-snapshot", faults.Spec{Mode: faults.ModeError, Count: 1})
+	if _, err := st.Put("a", parseMain(t, nandSrc, "a")); err == nil {
+		t.Fatal("Put succeeded despite injected snapshot-write failure")
+	}
+	if st.Healthy() {
+		t.Error("store healthy right after a failed snapshot write")
+	}
+
+	if _, err := st.Put("a", parseMain(t, nandSrc, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy() {
+		t.Error("store still unhealthy after a clean write")
+	}
+}
+
+// TestHealthTracksReload: an injected reload failure makes the demoted
+// entry's Acquire fail and the store unhealthy; the next Acquire reloads
+// cleanly and recovers both.
+func TestHealthTracksReload(t *testing.T) {
+	defer faults.Reset()
+	budget := estimateBytes(gen.RippleAdder(4).C) * 3 / 2
+	st, err := Open(Config{Dir: t.TempDir(), MaxBytes: budget, Globals: rails})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.RippleAdder(4)
+	if _, err := st.Put("a", a.C); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("b", gen.RippleAdder(4).C); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := st.Get("a"); info.Resident {
+		t.Fatal("entry a still resident; eviction precondition failed")
+	}
+
+	faults.Arm("store.reload", faults.Spec{Mode: faults.ModeError, Count: 1})
+	if _, err := st.Acquire("a"); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("Acquire = %v, want injected reload failure", err)
+	}
+	if st.Healthy() {
+		t.Error("store healthy right after a failed reload")
+	}
+
+	h, err := st.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := match(t, h, "FA"), a.Expected(stdcell.FA); got != want {
+		t.Errorf("reloaded circuit: FA matches = %d, want %d", got, want)
+	}
+	h.Release()
+	if !st.Healthy() {
+		t.Error("store still unhealthy after a clean reload")
+	}
+}

@@ -10,9 +10,16 @@ import (
 	"time"
 
 	"subgemini/internal/core"
+	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
 )
+
+func init() {
+	faults.Register("store.write-snapshot", "circuit snapshot write during Put (error fails the upload and marks the store unhealthy)")
+	faults.Register("store.write-manifest", "manifest index rewrite after any durable mutation")
+	faults.Register("store.reload", "demoted-circuit reload from snapshot during Acquire (delay holds the store lock; error flips /readyz)")
+}
 
 // Data-directory layout.  The manifest is the index; circuit and pattern
 // snapshots are plain netlists when the circuit's device types all map to
@@ -244,7 +251,12 @@ func (st *Store) writeSnapshot(name string, ckt *graph.Circuit) (string, error) 
 		write = func(f *os.File) error { return graph.EncodeJSON(f, ckt) }
 	}
 	path := filepath.Join(st.dir, circuitsDir, file)
-	if err := writeAtomic(path, write); err != nil {
+	err := faults.Fire("store.write-snapshot")
+	if err == nil {
+		err = writeAtomic(path, write)
+	}
+	st.noteIO(err)
+	if err != nil {
 		return "", fmt.Errorf("writing circuit snapshot %s: %w", path, err)
 	}
 	return file, nil
@@ -287,20 +299,36 @@ func (st *Store) writeManifest() error {
 	sort.Slice(m.Libraries, func(i, j int) bool { return m.Libraries[i].Name < m.Libraries[j].Name })
 
 	path := filepath.Join(st.dir, manifestName)
-	return writeAtomic(path, func(f *os.File) error {
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		return enc.Encode(&m)
-	})
+	err := faults.Fire("store.write-manifest")
+	if err == nil {
+		err = writeAtomic(path, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(&m)
+		})
+	}
+	st.noteIO(err)
+	return err
 }
 
 // reloadLocked re-parses a demoted entry's snapshot and rebuilds its CSR
-// view; called with st.mu held, from Acquire.
+// view; called with st.mu held, from Acquire.  The outcome feeds Healthy:
+// a store that cannot reload its own snapshots must stop reporting ready.
 func (st *Store) reloadLocked(e *Entry) error {
-	ckt, err := st.parseSnapshot(e.file, e.display, e.globals)
-	if err != nil {
-		return err
+	err := faults.Fire("store.reload")
+	if err == nil {
+		var ckt *graph.Circuit
+		ckt, err = st.parseSnapshot(e.file, e.display, e.globals)
+		if err == nil {
+			st.adoptReloaded(e, ckt)
+		}
 	}
+	st.noteIO(err)
+	return err
+}
+
+// adoptReloaded installs a freshly parsed snapshot on a demoted entry.
+func (st *Store) adoptReloaded(e *Entry, ckt *graph.Circuit) {
 	e.ckt = ckt
 	e.view = core.NewCSR(ckt)
 	e.scratch = core.ScratchPool{}
@@ -309,7 +337,6 @@ func (st *Store) reloadLocked(e *Entry) error {
 	st.residentBytes += e.bytes
 	st.reloads++
 	st.logf("store: reloaded circuit %q from snapshot", e.name)
-	return nil
 }
 
 // patternFile maps a pattern name to its snapshot filename.  Pattern names

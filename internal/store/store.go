@@ -28,6 +28,15 @@
 // is never mutated structurally after creation — replacing a name installs
 // a fresh entry, and in-flight matches keep the old one alive through
 // their handles.
+//
+// Health: the store tracks whether its most recent persistence operation
+// (snapshot write, manifest write, snapshot reload) succeeded, exposed
+// lock-free through Healthy for the daemon's /readyz endpoint — a store
+// whose disk is failing keeps serving resident circuits but reports
+// not-ready so load balancers stop routing new work at it.  The
+// "store.write-snapshot", "store.write-manifest", and "store.reload"
+// fault-injection points (see internal/faults) let tests and the chaos
+// driver force those failures deterministically.
 package store
 
 import (
@@ -36,6 +45,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"subgemini/internal/core"
@@ -82,6 +92,21 @@ type Store struct {
 	residentBytes int64
 	evictions     int64
 	reloads       int64
+
+	// unhealthy is set while the last persistence operation failed; it is
+	// an atomic (not st.mu state) so Healthy can be read from the /readyz
+	// path without contending with a slow reload holding the store lock.
+	unhealthy atomic.Bool
+}
+
+// Healthy reports whether the store's most recent persistence operation
+// (snapshot write, manifest write, or snapshot reload) succeeded.  A
+// memory-only store is always healthy.  The read is lock-free.
+func (st *Store) Healthy() bool { return !st.unhealthy.Load() }
+
+// noteIO records the outcome of a persistence operation for Healthy.
+func (st *Store) noteIO(err error) {
+	st.unhealthy.Store(err != nil)
 }
 
 // Entry is one named circuit.  The circuit pointer, CSR view, and scratch

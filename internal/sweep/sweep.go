@@ -41,9 +41,14 @@ import (
 	"time"
 
 	"subgemini/internal/core"
+	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/stats"
 )
+
+func init() {
+	faults.Register("sweep.worker", "per-pattern match inside a sweep worker (error fails that pattern and the sweep)")
+}
 
 // Pattern names one library entry.  Template is never mutated: Run clones
 // it, so a shared template (e.g. from a compiled-pattern cache) may back
@@ -276,6 +281,9 @@ func Run(g *graph.Circuit, patterns []Pattern, opts Options) (*Report, error) {
 
 // runOne matches a single pattern clone using the sweep's shared state.
 func runOne(g, pat *graph.Circuit, view *core.CSR, scratch *core.ScratchPool, init *core.InitLabels, opts *Options) (*core.Result, error) {
+	if err := faults.Fire("sweep.worker"); err != nil {
+		return nil, err
+	}
 	m, err := core.NewMatcher(g, core.Options{
 		Policy:       core.MatchAll,
 		MaxInstances: opts.MaxInstances,

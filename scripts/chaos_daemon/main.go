@@ -1,0 +1,596 @@
+// Command chaos_daemon is the fault-tolerance counterpart of
+// scripts/smoke_daemon, run by `make chaos-smoke`: it builds subgeminid
+// and rehearses the failure modes OPERATIONS.md documents, against the
+// real binary over real HTTP.  Three scenarios:
+//
+//   - kill-mid-job: a long match job is SIGKILLed mid-run; on restart the
+//     boot recovery marks the interrupted record failed and the daemon
+//     keeps serving matches.
+//   - disk-error: with store.write-snapshot armed via -faults, a circuit
+//     upload fails, /readyz flips to 503 while /healthz stays 200, and
+//     the next clean write restores readiness.
+//   - overload: with -shed-inflight 1, a pathological ring match (the
+//     worst case for Phase II) holds the inflight budget; batch, sweep
+//     and job submissions shed with 429 + Retry-After while a single
+//     POST /v1/match stays live; the pathological match itself is cut by
+//     its deadline and returns within 2x of it; goroutine counts return
+//     to the pre-overload baseline (no leaks).
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/chaos_daemon
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const nandNetlist = `
+.GLOBAL VDD GND
+MP1 y a VDD pmos
+MP2 y b VDD pmos
+MN1 y a n1 nmos
+MN2 n1 b GND nmos
+MP3 z y VDD pmos
+MN3 z y GND nmos
+.END
+`
+
+// ringCircuit builds a closed ring of n 2-pin resistors as top-level
+// cards: n0 - R0 - n1 - R1 - ... - R(n-1) - n0.  Matching one ring
+// against a slightly larger one is the pathological Phase II workload
+// (see internal/core's cancellation tests): perfect symmetry makes every
+// candidate run ~n/2 solve passes before the wrap-around refutes it.
+func ringCircuit(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "R%d n%d n%d\n", i, i, (i+1)%n)
+	}
+	b.WriteString(".END\n")
+	return b.String()
+}
+
+// ringPattern is the same ring as a portless .SUBCKT, for inline use in a
+// match request.
+func ringPattern(n int) string {
+	var b strings.Builder
+	b.WriteString(".SUBCKT ringpat\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "R%d p%d p%d\n", i, i, (i+1)%n)
+	}
+	b.WriteString(".ENDS\n")
+	return b.String()
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos-smoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "subgeminid-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "subgeminid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/subgeminid")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building subgeminid: %w", err)
+	}
+
+	if err := killMidJob(bin, filepath.Join(tmp, "kill")); err != nil {
+		return fmt.Errorf("kill-mid-job: %w", err)
+	}
+	fmt.Println("chaos-smoke: kill-mid-job ok (interrupted job failed cleanly at boot)")
+
+	if err := diskError(bin, filepath.Join(tmp, "disk")); err != nil {
+		return fmt.Errorf("disk-error: %w", err)
+	}
+	fmt.Println("chaos-smoke: disk-error ok (/readyz tracked the injected store fault)")
+
+	if err := overload(bin, filepath.Join(tmp, "overload")); err != nil {
+		return fmt.Errorf("overload: %w", err)
+	}
+	fmt.Println("chaos-smoke: overload ok (bulk shed, match live, deadline cut the solve)")
+	return nil
+}
+
+// killMidJob: SIGKILL the daemon while a pathological match job is
+// running, restart it over the same data directory, and assert the boot
+// recovery marked the record failed while the daemon stays serviceable.
+func killMidJob(bin, dataDir string) error {
+	d, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if err := d.putCircuit("alpha", nandNetlist); err != nil {
+		return err
+	}
+	if err := d.putCircuit("ring", ringCircuit(1504)); err != nil {
+		return err
+	}
+	// No timeout_ms: left alone, this symmetric-ring job would run for
+	// minutes.  The kill lands while its record is persisted as running.
+	jobID, err := d.submitMatchJob("ring", ringPattern(1500), "ringpat", 0)
+	if err != nil {
+		return err
+	}
+	if err := d.waitJobState(jobID, "running", 15*time.Second); err != nil {
+		return err
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("SIGKILL: %w", err)
+	}
+	d.cmd.Wait()
+
+	d2, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer d2.kill()
+
+	state, jerr, err := d2.jobState(jobID)
+	if err != nil {
+		return err
+	}
+	if state != "failed" || !strings.Contains(jerr, "interrupted") {
+		return fmt.Errorf("job %s after SIGKILL+restart is %q (%q), want failed/interrupted", jobID, state, jerr)
+	}
+	mets, err := d2.metrics()
+	if err != nil {
+		return err
+	}
+	if mets[`subgeminid_jobs_recovered_total`] < 1 {
+		return fmt.Errorf("subgeminid_jobs_recovered_total = %v, want >= 1", mets[`subgeminid_jobs_recovered_total`])
+	}
+	// The daemon is not just up, it still matches.
+	if count, err := d2.match("alpha", "NAND2"); err != nil {
+		return err
+	} else if count != 1 {
+		return fmt.Errorf("post-restart match: NAND2 on alpha = %d, want 1", count)
+	}
+	return d2.stop()
+}
+
+// diskError: with store.write-snapshot armed to fail once, the first
+// upload errors and /readyz goes 503 while /healthz stays 200; the next
+// clean write restores readiness.
+func diskError(bin, dataDir string) error {
+	d, err := startDaemon(bin, dataDir, "-faults", "store.write-snapshot=error:1")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if code, err := d.statusOf("GET", "/readyz", ""); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("/readyz at boot = %d, want 200", code)
+	}
+	code, _, body, err := d.doRaw("PUT", "/v1/circuits/alpha", nandNetlist)
+	if err != nil {
+		return err
+	}
+	if code < 400 {
+		return fmt.Errorf("upload with snapshot fault armed = %d (%s), want an error", code, body)
+	}
+	if code, err := d.statusOf("GET", "/readyz", ""); err != nil {
+		return err
+	} else if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("/readyz after injected disk error = %d, want 503", code)
+	}
+	// Liveness is about the process, not the disk.
+	if code, err := d.statusOf("GET", "/healthz", ""); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("/healthz after injected disk error = %d, want 200", code)
+	}
+
+	// The one-shot fault is spent: the retry succeeds and readiness recovers.
+	if err := d.putCircuit("alpha", nandNetlist); err != nil {
+		return fmt.Errorf("retry upload after fault expired: %w", err)
+	}
+	if code, err := d.statusOf("GET", "/readyz", ""); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("/readyz after clean write = %d, want 200", code)
+	}
+	if count, err := d.match("alpha", "NAND2"); err != nil {
+		return err
+	} else if count != 1 {
+		return fmt.Errorf("match after recovery: NAND2 on alpha = %d, want 1", count)
+	}
+	mets, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if mets[`subgeminid_faults_fired_total`] < 1 {
+		return fmt.Errorf("subgeminid_faults_fired_total = %v, want >= 1", mets[`subgeminid_faults_fired_total`])
+	}
+	return d.stop()
+}
+
+// overload: a pathological ring match with a 3s deadline holds the
+// inflight budget; bulk endpoints shed with 429 + Retry-After while a
+// single match stays live; the ring match is cut by its deadline and
+// returns within 2x of it; goroutines return to baseline afterwards.
+func overload(bin, dataDir string) error {
+	d, err := startDaemon(bin, dataDir,
+		"-max-concurrent", "2", "-shed-inflight", "1", "-retry-after", "3s")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if err := d.putCircuit("alpha", nandNetlist); err != nil {
+		return err
+	}
+	if err := d.putCircuit("ring", ringCircuit(4004)); err != nil {
+		return err
+	}
+	baseline, err := d.goroutines()
+	if err != nil {
+		return err
+	}
+
+	const deadline = 3 * time.Second
+	type outcome struct {
+		code    int
+		body    string
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		body := fmt.Sprintf(`{"circuit":"ring","netlist":%s,"subckt":"ringpat","timeout_ms":%d}`,
+			mustJSON(ringPattern(4000)), deadline.Milliseconds())
+		start := time.Now()
+		code, _, respBody, err := d.doRaw("POST", "/v1/match", body)
+		done <- outcome{code, respBody, time.Since(start), err}
+	}()
+
+	// Wait until the ring match actually occupies a slot, then prove the
+	// shed order: every bulk endpoint 429s while a single match is served.
+	if err := d.waitInflight(1, 15*time.Second); err != nil {
+		return err
+	}
+	for _, ep := range []struct{ method, path, body string }{
+		{"POST", "/v1/match/batch", `{"circuit":"alpha","requests":[{"pattern":"NAND2"}]}`},
+		{"POST", "/v1/sweep", `{"circuit":"alpha","library":"none"}`},
+		{"POST", "/v1/jobs", `{"kind":"match","match":{"circuit":"alpha","pattern":"NAND2"}}`},
+	} {
+		code, hdr, body, err := d.doRaw(ep.method, ep.path, ep.body)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusTooManyRequests {
+			return fmt.Errorf("%s under load = %d (%s), want 429", ep.path, code, body)
+		}
+		if ra := hdr.Get("Retry-After"); ra != "3" {
+			return fmt.Errorf("%s Retry-After = %q, want \"3\"", ep.path, ra)
+		}
+		var shed struct {
+			Shed        bool `json:"shed"`
+			RetryAfterS int  `json:"retry_after_s"`
+		}
+		if err := json.Unmarshal([]byte(body), &shed); err != nil {
+			return fmt.Errorf("%s shed body %q: %w", ep.path, body, err)
+		}
+		if !shed.Shed || shed.RetryAfterS != 3 {
+			return fmt.Errorf("%s shed body %q, want shed:true retry_after_s:3", ep.path, body)
+		}
+	}
+	if count, err := d.match("alpha", "NAND2"); err != nil {
+		return fmt.Errorf("single match under load: %w", err)
+	} else if count != 1 {
+		return fmt.Errorf("single match under load: NAND2 on alpha = %d, want 1", count)
+	}
+
+	// The pathological match must be cut by its deadline, not by the end
+	// of its O(n^2) first candidate: deep cancellation bounds the overrun.
+	oc := <-done
+	if oc.err != nil {
+		return fmt.Errorf("pathological match: %w", oc.err)
+	}
+	if oc.code != http.StatusGatewayTimeout {
+		return fmt.Errorf("pathological match = %d (%s), want 504", oc.code, oc.body)
+	}
+	if oc.elapsed > 2*deadline {
+		return fmt.Errorf("pathological match returned after %v, want <= 2x its %v deadline", oc.elapsed, deadline)
+	}
+	fmt.Printf("  chaos: deadline %v cut the ring match after %v\n", deadline, oc.elapsed.Round(time.Millisecond))
+
+	// Shedding lifts once the load is gone.
+	if code, _, body, err := d.doRaw("POST", "/v1/match/batch",
+		`{"circuit":"alpha","requests":[{"pattern":"NAND2"}]}`); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("batch after load = %d (%s), want 200", code, body)
+	}
+
+	// No goroutine leaks: the overload round leaves no stragglers behind.
+	slackDeadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := d.goroutines()
+		if err != nil {
+			return err
+		}
+		if n <= baseline+3 {
+			break
+		}
+		if time.Now().After(slackDeadline) {
+			return fmt.Errorf("goroutines after overload = %d, baseline %d: leak", n, baseline)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return d.stop()
+}
+
+func mustJSON(s string) string {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(raw)
+}
+
+// daemon is one running subgeminid process plus its base URL.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startDaemon launches the binary on an ephemeral port with any extra
+// flags and waits for its "listening on" line.
+func startDaemon(bin, dataDir string, extra ...string) (*daemon, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-globals", "VDD,GND", "-drain", "10s",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("  daemon:", line)
+		if addr, ok := strings.CutPrefix(line, "listening on "); ok {
+			d.base = "http://" + strings.TrimSpace(addr)
+			// Keep draining stdout so the daemon never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+					fmt.Println("  daemon:", sc.Text())
+				}
+			}()
+			return d, nil
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return nil, fmt.Errorf("daemon exited before reporting its listen address")
+}
+
+// stop shuts the daemon down gracefully and waits for it to exit.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+}
+
+// kill is the deferred safety net; stop() already waited in the happy path.
+func (d *daemon) kill() {
+	if d.cmd.ProcessState == nil {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}
+}
+
+// doRaw issues one request and returns status, headers and body without
+// treating error statuses as failures — chaos scenarios assert on them.
+func (d *daemon) doRaw(method, path, body string) (int, http.Header, string, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(context.Background(), method, d.base+path, rd)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, strings.TrimSpace(string(raw)), nil
+}
+
+func (d *daemon) statusOf(method, path, body string) (int, error) {
+	code, _, _, err := d.doRaw(method, path, body)
+	return code, err
+}
+
+// do is the happy-path variant: non-2xx is an error, 2xx decodes into out.
+func (d *daemon) do(method, path, body string, out any) error {
+	code, _, raw, err := d.doRaw(method, path, body)
+	if err != nil {
+		return err
+	}
+	if code >= 300 {
+		return fmt.Errorf("%s %s: %d: %s", method, path, code, raw)
+	}
+	if out != nil {
+		return json.Unmarshal([]byte(raw), out)
+	}
+	return nil
+}
+
+func (d *daemon) putCircuit(name, src string) error {
+	return d.do("PUT", "/v1/circuits/"+name, src, nil)
+}
+
+func (d *daemon) match(circuit, pattern string) (int, error) {
+	body := fmt.Sprintf(`{"circuit":%q,"pattern":%q}`, circuit, pattern)
+	var resp struct {
+		Count int `json:"count"`
+	}
+	if err := d.do("POST", "/v1/match", body, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// submitMatchJob submits an async match job with an inline ring pattern;
+// timeoutMS of 0 leaves the job unbounded (jobs have no default timeout).
+func (d *daemon) submitMatchJob(circuit, netlist, subckt string, timeoutMS int) (string, error) {
+	payload := map[string]any{
+		"kind": "match",
+		"match": map[string]any{
+			"circuit": circuit, "netlist": netlist, "subckt": subckt,
+		},
+	}
+	if timeoutMS > 0 {
+		payload["match"].(map[string]any)["timeout_ms"] = timeoutMS
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := d.do("POST", "/v1/jobs", string(raw), &view); err != nil {
+		return "", err
+	}
+	return view.ID, nil
+}
+
+func (d *daemon) jobState(id string) (state, jerr string, err error) {
+	var view struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := d.do("GET", "/v1/jobs/"+id, "", &view); err != nil {
+		return "", "", err
+	}
+	return view.State, view.Error, nil
+}
+
+// waitJobState polls until the job reaches the wanted state; a terminal
+// state other than the wanted one fails immediately.
+func (d *daemon) waitJobState(id, want string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		state, jerr, err := d.jobState(id)
+		if err != nil {
+			return err
+		}
+		if state == want {
+			return nil
+		}
+		switch state {
+		case "done", "failed", "cancelled":
+			return fmt.Errorf("job %s ended %q (%s) while waiting for %q", id, state, jerr, want)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %q after %v, want %q", id, state, patience, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// metrics fetches /metrics into a name-or-series → value map; labeled
+// series keep their label braces in the key.
+func (d *daemon) metrics() (map[string]float64, error) {
+	_, _, raw, err := d.doRaw("GET", "/metrics", "")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(raw, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+// waitInflight polls /metrics until at least n matches are in flight.
+func (d *daemon) waitInflight(n int, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		mets, err := d.metrics()
+		if err != nil {
+			return err
+		}
+		if int(mets["subgeminid_matches_inflight"]) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("matches_inflight stayed %v after %v, want >= %d",
+				mets["subgeminid_matches_inflight"], patience, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// goroutines reads the daemon's goroutine count from its pprof endpoint,
+// closing idle client connections first so keep-alive handler goroutines
+// do not inflate the sample.
+func (d *daemon) goroutines() (int, error) {
+	http.DefaultClient.CloseIdleConnections()
+	_, _, raw, err := d.doRaw("GET", "/debug/pprof/goroutine?debug=1", "")
+	if err != nil {
+		return 0, err
+	}
+	line, _, _ := strings.Cut(raw, "\n")
+	var n int
+	if _, err := fmt.Sscanf(line, "goroutine profile: total %d", &n); err != nil {
+		return 0, fmt.Errorf("parsing %q: %w", line, err)
+	}
+	return n, nil
+}
