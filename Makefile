@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff bench bench-smoke bench-sweep smoke-daemon chaos-smoke bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet race diff diff-phase2 bench bench-smoke bench-sweep bench-phase2 smoke-daemon chaos-smoke bench-compare docs docs-check clean
 
 all: tier1
 
@@ -14,11 +14,17 @@ all: tier1
 # benchmarks must at least compile and complete one iteration.
 tier1: vet docs-check race diff bench-smoke smoke-daemon chaos-smoke
 
-# Phase I engine differential: legacy vs CSR vs striped CSR on random
-# circuits, twice (scratch-pool reuse across runs is part of the contract),
-# under the race detector with the striping grain forced down.
+# Engine differentials: Phase I legacy vs CSR vs striped CSR, and Phase II
+# whole-graph vs region-localized, on fixed and random circuits, twice
+# (scratch-pool reuse across runs is part of the contract), under the race
+# detector with the striping grain forced down.
 diff:
-	$(GO) test -race -count=2 -run 'TestPhase1Differential|TestScratchPoolReuse' ./internal/core/
+	$(GO) test -race -count=2 -run 'TestPhase1Differential|TestPhase2Differential|TestScratchPoolReuse' ./internal/core/
+
+# Phase II differential only: the region engine against the whole-graph
+# oracle, bit-identical instances and order across worker counts.
+diff-phase2:
+	$(GO) test -race -count=2 -run 'TestPhase2Differential' ./internal/core/
 
 # One-iteration benchmark pass: catches bit-rot in the benchmark harness
 # without paying for a real measurement.
@@ -30,6 +36,11 @@ bench-smoke:
 # sizes and worker counts, archived as BENCH_sweep.json.
 bench-sweep:
 	$(GO) run ./cmd/benchtab -table sweep -json BENCH_sweep.json
+
+# Phase II engine table only: whole-graph legacy vs region-localized Phase II
+# timings across workloads, archived as BENCH_phase2_region.json.
+bench-phase2:
+	$(GO) run ./cmd/benchtab -table phase2 -json BENCH_phase2_region.json
 
 # Process-level daemon smoke: boot subgeminid with a temporary data
 # directory, upload two circuits and a pattern library, run a sync match,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table results|scaling|baseline|ablation|coverage|phase1|sweep|all] [-quick] [-json out.json]
+//	benchtab [-table results|scaling|baseline|ablation|coverage|phase1|phase2|sweep|all] [-quick] [-json out.json]
 //
 // Absolute times are machine-dependent; the shapes the paper claims —
 // instance counts, tight candidate vectors, flat time-per-matched-device,
@@ -40,11 +40,12 @@ type jsonOutput struct {
 	Ablation      []bench.AblationRow `json:"ablation,omitempty"`
 	Coverage      []bench.CoverageRow `json:"coverage,omitempty"`
 	Phase1        []bench.Phase1Row   `json:"phase1,omitempty"`
+	Phase2        []bench.Phase2Row   `json:"phase2,omitempty"`
 	Sweep         []bench.SweepRow    `json:"sweep,omitempty"`
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, phase1, sweep, all")
+	table := flag.String("table", "all", "which table to regenerate: results, scaling, baseline, ablation, coverage, phase1, phase2, sweep, all")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	jsonPath := flag.String("json", "", "also write the selected tables to this file as JSON")
 	flag.Parse()
@@ -86,6 +87,11 @@ func main() {
 	run("phase1", func() error {
 		rows, err := phase1(*quick)
 		out.Phase1 = rows
+		return err
+	})
+	run("phase2", func() error {
+		rows, err := phase2(*quick)
+		out.Phase2 = rows
 		return err
 	})
 	run("sweep", func() error {
@@ -252,6 +258,42 @@ func phase1(quick bool) ([]bench.Phase1Row, error) {
 	}
 	w.Flush()
 	fmt.Println("(all configurations must agree on every column but the time; worker rows need real cores to win)")
+	fmt.Println()
+	return rows, nil
+}
+
+func phase2(quick bool) ([]bench.Phase2Row, error) {
+	rows, err := bench.Phase2Regions(quick)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("== Phase II engines: whole-graph legacy vs region-localized ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\tdevices\tpattern\tengine\tcandidates\tfound\tradius\tavg ball\tmax ball\tphase2 (min)")
+	last := ""
+	for _, r := range rows {
+		if r.Circuit != last {
+			if last != "" {
+				fmt.Fprintln(w, "\t\t\t\t\t\t\t\t\t")
+			}
+			last = r.Circuit
+		}
+		ball := "-"
+		radius := "-"
+		if r.Engine == "region" {
+			ball = fmt.Sprintf("%.0f", r.AvgBall)
+			radius = fmt.Sprintf("%d", r.Radius)
+		}
+		max := "-"
+		if r.MaxBall > 0 {
+			max = fmt.Sprintf("%d", r.MaxBall)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%d\t%s\t%s\t%s\t%v\n",
+			r.Circuit, r.Devices, r.Pattern, r.Engine,
+			r.Candidates, r.Found, radius, ball, max, round(r.P2))
+	}
+	w.Flush()
+	fmt.Println("(both engines must agree on candidates and found; the region win grows with circuit size / ball size)")
 	fmt.Println()
 	return rows, nil
 }

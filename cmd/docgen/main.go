@@ -123,10 +123,49 @@ func algorithmBlocks() (map[string]string, error) {
 	if err := trace.Render(&run, events); err != nil {
 		return nil, err
 	}
+	regions, err := phase2RegionsBlock()
+	if err != nil {
+		return nil, err
+	}
 	return map[string]string{
 		"paper-example-trace":  fence(run.String()),
 		"paper-example-table1": fence(table.String()),
+		"phase2-regions":       regions,
 	}, nil
+}
+
+// phase2RegionsBlock reruns the Fig. 1 example on the region-localized
+// Phase II engine (TraceTable forces the whole-graph engine, so the run
+// above cannot supply this) and renders the per-candidate region table
+// from the ball sizes the tracer reports.
+func phase2RegionsBlock() (string, error) {
+	main := paperex.PaperMain()
+	vertices := main.NumDevices() + main.NumNets()
+	col := trace.NewCollector(0)
+	res, err := core.Find(main, paperex.PaperPattern(), core.Options{Tracer: col})
+	if err != nil {
+		return "", err
+	}
+	if len(res.Instances) != 1 {
+		return "", fmt.Errorf("paper example found %d instances on the region engine, want 1", len(res.Instances))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Key vertex radius %d (pattern eccentricity); G has %d vertices.\n\n",
+		res.Report.RegionRadius, vertices)
+	b.WriteString("| candidate | ball vertices | share of G | passes | outcome |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, e := range col.Events() {
+		if e.Kind != trace.KindPhase2Candidate {
+			continue
+		}
+		outcome := "refuted"
+		if e.Matched {
+			outcome = "match"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.0f%% | %d | %s |\n",
+			e.Candidate, e.BallSize, 100*float64(e.BallSize)/float64(vertices), e.Passes, outcome)
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
 }
 
 // operationsBlocks renders the runbook's generated reference tables from

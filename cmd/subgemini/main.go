@@ -33,6 +33,8 @@
 //	                   to -workers when that is set, else sequential)
 //	-phase1legacy      use the pointer-walking reference Phase I engine
 //	                   instead of the data-oriented CSR engine
+//	-phase2legacy      use the whole-graph reference Phase II engine
+//	                   instead of the region-localized engine
 //	-v                 trace the phases to stderr
 //	-tracetable        print Table-1-style per-pass label tables
 //	-trace FILE        write a subgemini-trace/v1 JSONL event stream
@@ -80,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers     = flag.Int("workers", 0, "verify Phase II candidates over N workers, 0 = sequential (-1 = all CPUs; incompatible with -nonoverlap and -max)")
 		p1Workers   = flag.Int("phase1workers", 0, "stripe Phase I relabeling over N goroutines (0 = follow -workers)")
 		p1Legacy    = flag.Bool("phase1legacy", false, "use the pointer-walking reference Phase I engine")
+		p2Legacy    = flag.Bool("phase2legacy", false, "use the whole-graph reference Phase II engine")
 		verbose     = flag.Bool("v", false, "trace matching to stderr")
 		traceTable  = flag.Bool("tracetable", false, "print a Table-1-style per-pass label table for every Phase II candidate")
 		tracePath   = flag.String("trace", "", `write a subgemini-trace/v1 JSONL event stream to this file ("-" = stdout; render with tracefmt)`)
@@ -133,6 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxInstances: *maxInst,
 		Workers:      *p1Workers,
 		LegacyPhase1: *p1Legacy,
+		LegacyPhase2: *p2Legacy,
 	}
 	if opts.Workers == 0 && *workers > 0 {
 		// A Phase II fan-out is a statement that cores are available; let

@@ -71,24 +71,69 @@ func TestCancelInsideSolve(t *testing.T) {
 // TestCancelPathologicalDeadline: a deadline context cuts a ring match
 // whose single first candidate alone takes far longer than the deadline.
 // Before in-solve polling this returned only after that candidate finished.
+// Both Phase II engines must honor the deadline: the ring pattern's
+// eccentricity spans the whole main graph, so the region engine's balls
+// degenerate to O(|G|) and its solve strides carry the polling.
 func TestCancelPathologicalDeadline(t *testing.T) {
-	g, s := ring("g", 4004), ring("s", 4000)
-	const deadline = 40 * time.Millisecond
-	ctx, cancel := context.WithTimeout(context.Background(), deadline)
-	defer cancel()
-	start := time.Now()
-	res, err := core.Find(g, s, core.Options{Cancel: ctx.Err})
-	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("Find returned %v, want context.DeadlineExceeded", err)
+	for _, tc := range []struct {
+		name   string
+		legacy bool
+	}{{"region", false}, {"legacy", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			g, s := ring("g", 4004), ring("s", 4000)
+			const deadline = 40 * time.Millisecond
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			start := time.Now()
+			res, err := core.Find(g, s, core.Options{Cancel: ctx.Err, LegacyPhase2: tc.legacy})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("Find returned %v, want context.DeadlineExceeded", err)
+			}
+			if res == nil || res.Report.CancelledAt == "" {
+				t.Fatalf("cancelled Find returned res=%v, want a partial report with CancelledAt set", res)
+			}
+			// The generous bound absorbs CI noise; the point is that the run
+			// does not outlive the deadline by a whole O(n²) candidate
+			// (hundreds of ms).
+			if elapsed > 10*deadline {
+				t.Errorf("cancelled run returned after %v, want well under %v", elapsed, 10*deadline)
+			}
+		})
 	}
-	if res == nil || res.Report.CancelledAt == "" {
-		t.Fatalf("cancelled Find returned res=%v, want a partial report with CancelledAt set", res)
+}
+
+// TestCancelInsideRegionExtract: with the extraction cancellation block
+// forced down, a hook that fires only after more polls than a few
+// candidates' solves could account for is still honored during the first
+// candidate's ball extraction — proof that polling happens inside the
+// region BFS, not just in solve strides.  The ring pattern's radius covers
+// most of the main ring, so one extraction visits ~1600 vertices = ~200
+// polls at block size 8, while solve polling alone would take several
+// candidates to reach 60 polls.
+func TestCancelInsideRegionExtract(t *testing.T) {
+	restore := core.SetRegionCancelBlock(8)
+	defer restore()
+	errStop := errors.New("stop")
+	g, s := ring("g", 1000), ring("s", 800)
+	polls := 0
+	res, err := core.Find(g, s, core.Options{
+		Cancel: func() error {
+			polls++
+			if polls >= 60 {
+				return errStop
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("Find returned %v, want %v", err, errStop)
 	}
-	// The generous bound absorbs CI noise; the point is that the run does
-	// not outlive the deadline by a whole O(n²) candidate (hundreds of ms).
-	if elapsed > 10*deadline {
-		t.Errorf("cancelled run returned after %v, want well under %v", elapsed, 10*deadline)
+	if res == nil || res.Report.CancelledAt != "phase2" {
+		t.Fatalf("cancelled Find returned res=%v, want CancelledAt=\"phase2\"", res)
+	}
+	if res.Report.Candidates == 0 || res.Report.Candidates > 2 {
+		t.Errorf("run was cut after %d candidates, want 1..2 (in-extraction polling)", res.Report.Candidates)
 	}
 }
 

@@ -94,6 +94,18 @@ type Options struct {
 	// testing and as executable documentation of the paper's formulation.
 	LegacyPhase1 bool
 
+	// LegacyPhase2 selects the whole-graph Phase II engine, which relabels
+	// and partitions over every main-graph vertex, instead of the
+	// region-localized engine that restricts each candidate's verification
+	// to the ball of vertices within the pattern's key-vertex eccentricity
+	// (see phase2region.go).  Both find identical instances in identical
+	// order; the whole-graph engine exists for differential testing
+	// (TestPhase2Differential) and as executable documentation of the
+	// paper's formulation.  Runs with Options.TraceTable use the
+	// whole-graph engine regardless, since the step-by-step table renders
+	// whole-graph labeling state.
+	LegacyPhase2 bool
+
 	// CSR, when non-nil, supplies a prebuilt flat view of the main circuit
 	// (see NewCSR), letting long-lived callers like subgeminid build it
 	// once per resident circuit and share it across matchers; the view is
@@ -294,6 +306,23 @@ type Matcher struct {
 	// every hot loop.
 	typeLab map[string]label.Value
 
+	// devLab caches the type label of every main-graph device, indexed by
+	// device vid.  The region Phase II engine reads it on every device
+	// relabel, where even the typeLab map lookup (a string hash) is
+	// measurable; built lazily by deviceLabels.
+	devLab []label.Value
+
+	// devTID/devPins/netDeg cache flat structural facts about the main
+	// graph for the region engine's compatibility checks: interned device
+	// type ids and pin counts (indexed by device vid) and net degrees
+	// (indexed by vid - numDevs).  Type ids are dense per-matcher
+	// (typeIDs), so id equality is exactly type-string equality; built
+	// lazily by vertexShape.
+	devTID  []int32
+	devPins []int32
+	netDeg  []int32
+	typeIDs map[string]int32
+
 	// gInitLab caches the Phase I initial labels of the main graph, which
 	// depend only on the circuit and its global marks — both fixed at
 	// NewMatcher time — so repeated Find calls skip recomputing them.
@@ -328,6 +357,52 @@ func (m *Matcher) csrView() *csr.Graph {
 	return m.gCSR
 }
 
+// deviceLabels returns the per-device type labels of the main graph,
+// indexed by device vid.  Built once per matcher; FindParallel warms it
+// before spawning workers so worker reads never race the lazy build.
+func (m *Matcher) deviceLabels() []label.Value {
+	if m.devLab == nil {
+		labs := make([]label.Value, len(m.g.Devices))
+		for i, d := range m.g.Devices {
+			labs[i] = m.typeLabel(d.Type)
+		}
+		m.devLab = labs
+	}
+	return m.devLab
+}
+
+// vertexShape builds the flat per-vertex structural arrays the region
+// engine's compatibility check reads: device type ids and pin counts, and
+// net degrees.  Built once per matcher; FindParallel warms it before
+// spawning workers.
+func (m *Matcher) vertexShape() (devTID, devPins, netDeg []int32) {
+	if m.devTID == nil {
+		tids := make([]int32, len(m.g.Devices))
+		pins := make([]int32, len(m.g.Devices))
+		for i, d := range m.g.Devices {
+			tids[i] = m.typeID(d.Type)
+			pins[i] = int32(len(d.Pins))
+		}
+		deg := make([]int32, len(m.g.Nets))
+		for i, n := range m.g.Nets {
+			deg[i] = int32(n.Degree())
+		}
+		m.devTID, m.devPins, m.netDeg = tids, pins, deg
+	}
+	return m.devTID, m.devPins, m.netDeg
+}
+
+// typeID interns a device type string as a dense per-matcher id, so two
+// ids compare equal exactly when the type strings do.
+func (m *Matcher) typeID(typ string) int32 {
+	if id, ok := m.typeIDs[typ]; ok {
+		return id
+	}
+	id := int32(len(m.typeIDs))
+	m.typeIDs[typ] = id
+	return id
+}
+
 // typeLabel returns the cached label.TypeLabel of a device type.
 func (m *Matcher) typeLabel(typ string) label.Value {
 	if v, ok := m.typeLab[typ]; ok {
@@ -358,6 +433,7 @@ func NewMatcher(g *graph.Circuit, opts Options) (*Matcher, error) {
 		gSpace:   label.NewSpace(g),
 		consumed: make([]bool, g.NumDevices()),
 		typeLab:  make(map[string]label.Value),
+		typeIDs:  make(map[string]int32),
 	}, nil
 }
 
@@ -445,7 +521,7 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 
 	// Phase II: verify each candidate.
 	t1 := time.Now()
-	p2, err := newPhase2(m, pat, &res.Report)
+	p2, err := m.newPhase2Engine(pat, key, &res.Report)
 	if err != nil {
 		// The pattern references a global net absent from G: no instance
 		// can exist.
@@ -471,12 +547,12 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		res.Report.Candidates++
 		for {
 			inst := p2.verifyCandidate(key, c)
-			if p2.cancelErr != nil {
+			if err := p2.cancelled(); err != nil {
 				// Cancellation fired mid-candidate, deep inside the solve
 				// recursion; the candidate's partial state was discarded.
 				res.Report.CancelledAt = "phase2"
 				res.Report.Phase2Duration = time.Since(t1)
-				return res, p2.cancelErr
+				return res, err
 			}
 			if inst == nil {
 				break
@@ -514,4 +590,40 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 			Instances: len(res.Instances), Candidates: res.Report.Candidates})
 	}
 	return res, nil
+}
+
+// phase2Engine is what the candidate loops of Find and FindParallel need
+// from a Phase II implementation.  Two engines satisfy it: the whole-graph
+// reference engine (phase2.go) and the region-localized engine
+// (phase2region.go); both find identical instances in identical order.
+type phase2Engine interface {
+	// verifyCandidate postulates c = image(key) and runs the Phase II
+	// search, returning a verified instance or nil.
+	verifyCandidate(key, c label.VID) *Instance
+	// cancelled reports the latched Options.Cancel error, if any fired
+	// inside the engine.
+	cancelled() error
+	// close releases pooled scratch; must be called exactly once.
+	close()
+}
+
+// newPhase2Engine picks the Phase II engine for this run: the
+// region-localized engine unless the caller asked for the whole-graph one
+// (Options.LegacyPhase2) or wants the step-by-step table (Options.TraceTable
+// renders whole-graph labeling state and is wired into the whole-graph
+// engine only).  key is the Phase I key vertex; the region engine derives
+// its ball radius from the pattern's eccentricity at key.
+func (m *Matcher) newPhase2Engine(pat *pattern, key label.VID, rep *stats.Report) (phase2Engine, error) {
+	if m.opts.LegacyPhase2 || m.opts.TraceTable != nil {
+		p2, err := newPhase2(m, pat, rep)
+		if err != nil {
+			return nil, err
+		}
+		return p2, nil
+	}
+	p2, err := newP2Region(m, pat, key, rep)
+	if err != nil {
+		return nil, err
+	}
+	return p2, nil
 }

@@ -27,6 +27,15 @@ func SetP1CancelBlock(n int) (restore func()) {
 	return func() { p1CancelBlock = old }
 }
 
+// SetRegionCancelBlock overrides the region-extraction cancellation block
+// size and returns a restore func, so cancellation tests can force mid-BFS
+// polling on small circuits.
+func SetRegionCancelBlock(n int) (restore func()) {
+	old := rCancelBlock
+	rCancelBlock = n
+	return func() { rCancelBlock = old }
+}
+
 // RunPhase1ForTest runs candidate generation alone, mirroring Find's
 // global cross-marking, and returns the key vertex, candidate vector, and
 // the report counters Phase I filled in.

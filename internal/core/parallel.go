@@ -96,13 +96,15 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	if workers > len(cv) {
 		workers = len(cv)
 	}
-	// Pre-warm the shared type-label cache so workers only read it (the
-	// cache map is not otherwise synchronized).
-	for _, d := range m.g.Devices {
-		m.typeLabel(d.Type)
-	}
+	// Pre-warm the shared caches the region engine reads — the type-label
+	// map, the flat per-device label array, the vertex shape arrays, and
+	// the type-id interning map — so workers only read them; none is
+	// otherwise synchronized.
+	m.deviceLabels()
+	m.vertexShape()
 	for _, d := range pat.s.Devices {
 		m.typeLabel(d.Type)
+		m.typeID(d.Type)
 	}
 	t1 := time.Now()
 	type shard struct {
@@ -118,7 +120,7 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			sh := &shards[w]
-			p2, err := newPhase2(m, pat, &sh.report)
+			p2, err := m.newPhase2Engine(pat, key, &sh.report)
 			if err != nil {
 				sh.err = err
 				return
@@ -135,10 +137,10 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 					sh.report.CandidatesMatched++
 					sh.instances = append(sh.instances, inst)
 				}
-				if p2.cancelErr != nil {
+				if err := p2.cancelled(); err != nil {
 					// Cancellation fired deep inside this worker's solve
 					// recursion; record it and stop claiming candidates.
-					sh.cancel = p2.cancelErr
+					sh.cancel = err
 					return
 				}
 			}
@@ -161,9 +163,9 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		return res, cancelErr
 	}
 
-	// newPhase2 errors mean a pre-match constraint is unsatisfiable (a
-	// global or bind target missing): every worker reports the same thing,
-	// and the result is simply "no instances".
+	// Engine construction errors mean a pre-match constraint is
+	// unsatisfiable (a global or bind target missing): every worker reports
+	// the same thing, and the result is simply "no instances".
 	for w := range shards {
 		if shards[w].err != nil {
 			m.opts.tracef("phase2: %v", shards[w].err)
@@ -185,6 +187,14 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		res.Report.VerifyCalls += shards[w].report.VerifyCalls
 		res.Report.Candidates += shards[w].report.Candidates
 		res.Report.CandidatesMatched += shards[w].report.CandidatesMatched
+		res.Report.RegionBallSum += shards[w].report.RegionBallSum
+		if shards[w].report.RegionMaxSize > res.Report.RegionMaxSize {
+			res.Report.RegionMaxSize = shards[w].report.RegionMaxSize
+		}
+		if shards[w].report.RegionRadius > res.Report.RegionRadius {
+			// Every shard that examined a candidate saw the same radius.
+			res.Report.RegionRadius = shards[w].report.RegionRadius
+		}
 		for _, inst := range shards[w].instances {
 			sig, sigBuf = inst.signature(sigBuf)
 			if !seen[sig] {

@@ -27,6 +27,7 @@ type pattern struct {
 	// corrupt) and Phase II drops the type fold from device base labels on
 	// both sides so image labels still agree.
 	wildcards bool
+
 }
 
 // fixed reports whether a pattern net is pre-matched (global or bound) and
@@ -95,6 +96,54 @@ func newPattern(s *graph.Circuit, opts *Options) (*pattern, error) {
 		}
 	}
 	return p, nil
+}
+
+// eccFrom returns the eccentricity of pattern vertex from over the
+// traversal that ignores fixed (global or bound) nets: the largest hop
+// distance from it to any device or non-fixed net.  The region-localized
+// Phase II engine keys on eccFrom(key): any instance whose key image is c
+// lies entirely within that many hops of c through non-fixed vertices,
+// because every pattern vertex is that close to the key through non-fixed
+// vertices (checkConnected guarantees reachability) and the image of such
+// a path is a same-length path through non-fixed main-graph vertices.  One
+// BFS over the pattern, O(V+E); callers must not pass a fixed net.
+func (p *pattern) eccFrom(from label.VID) int {
+	size := p.space.Size()
+	dist := make([]int, size)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]label.VID, 1, size)
+	queue[0] = from
+	dist[from] = 0
+	far := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if dist[u] > far {
+			far = dist[u]
+		}
+		if p.space.IsDevice(u) {
+			for _, pin := range p.space.Device(u).Pins {
+				if p.fixed(pin.Net) {
+					continue
+				}
+				nv := p.space.NetVID(pin.Net)
+				if dist[nv] < 0 {
+					dist[nv] = dist[u] + 1
+					queue = append(queue, nv)
+				}
+			}
+		} else {
+			for _, conn := range p.space.Net(u).Conns {
+				dv := p.space.DevVID(conn.Dev)
+				if dist[dv] < 0 {
+					dist[dv] = dist[u] + 1
+					queue = append(queue, dv)
+				}
+			}
+		}
+	}
+	return far
 }
 
 // checkConnected verifies that all devices and non-fixed nets form a single

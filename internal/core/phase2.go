@@ -315,9 +315,19 @@ func (p *phase2) verifyCandidate(key, c label.VID) *Instance {
 	return inst
 }
 
+// cancelled exposes the solve-internal cancellation latch (phase2Engine).
+func (p *phase2) cancelled() error { return p.cancelErr }
+
 // verify is the untraced body of verifyCandidate.
 func (p *phase2) verify(key, c label.VID) *Instance {
 	if p.consumedDev(c) {
+		return nil
+	}
+	if p.fixedG[c] {
+		// A fixed vertex is pre-matched by name and can never be the image
+		// of the (never-fixed) key; matching it here would corrupt its fixed
+		// state on reset.  Phase I keeps fixed vertices out of the candidate
+		// vector, so this guard is defensive.
 		return nil
 	}
 	if p.sSpace.IsDevice(key) != p.gSpace.IsDevice(c) {

@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/stdcell"
+)
+
+// This file holds the differential test between the two Phase II engines:
+// the whole-graph reference engine (Options.LegacyPhase2) and the
+// region-localized engine that restricts each candidate's verification to
+// the ball of vertices within the pattern's key-vertex eccentricity.  The
+// two must produce identical instances in identical order — the region
+// engine's soundness argument (every possible image of a non-fixed pattern
+// vertex lies inside the candidate's ball) plus its global-vid-tiebroken
+// partition order are exactly what this checks.
+
+// findOrdered runs Find and returns the instance strings in report order.
+func findOrdered(t *testing.T, g, s *graph.Circuit, opts core.Options) []string {
+	t.Helper()
+	res, err := core.Find(g, s, opts)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	out := make([]string, len(res.Instances))
+	for i, in := range res.Instances {
+		out[i] = in.String()
+	}
+	return out
+}
+
+func sameOrdered(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPhase2Differential asserts the engines agree — instances and their
+// order — over a spread of fixed workloads covering global-seeded balls,
+// guessing-heavy structures, port-only patterns, and the NonOverlapping
+// consume path, then over random circuits.
+func TestPhase2Differential(t *testing.T) {
+	type workload struct {
+		name string
+		g    *graph.Circuit
+		s    *graph.Circuit
+		opts core.Options
+	}
+	cases := []workload{
+		{"adder16-fa", gen.RippleAdder(16).C, stdcell.FA.Pattern(), core.Options{Globals: rails}},
+		{"adder16-nand2", gen.RippleAdder(16).C, stdcell.NAND2.Pattern(), core.Options{Globals: rails}},
+		{"mult4-fa", gen.ArrayMultiplier(4).C, stdcell.FA.Pattern(), core.Options{Globals: rails}},
+		{"sram8x8-cell", gen.SRAMArray(8, 8).C, stdcell.SRAM6T.Pattern(), core.Options{Globals: rails}},
+		{"shift8-dff", gen.ShiftRegister(8).C, stdcell.DFF.Pattern(), core.Options{Globals: rails}},
+		{"rand400-nand2", gen.RandomLogic(400, 8, 11).C, stdcell.NAND2.Pattern(), core.Options{Globals: rails}},
+		{"rand400-inv", gen.RandomLogic(400, 8, 11).C, stdcell.INV.Pattern(), core.Options{Globals: rails}},
+		// No globals at all: the ball has no fixed seeds and every
+		// candidate stalls into symmetric guessing.
+		{"ring68-ring4", ring("g", 68), ring("s", 4), core.Options{}},
+		// Port-only pattern against a switch grid: key on a device,
+		// wildcard-free deep guessing.
+		{"grid6-pass3", gen.SwitchGrid(6, 4).C, gen.PassChainPattern(3), core.Options{Globals: rails}},
+		// NonOverlapping consumes devices between candidates, so later
+		// balls must exclude them.
+		{"adder16-fa-nonoverlap", gen.RippleAdder(16).C, stdcell.FA.Pattern(),
+			core.Options{Globals: rails, Policy: core.NonOverlapping}},
+		{"rand400-nand2-nonoverlap", gen.RandomLogic(400, 8, 11).C, stdcell.NAND2.Pattern(),
+			core.Options{Globals: rails, Policy: core.NonOverlapping}},
+	}
+	for _, w := range cases {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			legacy := w.opts
+			legacy.LegacyPhase2 = true
+			want := findOrdered(t, w.g, w.s, legacy)
+			got := findOrdered(t, w.g, w.s, w.opts)
+			if !sameOrdered(want, got) {
+				t.Errorf("legacy found %d instances, region %d (or order differs)\nlegacy: %v\nregion: %v",
+					len(want), len(got), want, got)
+			}
+		})
+	}
+
+	t.Run("random", func(t *testing.T) {
+		cells := []*stdcell.CellDef{stdcell.INV, stdcell.NAND2, stdcell.FA, stdcell.DFF}
+		prop := func(seed int64, gRaw, pick uint8) bool {
+			gates := 10 + int(gRaw%40)
+			cell := cells[int(pick)%len(cells)]
+			g := gen.RandomLogic(gates, 6, seed).C
+			want := findOrdered(t, g, cell.Pattern(), core.Options{Globals: rails, LegacyPhase2: true})
+			got := findOrdered(t, g, cell.Pattern(), core.Options{Globals: rails})
+			if !sameOrdered(want, got) {
+				t.Logf("seed=%d gates=%d cell=%s: legacy %d instances, region %d",
+					seed, gates, cell.Name, len(want), len(got))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestPhase2DifferentialParallel asserts engine agreement under FindParallel
+// for several worker counts: per-worker region scratch, the shared
+// type-label cache, and the canonical instance order must all behave
+// identically across engines (exercised under -race in tier1).
+func TestPhase2DifferentialParallel(t *testing.T) {
+	g := gen.RandomLogic(600, 8, 23).C
+	runPar := func(s *graph.Circuit, workers int, legacy bool) []string {
+		t.Helper()
+		var pool core.ScratchPool
+		m, err := core.NewMatcher(g, core.Options{Globals: rails, LegacyPhase2: legacy, Scratch: &pool})
+		if err != nil {
+			t.Fatalf("NewMatcher: %v", err)
+		}
+		res, err := m.FindParallel(s, workers)
+		if err != nil {
+			t.Fatalf("FindParallel: %v", err)
+		}
+		out := make([]string, len(res.Instances))
+		for i, in := range res.Instances {
+			out[i] = in.String()
+		}
+		return out
+	}
+	for _, cell := range []*stdcell.CellDef{stdcell.NAND2, stdcell.FA} {
+		want := runPar(cell.Pattern(), 1, true)
+		for _, workers := range []int{1, 2, 4} {
+			got := runPar(cell.Pattern(), workers, false)
+			if !sameOrdered(want, got) {
+				t.Errorf("%s workers=%d: legacy %d instances, region %d (or order differs)",
+					cell.Name, workers, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestPhase2DifferentialBind covers the pre-matched paths: bound ports and
+// globals become fixed seeds at the head of every ball, and both engines
+// must resolve them to the same instances.
+func TestPhase2DifferentialBind(t *testing.T) {
+	g := gen.RandomLogic(80, 5, 7).C
+	var target string
+	for _, n := range g.Nets {
+		if !n.Global && n.Degree() >= 2 {
+			target = n.Name
+			break
+		}
+	}
+	if target == "" {
+		t.Fatal("no bindable net in the generated circuit")
+	}
+	opts := core.Options{Globals: rails, Bind: map[string]string{"A": target}}
+	legacy := opts
+	legacy.LegacyPhase2 = true
+	want := findOrdered(t, g, stdcell.INV.Pattern(), legacy)
+	got := findOrdered(t, g, stdcell.INV.Pattern(), opts)
+	if !sameOrdered(want, got) {
+		t.Errorf("bind: legacy %v, region %v", want, got)
+	}
+}

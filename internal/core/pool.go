@@ -15,6 +15,12 @@ import (
 // matchers over the same circuit.  Install it via Options.Scratch.
 type ScratchPool struct {
 	pool sync.Pool
+
+	// rpool recycles the region-localized Phase II engine's state (see
+	// phase2region.go): one O(|G|) translation array plus the ball-sized
+	// per-candidate arrays, whose capacities grow to the largest region a
+	// circuit produces and then stay flat.
+	rpool sync.Pool
 }
 
 // gscratch bundles the main-graph-sized Phase II state.  A scratch in the
@@ -69,3 +75,55 @@ func (sp *ScratchPool) get(gn int) *gscratch {
 }
 
 func (sp *ScratchPool) put(s *gscratch) { sp.pool.Put(s) }
+
+// rscratch bundles the region engine's reusable state.  A scratch in the
+// pool is clean: every local entry is -1 and every mark entry <= markID.
+// The ball-sized slices carry only their grown capacity between runs; the
+// engine re-slices and reinitializes them per candidate in O(|ball|).
+type rscratch struct {
+	local  []int32 // gvid -> region-local id, -1 outside the current ball
+	mark   []uint32
+	markID uint32
+
+	ball      []int32 // local id -> gvid; doubles as the BFS queue
+	lLab      []label.Value
+	lSafe     []bool
+	lFixed    []bool
+	lMatch    []label.VID
+	lSafeList []int32
+	lTouched  []int32
+	lInT      []bool
+	lPendV    []int32
+	lPendL    []label.Value
+	gPairs    []labLocal
+
+	// Backtracking snapshots and guess candidate lists, indexed by guess
+	// depth; kept across runs so a steady stream of backtrack-heavy
+	// candidates stops allocating once the depth high-water mark is reached.
+	snaps []*rsnapshot
+	cands [][]labLocal
+}
+
+// getRegion returns a clean region scratch for a main graph of gn vertices.
+func (sp *ScratchPool) getRegion(gn int) *rscratch {
+	if v := sp.rpool.Get(); v != nil {
+		s := v.(*rscratch)
+		if len(s.local) == gn {
+			if s.markID >= 1<<31 {
+				clear(s.mark)
+				s.markID = 0
+			}
+			return s
+		}
+	}
+	s := &rscratch{
+		local: make([]int32, gn),
+		mark:  make([]uint32, gn),
+	}
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	return s
+}
+
+func (sp *ScratchPool) putRegion(s *rscratch) { sp.rpool.Put(s) }

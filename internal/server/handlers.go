@@ -57,6 +57,12 @@ type StatsJSON struct {
 	Backtracks     int    `json:"backtracks"`
 	Phase1Micros   int64  `json:"phase1_us"`
 	Phase2Micros   int64  `json:"phase2_us"`
+
+	// Region-localized Phase II engine instrumentation; zero/omitted when
+	// the whole-graph engine ran.
+	RegionRadius   int `json:"region_radius,omitempty"`
+	RegionMaxSize  int `json:"region_max_size,omitempty"`
+	RegionVertices int `json:"region_vertices,omitempty"`
 }
 
 // MatchResponse is the body of a successful POST /v1/match.

@@ -232,6 +232,8 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_match_verify_calls_total %d\n", snap.Sum.VerifyCalls)
 	fmt.Fprintf(w, "subgeminid_match_phase1_seconds_total %.6f\n", snap.Sum.Phase1Duration.Seconds())
 	fmt.Fprintf(w, "subgeminid_match_phase2_seconds_total %.6f\n", snap.Sum.Phase2Duration.Seconds())
+	fmt.Fprintf(w, "subgeminid_match_region_vertices_total %d\n", snap.Sum.RegionBallSum)
+	fmt.Fprintf(w, "subgeminid_match_region_max_size %d\n", snap.Sum.RegionMaxSize)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_size %d\n", ext.cache.size)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "subgeminid_pattern_cache_misses_total %d\n", misses)

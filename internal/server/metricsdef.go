@@ -42,6 +42,8 @@ func MetricsReference() []MetricDef {
 		{"subgeminid_match_verify_calls_total", "counter", "", "candidate verification calls"},
 		{"subgeminid_match_phase1_seconds_total", "counter", "", "summed Phase I wall time, seconds"},
 		{"subgeminid_match_phase2_seconds_total", "counter", "", "summed Phase II wall time, seconds"},
+		{"subgeminid_match_region_vertices_total", "counter", "", "vertices inside extracted Phase II candidate regions (region engine)"},
+		{"subgeminid_match_region_max_size", "gauge", "", "largest Phase II candidate region extracted since boot"},
 		{"subgeminid_pattern_cache_size", "gauge", "", "compiled patterns resident in the cache"},
 		{"subgeminid_pattern_cache_hits_total", "counter", "", "pattern cache hits"},
 		{"subgeminid_pattern_cache_misses_total", "counter", "", "pattern cache misses (compiles)"},

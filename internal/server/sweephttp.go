@@ -347,6 +347,9 @@ func statsJSON(r *stats.Report) StatsJSON {
 		Backtracks:     r.Backtracks,
 		Phase1Micros:   r.Phase1Duration.Microseconds(),
 		Phase2Micros:   r.Phase2Duration.Microseconds(),
+		RegionRadius:   r.RegionRadius,
+		RegionMaxSize:  r.RegionMaxSize,
+		RegionVertices: r.RegionBallSum,
 	}
 }
 

@@ -49,6 +49,10 @@ func (t *patternTotals) add(r *Report) {
 	t.sum.Phase2Duration += r.Phase2Duration
 	t.sum.Instances += r.Instances
 	t.sum.MatchedDevices += r.MatchedDevices
+	t.sum.RegionBallSum += r.RegionBallSum
+	if r.RegionMaxSize > t.sum.RegionMaxSize {
+		t.sum.RegionMaxSize = r.RegionMaxSize
+	}
 }
 
 // Add folds one run's report into the totals, without pattern attribution.
@@ -79,6 +83,10 @@ func (a *Aggregate) AddPattern(pattern string, r *Report) {
 	a.sum.Phase2Duration += r.Phase2Duration
 	a.sum.Instances += r.Instances
 	a.sum.MatchedDevices += r.MatchedDevices
+	a.sum.RegionBallSum += r.RegionBallSum
+	if r.RegionMaxSize > a.sum.RegionMaxSize {
+		a.sum.RegionMaxSize = r.RegionMaxSize
+	}
 	if pattern == "" {
 		return
 	}

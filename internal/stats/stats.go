@@ -37,6 +37,14 @@ type Report struct {
 	VerifyCalls       int           // full mapping verifications performed
 	Phase2Duration    time.Duration // wall-clock spent in Phase II
 
+	// Region-localized Phase II engine (zero when the whole-graph engine
+	// ran).  RegionBallSum accumulates the extracted ball sizes across all
+	// candidates, so RegionBallSum/Candidates approximates the average
+	// per-candidate working set; RegionMaxSize is the largest single ball.
+	RegionRadius  int // pattern eccentricity from the key vertex
+	RegionMaxSize int // largest candidate ball extracted
+	RegionBallSum int // total ball vertices across all candidates
+
 	// Outcome.
 	Instances      int // instances found
 	MatchedDevices int // total devices inside matched instances
@@ -51,6 +59,15 @@ type Report struct {
 // Total returns the combined Phase I + Phase II duration.
 func (r *Report) Total() time.Duration { return r.Phase1Duration + r.Phase2Duration }
 
+// RegionAvgSize returns the mean candidate ball size of the run, or zero
+// when the region engine did not run.
+func (r *Report) RegionAvgSize() float64 {
+	if r.RegionBallSum == 0 || r.Candidates == 0 {
+		return 0
+	}
+	return float64(r.RegionBallSum) / float64(r.Candidates)
+}
+
 // String formats the report for logs and the benchtab tool.
 func (r *Report) String() string {
 	s := fmt.Sprintf(
@@ -58,6 +75,10 @@ func (r *Report) String() string {
 		r.Instances, r.MatchedDevices, r.CVSize, r.KeyVertex,
 		r.Phase1Passes, r.Phase2Passes, r.Guesses, r.Backtracks,
 		r.Phase1Duration.Round(time.Microsecond), r.Phase2Duration.Round(time.Microsecond))
+	if r.RegionBallSum > 0 {
+		s += fmt.Sprintf(" regionR=%d regionAvg=%.0f regionMax=%d",
+			r.RegionRadius, r.RegionAvgSize(), r.RegionMaxSize)
+	}
 	if r.CancelledAt != "" {
 		s += " cancelled=" + r.CancelledAt
 	}

@@ -95,6 +95,11 @@ type Options struct {
 	// matchers and across sweeps (see core.ScratchPool); nil means Run
 	// uses a pool private to the sweep.
 	Scratch *core.ScratchPool
+
+	// LegacyPhase2 runs every per-pattern match on the whole-graph Phase II
+	// engine instead of the region-localized one (see
+	// core.Options.LegacyPhase2); results are identical either way.
+	LegacyPhase2 bool
 }
 
 // PatternResult is one pattern's share of a sweep report.
@@ -293,6 +298,7 @@ func runOne(g, pat *graph.Circuit, view *core.CSR, scratch *core.ScratchPool, in
 		CSR:          view,
 		Scratch:      scratch,
 		InitLabels:   init,
+		LegacyPhase2: opts.LegacyPhase2,
 	})
 	if err != nil {
 		return nil, err

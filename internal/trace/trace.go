@@ -99,6 +99,7 @@ type Event struct {
 	Passes     int    `json:"passes,omitempty"`
 	Guesses    int    `json:"guesses,omitempty"`
 	Backtracks int    `json:"backtracks,omitempty"`
+	BallSize   int    `json:"ball_size,omitempty"` // region engine: extracted ball vertices
 	DurationNS int64  `json:"duration_ns,omitempty"`
 
 	// KindRunEnd.

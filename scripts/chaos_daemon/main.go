@@ -306,6 +306,21 @@ func overload(bin, dataDir string) error {
 		return fmt.Errorf("single match under load: NAND2 on alpha = %d, want 1", count)
 	}
 
+	// That match ran the region-localized Phase II engine; its region
+	// telemetry must be visible on /metrics even while the daemon sheds.
+	mets, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if mets["subgeminid_match_region_vertices_total"] < 1 {
+		return fmt.Errorf("subgeminid_match_region_vertices_total = %v after a served match, want >= 1",
+			mets["subgeminid_match_region_vertices_total"])
+	}
+	if mets["subgeminid_match_region_max_size"] < 1 {
+		return fmt.Errorf("subgeminid_match_region_max_size = %v after a served match, want >= 1",
+			mets["subgeminid_match_region_max_size"])
+	}
+
 	// The pathological match must be cut by its deadline, not by the end
 	// of its O(n^2) first candidate: deep cancellation bounds the overrun.
 	oc := <-done
