@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff diff-phase2 bench bench-smoke bench-sweep bench-phase2 smoke-daemon chaos-smoke bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet race diff diff-phase2 diff-incremental bench bench-smoke bench-sweep bench-phase2 bench-incremental smoke-daemon chaos-smoke bench-compare docs docs-check clean
 
 all: tier1
 
@@ -14,12 +14,19 @@ all: tier1
 # benchmarks must at least compile and complete one iteration.
 tier1: vet docs-check race diff bench-smoke smoke-daemon chaos-smoke
 
-# Engine differentials: Phase I legacy vs CSR vs striped CSR, and Phase II
-# whole-graph vs region-localized, on fixed and random circuits, twice
-# (scratch-pool reuse across runs is part of the contract), under the race
-# detector with the striping grain forced down.
-diff:
+# Engine differentials: Phase I legacy vs CSR vs striped CSR, Phase II
+# whole-graph vs region-localized, and the incremental replay engine vs
+# rebuild-and-full-match, on fixed and random circuits, twice (scratch-pool
+# reuse across runs is part of the contract), under the race detector with
+# the striping grain forced down.
+diff: diff-incremental
 	$(GO) test -race -count=2 -run 'TestPhase1Differential|TestPhase2Differential|TestScratchPoolReuse' ./internal/core/
+
+# Incremental differential only: FindIncremental replay after random edit
+# batches against the full-matcher oracle, bit-identical instances.
+diff-incremental:
+	$(GO) test -race -count=2 -run 'TestIncrementalDifferential|TestIncrementalFallbacks' ./internal/core/
+	$(GO) test -race -count=2 ./internal/delta/
 
 # Phase II differential only: the region engine against the whole-graph
 # oracle, bit-identical instances and order across worker counts.
@@ -41,6 +48,12 @@ bench-sweep:
 # timings across workloads, archived as BENCH_phase2_region.json.
 bench-phase2:
 	$(GO) run ./cmd/benchtab -table phase2 -json BENCH_phase2_region.json
+
+# Incremental-matching table only: re-match and re-sweep cost after delta
+# edits of growing size, replaying from the versioned result cache vs
+# recomputing from scratch, archived as BENCH_incremental.json.
+bench-incremental:
+	$(GO) run ./cmd/benchtab -table incremental -json BENCH_incremental.json
 
 # Process-level daemon smoke: boot subgeminid with a temporary data
 # directory, upload two circuits and a pattern library, run a sync match,

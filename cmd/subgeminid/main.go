@@ -15,7 +15,9 @@
 //	POST /v1/match               match one pattern against a stored circuit
 //	POST /v1/match/batch         match many patterns in one request
 //	PUT  /v1/circuits/{name}     store/replace a named circuit
+//	PATCH /v1/circuits/{name}    apply an edit batch (JSON delta ops)
 //	GET  /v1/circuits/{name}     describe a named circuit
+//	GET  /v1/circuits/{name}/versions  the circuit's edit-version log
 //	DEL  /v1/circuits/{name}     delete a named circuit (and its snapshot)
 //	GET  /v1/circuits            list stored circuits
 //	POST /v1/circuit             legacy: replace the "default" circuit
@@ -63,6 +65,12 @@
 //	-faults SPEC         arm fault-injection points (testing only); also
 //	                     settable via $SUBGEMINID_FAULTS
 //	-no-preload          skip compiling the built-in library at startup
+//	-noincremental       disable the incremental matcher and its versioned
+//	                     result cache; every match and sweep runs the full
+//	                     algorithm (results are bit-identical either way,
+//	                     so this is purely a differential/debug switch)
+//	-result-cache N      versioned result-cache capacity in (circuit,
+//	                     pattern) entries (0 = 256)
 //	-drain D             graceful-shutdown drain period
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
@@ -120,6 +128,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		p1Workers   = flags.Int("phase1-workers", 0, "default Phase I relabeling fan-out when a request sets no workers (0 = sequential)")
 		maxBody     = flags.Int64("max-body", 16<<20, "request body limit in bytes")
 		noPreload   = flags.Bool("no-preload", false, "skip compiling the built-in cell library at startup")
+		noInc       = flags.Bool("noincremental", false, "disable incremental matching and the versioned result cache (differential/debug switch; results are identical)")
+		resultCache = flags.Int("result-cache", 0, "versioned result-cache capacity in (circuit, pattern) entries (0 = 256)")
 		drain       = flags.Duration("drain", 10*time.Second, "graceful-shutdown drain period")
 		dataDir     = flags.String("data-dir", "", "directory for durable state: circuit snapshots, uploaded patterns, job records (empty = memory only)")
 		maxCktBytes = flags.Int64("max-circuit-bytes", 0, "resident-circuit memory budget in bytes; idle snapshotted circuits past it are demoted to disk (0 = unbounded)")
@@ -147,22 +157,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := subgemini.ServerConfig{
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MaxConcurrent:   *maxConc,
-		ShedInflight:    *shedIn,
-		ShedMemoryBytes: *shedMem,
-		RetryAfter:      *retryAfter,
-		MaxWorkers:      *maxWorkers,
-		Phase1Workers:   *p1Workers,
-		MaxBodyBytes:    *maxBody,
-		PreloadBuiltins: !*noPreload,
-		DataDir:         *dataDir,
-		MaxStoreBytes:   *maxCktBytes,
-		MaxPatterns:     *maxPatterns,
-		JobWorkers:      *jobWorkers,
-		JobQueue:        *jobQueue,
-		JobRetention:    *jobKeep,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxConcurrent:      *maxConc,
+		ShedInflight:       *shedIn,
+		ShedMemoryBytes:    *shedMem,
+		RetryAfter:         *retryAfter,
+		MaxWorkers:         *maxWorkers,
+		Phase1Workers:      *p1Workers,
+		MaxBodyBytes:       *maxBody,
+		PreloadBuiltins:    !*noPreload,
+		DisableIncremental: *noInc,
+		ResultCacheSize:    *resultCache,
+		DataDir:            *dataDir,
+		MaxStoreBytes:      *maxCktBytes,
+		MaxPatterns:        *maxPatterns,
+		JobWorkers:         *jobWorkers,
+		JobQueue:           *jobQueue,
+		JobRetention:       *jobKeep,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, "subgeminid: "+format+"\n", a...)
 		},

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"subgemini/internal/core"
+	"subgemini/internal/delta"
+	"subgemini/internal/gen"
+	"subgemini/internal/graph"
+	"subgemini/internal/sweep"
+)
+
+// IncrementalRow is one line of the incremental-matching table: after an
+// edit batch of a given size, how refreshing results through the delta
+// engine compares against recomputing from scratch, at both granularities
+// the daemon serves — a single-pattern re-match (the interactive operation
+// after PATCH) and a whole-library re-sweep.  Per-pattern instance counts
+// of the replaying and from-scratch sweeps must agree exactly, so the
+// table doubles as a differential check of the incremental engine.
+type IncrementalRow struct {
+	Circuit  string
+	Devices  int
+	Patterns int
+	EditDevs int // devices rewired by the edit batch
+
+	Instances  int
+	Replayed   int // Phase II outcomes answered from the capture
+	Recomputed int // Phase II outcomes verified fresh (the blast radius)
+
+	Pattern     string        // the re-match probe pattern
+	ReMatch     time.Duration // incremental re-match of Pattern after the edit
+	ReMatchFull time.Duration // full re-match of Pattern, from scratch
+	IncResweep  time.Duration // whole-library re-sweep replaying from the cache
+	FullResweep time.Duration // whole-library re-sweep from scratch
+
+	// Speedup is the acceptance ratio FullResweep / ReMatch: refreshing a
+	// pattern's result after a small edit against the pre-delta way of
+	// getting any fresh result, a full library re-sweep.
+	Speedup float64
+}
+
+// benchCache is the minimal sweep.Incremental: states keyed by the
+// structural pattern key, one shared dirty set installed after the edit.
+type benchCache struct {
+	mu     sync.Mutex
+	states map[string]*core.IncrementalState
+	ds     *core.DirtySet
+}
+
+func (c *benchCache) Lookup(pat *graph.Circuit, opts core.Options) (*core.IncrementalState, *core.DirtySet, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.states[delta.PatternKey(pat, opts)]
+	if st == nil || c.ds == nil {
+		return nil, nil, false
+	}
+	return st, c.ds, true
+}
+
+func (c *benchCache) Store(pat *graph.Circuit, opts core.Options, st *core.IncrementalState) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[delta.PatternKey(pat, opts)] = st
+}
+
+// reset restores the version-1 capture before a timed run: a warm run
+// stores fresh post-edit states, and replaying those through the same
+// dirty set again would be a different (cheaper) workload.
+func (c *benchCache) reset(captured map[string]*core.IncrementalState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states = make(map[string]*core.IncrementalState, len(captured))
+	for key, st := range captured {
+		c.states[key] = st
+	}
+}
+
+// IncrementalScaling measures edit-size against re-match cost: capture a
+// full library sweep, rewire k devices through the delta engine, then time
+// refreshing results with and without the capture.  The CSR view and
+// scratch pool are shared across runs exactly as the daemon's store shares
+// them across requests; the post-edit view is built once per edit batch,
+// mirroring the store's CSR patch on PATCH.  quick truncates to a small
+// circuit, one edit size, and a single iteration.
+func IncrementalScaling(quick bool) ([]IncrementalRow, error) {
+	gates := 4000
+	editSizes := []int{1, 2, 4, 8}
+	iters := 5
+	if quick {
+		gates = 400
+		editSizes = []int{2}
+		iters = 1
+	}
+	const probe = "NAND2"
+	lib := sweepLibrary()
+	var probeLib []sweep.Pattern
+	for _, p := range lib {
+		if p.Name == probe {
+			probeLib = []sweep.Pattern{p}
+		}
+	}
+	var rows []IncrementalRow
+	for _, k := range editSizes {
+		// A fresh circuit per edit size: Apply mutates in place, and each
+		// row's edit batch must land on the pristine version-1 graph.
+		d := gen.RandomLogic(gates, 32, 11)
+		c := d.C
+		scratch := &core.ScratchPool{}
+
+		cache := &benchCache{states: make(map[string]*core.IncrementalState)}
+		view := core.NewCSR(c)
+		if _, err := sweep.Run(c, lib, sweep.Options{Globals: Rails, CSR: view, Scratch: scratch, Incremental: cache}); err != nil {
+			return rows, err
+		}
+		captured := make(map[string]*core.IncrementalState, len(cache.states))
+		for key, st := range cache.states {
+			captured[key] = st
+		}
+
+		ops := make([]delta.Op, k)
+		for i := range ops {
+			dev := c.Devices[(i*997+13)%len(c.Devices)]
+			ops[i] = delta.Op{Op: delta.OpRewirePin, Device: dev.Name, Pin: 0, Net: fmt.Sprintf("eco%d", i)}
+		}
+		step, err := delta.Apply(c, 2, ops)
+		if err != nil {
+			return rows, err
+		}
+		ds, err := delta.Compose([]*delta.Step{step})
+		if err != nil {
+			return rows, err
+		}
+		cache.ds = ds
+		view = core.NewCSR(c) // the store patches its view on PATCH; not part of re-match time
+
+		row := IncrementalRow{
+			Circuit:  c.Name,
+			Devices:  c.NumDevices(),
+			Patterns: len(lib),
+			EditDevs: k,
+			Pattern:  probe,
+		}
+		measure := func(patterns []sweep.Pattern, incremental bool) (*sweep.Report, time.Duration, error) {
+			var best time.Duration
+			var first *sweep.Report
+			for it := 0; it < iters; it++ {
+				opts := sweep.Options{Globals: Rails, CSR: view, Scratch: scratch}
+				if incremental {
+					cache.reset(captured)
+					opts.Incremental = cache
+				}
+				start := time.Now()
+				rep, err := sweep.Run(c, patterns, opts)
+				if err != nil {
+					return nil, 0, err
+				}
+				el := time.Since(start)
+				if it == 0 {
+					first, best = rep, el
+				} else if el < best {
+					best = el
+				}
+			}
+			return first, best, nil
+		}
+
+		warm, incDur, err := measure(lib, true)
+		if err != nil {
+			return rows, err
+		}
+		if warm.Replayed == 0 {
+			return rows, fmt.Errorf("bench: %s/k%d: incremental sweep replayed nothing; engine inert", c.Name, k)
+		}
+		row.IncResweep = incDur
+		row.Instances = warm.Instances()
+		row.Replayed = warm.Replayed
+		row.Recomputed = warm.Recomputed
+
+		full, fullDur, err := measure(lib, false)
+		if err != nil {
+			return rows, err
+		}
+		row.FullResweep = fullDur
+		for i := range full.Results {
+			if got, want := len(warm.Results[i].Instances), len(full.Results[i].Instances); got != want {
+				return rows, fmt.Errorf("bench: %s/k%d: incremental found %d %s instances, full found %d",
+					c.Name, k, got, full.Results[i].Name, want)
+			}
+		}
+
+		if _, row.ReMatch, err = measure(probeLib, true); err != nil {
+			return rows, err
+		}
+		if _, row.ReMatchFull, err = measure(probeLib, false); err != nil {
+			return rows, err
+		}
+		if row.ReMatch > 0 {
+			row.Speedup = float64(row.FullResweep) / float64(row.ReMatch)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -106,6 +106,14 @@ type Options struct {
 	// whole-graph labeling state.
 	LegacyPhase2 bool
 
+	// LegacyIncremental makes FindIncremental ignore any previous state and
+	// dirty set and run the full matcher instead, without capturing a new
+	// state.  It is the incremental engine's differential oracle: results
+	// must be bit-identical to the incremental path for every edit script
+	// (TestIncrementalDifferential), mirroring how LegacyPhase1/LegacyPhase2
+	// keep the reference engines selectable.
+	LegacyIncremental bool
+
 	// CSR, when non-nil, supplies a prebuilt flat view of the main circuit
 	// (see NewCSR), letting long-lived callers like subgeminid build it
 	// once per resident circuit and share it across matchers; the view is

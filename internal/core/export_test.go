@@ -36,6 +36,16 @@ func SetRegionCancelBlock(n int) (restore func()) {
 	return func() { rCancelBlock = old }
 }
 
+// SetIncReplayCap overrides the dirty-region degradation threshold and
+// returns a restore func, so incremental tests can force both the
+// region-replay path (cap 1.0) and the full-capture degradation path
+// (cap 0) on the same circuits.
+func SetIncReplayCap(f float64) (restore func()) {
+	old := incReplayCap
+	incReplayCap = f
+	return func() { incReplayCap = old }
+}
+
 // RunPhase1ForTest runs candidate generation alone, mirroring Find's
 // global cross-marking, and returns the key vertex, candidate vector, and
 // the report counters Phase I filled in.

@@ -87,6 +87,16 @@ type phase1 struct {
 	// p1CancelBlock worklist vertices); run checks it after each pass.
 	cancelErr error
 
+	// relabelEvents counts relabeling passes executed (net and device passes
+	// each count one); seqComplete records that run reached candidate
+	// selection rather than aborting on a consistency verdict.  The
+	// incremental engine (incremental.go) captures both: relabelEvents
+	// bounds how far label influence can have traveled from an edit (one hop
+	// per pass), and seqComplete tells a later replay whether the captured
+	// final labels are the labels of the full pattern-driven pass sequence.
+	relabelEvents int
+	seqComplete   bool
+
 	// tracer, when non-nil, records per-round state for the Fig. 2/4-style
 	// rendering (Options.TraceTable).
 	tracer *phase1Tracer
@@ -298,6 +308,7 @@ func (p *phase1) run() (key label.VID, cv []label.VID, err error) {
 		}
 		prevSig = sig
 	}
+	p.seqComplete = true
 	key, cv = p.chooseCandidates()
 	return key, cv, nil
 }
@@ -367,6 +378,7 @@ func countDistinct(labs []label.Value) int {
 // relabelNets applies the Fig. 3 relabeling function to every valid pattern
 // net and every active main-graph net simultaneously.
 func (p *phase1) relabelNets() {
+	p.relabelEvents++
 	if p.legacy {
 		p.relabelNetsLegacy()
 		return
@@ -376,6 +388,7 @@ func (p *phase1) relabelNets() {
 
 // relabelDevices is the device-side counterpart of relabelNets.
 func (p *phase1) relabelDevices() {
+	p.relabelEvents++
 	if p.legacy {
 		p.relabelDevicesLegacy()
 		return

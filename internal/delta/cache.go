@@ -1,0 +1,116 @@
+package delta
+
+import (
+	"sync"
+
+	"subgemini/internal/core"
+)
+
+// ResultCache maps (circuit name, pattern key) to the incremental state
+// captured by the last complete run and the circuit version it describes.
+// The daemon keeps one cache across requests: a match or sweep against an
+// edited circuit looks up the prior state, asks the store for the steps
+// between the cached and current versions, and hands both to
+// core.FindIncremental; on success the refreshed state is stored back.
+//
+// Entries are invalidated when a circuit is replaced or deleted outright
+// (PUT/DELETE) — edits (PATCH) intentionally do NOT invalidate, since the
+// versioned steps are exactly what lets a stale entry be carried forward.
+// The cache is bounded; when full, the oldest entry is evicted (FIFO).
+type ResultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*cacheEntry
+	order   []cacheKey
+
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+}
+
+type cacheKey struct {
+	circuit string
+	pattern string
+}
+
+type cacheEntry struct {
+	version uint64
+	state   *core.IncrementalState
+}
+
+// NewResultCache returns a cache bounded to max entries (<=0 means a
+// default of 256).
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &ResultCache{max: max, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// Lookup returns the cached state and the circuit version it was captured
+// at, or ok=false on a miss.
+func (rc *ResultCache) Lookup(circuit, patternKey string) (version uint64, state *core.IncrementalState, ok bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	e := rc.entries[cacheKey{circuit, patternKey}]
+	if e == nil {
+		rc.misses++
+		return 0, nil, false
+	}
+	rc.hits++
+	return e.version, e.state, true
+}
+
+// Store records the state captured by a complete run at the given circuit
+// version.  Nil states (legacy or cancelled runs) are ignored.
+func (rc *ResultCache) Store(circuit, patternKey string, version uint64, state *core.IncrementalState) {
+	if state == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	k := cacheKey{circuit, patternKey}
+	if e := rc.entries[k]; e != nil {
+		e.version, e.state = version, state
+		return
+	}
+	for len(rc.entries) >= rc.max && len(rc.order) > 0 {
+		victim := rc.order[0]
+		rc.order = rc.order[1:]
+		if _, live := rc.entries[victim]; live {
+			delete(rc.entries, victim)
+		}
+	}
+	rc.entries[k] = &cacheEntry{version: version, state: state}
+	rc.order = append(rc.order, k)
+}
+
+// Invalidate drops every entry for the named circuit and returns how many
+// were dropped.
+func (rc *ResultCache) Invalidate(circuit string) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n := 0
+	for k := range rc.entries {
+		if k.circuit == circuit {
+			delete(rc.entries, k)
+			n++
+		}
+	}
+	rc.invalidations += uint64(n)
+	return n
+}
+
+// Counters returns the lifetime hit, miss, and invalidation counts.
+func (rc *ResultCache) Counters() (hits, misses, invalidations uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.misses, rc.invalidations
+}
+
+// Len returns the number of live entries.
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
+}

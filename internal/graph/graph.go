@@ -313,6 +313,114 @@ func (c *Circuit) Clone() *Circuit {
 	return cp
 }
 
+// spliceConn removes the back-reference to device d's pin pi from net n,
+// preserving the order of the remaining connections.  Order preservation is
+// what lets the incremental CSR patcher splice the rows of unedited nets
+// verbatim: an edit never reorders the connections it does not touch.
+func spliceConn(n *Net, d *Device, pi int) {
+	for i, conn := range n.Conns {
+		if conn.Dev == d && conn.Pin == pi {
+			n.Conns = append(n.Conns[:i], n.Conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveDevice deletes the named device, splicing its back-references out
+// of the attached nets (preserving the order of every other connection) and
+// dropping any net left with no connections unless it is a port or global.
+// Surviving devices and nets keep their relative order and are reindexed.
+// It returns an error when the device does not exist.
+func (c *Circuit) RemoveDevice(name string) error {
+	d := c.devByName[name]
+	if d == nil {
+		return fmt.Errorf("graph: remove device %q: no such device in %s", name, c.Name)
+	}
+	for pi, p := range d.Pins {
+		spliceConn(p.Net, d, pi)
+	}
+	delete(c.devByName, name)
+	c.Devices = append(c.Devices[:d.Index], c.Devices[d.Index+1:]...)
+	for i := d.Index; i < len(c.Devices); i++ {
+		c.Devices[i].Index = i
+	}
+	keptNets := c.Nets[:0]
+	for _, n := range c.Nets {
+		if len(n.Conns) == 0 && !n.Port && !n.Global {
+			delete(c.netByName, n.Name)
+			continue
+		}
+		keptNets = append(keptNets, n)
+	}
+	c.Nets = keptNets
+	for i, n := range c.Nets {
+		n.Index = i
+	}
+	return nil
+}
+
+// RemoveNet deletes the named net.  Only a net with no connections can be
+// removed; nets with attached terminals must first have their devices
+// removed or rewired.  Surviving nets keep their relative order.
+func (c *Circuit) RemoveNet(name string) error {
+	n := c.netByName[name]
+	if n == nil {
+		return fmt.Errorf("graph: remove net %q: no such net in %s", name, c.Name)
+	}
+	if len(n.Conns) > 0 {
+		return fmt.Errorf("graph: remove net %q: still has %d connections", name, len(n.Conns))
+	}
+	delete(c.netByName, name)
+	c.Nets = append(c.Nets[:n.Index], c.Nets[n.Index+1:]...)
+	for i := n.Index; i < len(c.Nets); i++ {
+		c.Nets[i].Index = i
+	}
+	return nil
+}
+
+// RenameNet changes a net's name.  The structure is untouched; only the
+// name and the lookup map change.  The new name must not be in use.
+func (c *Circuit) RenameNet(oldName, newName string) error {
+	n := c.netByName[oldName]
+	if n == nil {
+		return fmt.Errorf("graph: rename net %q: no such net in %s", oldName, c.Name)
+	}
+	if newName == "" {
+		return fmt.Errorf("graph: rename net %q: empty new name", oldName)
+	}
+	if _, dup := c.netByName[newName]; dup {
+		return fmt.Errorf("graph: rename net %q: name %q already in use", oldName, newName)
+	}
+	delete(c.netByName, oldName)
+	n.Name = newName
+	c.netByName[newName] = n
+	return nil
+}
+
+// RewirePin reconnects one terminal of the named device to a different net:
+// the old net's back-reference is spliced out (preserving the order of its
+// other connections) and a new back-reference is appended to the target.
+func (c *Circuit) RewirePin(devName string, pin int, target *Net) error {
+	d := c.devByName[devName]
+	if d == nil {
+		return fmt.Errorf("graph: rewire %q: no such device in %s", devName, c.Name)
+	}
+	if pin < 0 || pin >= len(d.Pins) {
+		return fmt.Errorf("graph: rewire %s: pin %d out of range (device has %d)", devName, pin, len(d.Pins))
+	}
+	if target == nil {
+		return fmt.Errorf("graph: rewire %s pin %d: nil target net", devName, pin)
+	}
+	old := d.Pins[pin].Net
+	if old == target {
+		return nil
+	}
+	spliceConn(old, d, pin)
+	d.Pins[pin].Net = target
+	target.Conns = append(target.Conns, Conn{Dev: d, Pin: pin})
+	return nil
+}
+
 // RemoveDevices deletes the given devices (identified by pointer) and any
 // nets left with no connections, then reindexes.  It is used by iterated
 // extraction, which consumes matched devices and replaces them with a

@@ -113,6 +113,16 @@ func (u *UniqueSource) Next() Value {
 	return nonzero(splitmix64(u.seed + u.ctr*0x9e3779b97f4a7c15))
 }
 
+// Draws returns how many labels have been drawn from the source.  The
+// incremental matcher records per-candidate draw counts so a replayed
+// candidate can advance the stream without recomputing the labels.
+func (u *UniqueSource) Draws() uint64 { return u.ctr }
+
+// Skip advances the stream past n draws without materializing them.  The
+// stream is a pure counter, so skipping is exact: Skip(n) leaves the source
+// in the same state as n calls to Next.
+func (u *UniqueSource) Skip(n uint64) { u.ctr += n }
+
 // Combine folds one weighted neighbor label into an accumulating label, per
 // the Fig. 3 relabeling function.
 func Combine(acc Value, class graph.TermClass, neighbor Value) Value {

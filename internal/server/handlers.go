@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"subgemini/internal/core"
+	"subgemini/internal/delta"
 	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
@@ -36,6 +37,13 @@ type MatchRequest struct {
 	Max        int               `json:"max,omitempty"`
 	Workers    int               `json:"workers,omitempty"`
 	TimeoutMS  int               `json:"timeout_ms,omitempty"`
+
+	// SinceVersion, when > 0, floors the incremental replay base: the run
+	// only replays from a result-cache capture at this circuit version or
+	// newer (older captures force a full, re-capturing run).  Also settable
+	// via the ?since_version= query parameter.  Purely an optimization
+	// hint — results are identical for every value.
+	SinceVersion uint64 `json:"since_version,omitempty"`
 }
 
 // InstanceJSON is one verified embedding, as pattern-name → image-name maps.
@@ -63,6 +71,12 @@ type StatsJSON struct {
 	RegionRadius   int `json:"region_radius,omitempty"`
 	RegionMaxSize  int `json:"region_max_size,omitempty"`
 	RegionVertices int `json:"region_vertices,omitempty"`
+
+	// Incremental engine instrumentation; omitted when the run did not go
+	// through core.FindIncremental.
+	IncrementalMode string `json:"incremental_mode,omitempty"`
+	Replayed        int    `json:"replayed,omitempty"`
+	Recomputed      int    `json:"recomputed,omitempty"`
 }
 
 // MatchResponse is the body of a successful POST /v1/match.
@@ -73,6 +87,12 @@ type MatchResponse struct {
 	Instances []InstanceJSON `json:"instances"`
 	Stats     StatsJSON      `json:"stats"`
 	CacheHit  bool           `json:"cache_hit"`
+
+	// Version is the edit version of the circuit the match ran against;
+	// Incremental reports how the run used the versioned result cache
+	// (omitted when the incremental engine did not run).
+	Version     uint64           `json:"version,omitempty"`
+	Incremental *IncrementalJSON `json:"incremental,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/match/batch.
@@ -121,6 +141,7 @@ type CircuitInfo struct {
 	Devices  int      `json:"devices"`
 	Nets     int      `json:"nets"`
 	Globals  []string `json:"globals,omitempty"`
+	Version  uint64   `json:"version"`
 	Resident bool     `json:"resident"`
 	Snapshot bool     `json:"snapshot"`
 }
@@ -136,6 +157,7 @@ func infoJSON(i store.Info) CircuitInfo {
 		Devices:  i.Devices,
 		Nets:     i.Nets,
 		Globals:  i.Globals,
+		Version:  i.Version,
 		Resident: i.Resident,
 		Snapshot: i.Snapshot,
 	}
@@ -184,6 +206,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Circuit == "" {
 		req.Circuit = r.URL.Query().Get("circuit")
+	}
+	if req.SinceVersion == 0 {
+		req.SinceVersion = sinceVersion(r)
 	}
 	resp, e := s.runMatch(r.Context(), &req)
 	if e != nil {
@@ -424,10 +449,30 @@ func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph
 	h.RLockWithGlobals(names)
 	m, err := core.NewMatcher(h.Circuit(), opts)
 	var res *core.Result
+	var inc *IncrementalJSON
 	if err == nil {
-		if workers > 1 {
+		switch {
+		case workers > 1:
+			// The candidate-parallel engine manages its own worklists; it
+			// neither captures nor replays.
 			res, err = m.FindParallel(pat, workers)
-		} else {
+		case s.incEnabled():
+			key := delta.PatternKey(pat, opts)
+			prev, ds, base := s.incLookup(h, key, req.SinceVersion)
+			var next *core.IncrementalState
+			res, next, err = m.FindIncremental(pat, prev, ds)
+			if err == nil {
+				s.rcache.Store(h.Name(), key, h.Version(), next)
+				inc = &IncrementalJSON{
+					Mode:       res.Report.IncrementalMode,
+					Replayed:   res.Report.Replayed,
+					Recomputed: res.Report.Recomputed,
+				}
+				if inc.Mode == "replay" {
+					inc.BaseVersion = base
+				}
+			}
+		default:
 			res, err = m.Find(pat)
 		}
 	}
@@ -438,11 +483,13 @@ func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph
 	s.met.observe(pat.Name, &res.Report)
 
 	return &MatchResponse{
-		Circuit:   h.Name(),
-		Pattern:   pat.Name,
-		Count:     len(res.Instances),
-		Instances: instancesJSON(res.Instances),
-		Stats:     statsJSON(&res.Report),
+		Circuit:     h.Name(),
+		Pattern:     pat.Name,
+		Count:       len(res.Instances),
+		Instances:   instancesJSON(res.Instances),
+		Stats:       statsJSON(&res.Report),
+		Version:     h.Version(),
+		Incremental: inc,
 	}, nil
 }
 
@@ -489,6 +536,12 @@ func (s *Server) putCircuit(key string, ckt *graph.Circuit) (store.Info, *httpEr
 		}
 		return store.Info{}, errf(http.StatusBadRequest, "%v", err)
 	}
+	// A replacement starts a fresh version lineage, so cached incremental
+	// states cannot be carried forward (edits, by contrast, can — PATCH
+	// never invalidates).
+	if s.rcache != nil {
+		s.rcache.Invalidate(key)
+	}
 	return info, nil
 }
 
@@ -534,6 +587,9 @@ func (s *Server) handleCircuitDelete(w http.ResponseWriter, r *http.Request) {
 			writeError(w, errf(http.StatusInternalServerError, "deleting circuit %q: %v", name, err))
 		}
 		return
+	}
+	if s.rcache != nil {
+		s.rcache.Invalidate(name)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
@@ -589,7 +645,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, devices, nets := s.CircuitShape()
 	queued, running := s.jobs.QueueDepth()
-	s.met.write(w, externalMetrics{
+	ext := externalMetrics{
 		cache:          s.cache.counters(),
 		store:          s.store.Stats(),
 		jobs:           s.jobs.Counters(),
@@ -601,5 +657,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storeHealthy:   s.store.Healthy(),
 		faultsArmed:    faults.Armed(),
 		faultsFired:    faults.FiredTotal(),
-	})
+	}
+	if s.rcache != nil {
+		ext.resultHits, ext.resultMisses, ext.resultInvalidations = s.rcache.Counters()
+	}
+	s.met.write(w, ext)
 }

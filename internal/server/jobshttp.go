@@ -22,6 +22,10 @@ const (
 	jobKindBatch   = "batch"
 	jobKindExtract = "extract"
 	jobKindSweep   = "sweep"
+	// jobKindIncSweep runs the same payload as "sweep" but lets each
+	// per-pattern run replay from the versioned result cache; instances are
+	// bit-identical to a full sweep, only the work differs.
+	jobKindIncSweep = "incremental-sweep"
 )
 
 // JobRequest is the body of POST /v1/jobs: a kind plus exactly the payload
@@ -145,20 +149,25 @@ func (s *Server) jobRunner(req *JobRequest) (jobs.Runner, *httpError) {
 		return func(ctx context.Context) (any, error) {
 			return s.runExtractJob(ctx, er)
 		}, nil
-	case jobKindSweep:
+	case jobKindSweep, jobKindIncSweep:
 		if req.Sweep == nil {
-			return nil, errf(http.StatusBadRequest, `job kind "sweep" needs a "sweep" payload`)
+			return nil, errf(http.StatusBadRequest, `job kind %q needs a "sweep" payload`, req.Kind)
 		}
 		if e := validateSweep(req.Sweep); e != nil {
 			return nil, e
 		}
+		incremental := req.Kind == jobKindIncSweep
+		if incremental && !s.incEnabled() {
+			return nil, errf(http.StatusBadRequest,
+				`job kind "incremental-sweep" is unavailable: the daemon runs with incremental matching disabled (-noincremental)`)
+		}
 		sr := req.Sweep
 		return func(ctx context.Context) (any, error) {
-			return s.runSweepJob(ctx, sr)
+			return s.runSweepJob(ctx, sr, incremental)
 		}, nil
 	default:
 		return nil, errf(http.StatusBadRequest,
-			`unknown job kind %q (want "match", "batch", "extract", or "sweep")`, req.Kind)
+			`unknown job kind %q (want "match", "batch", "extract", "sweep", or "incremental-sweep")`, req.Kind)
 	}
 }
 

@@ -192,6 +192,12 @@ type externalMetrics struct {
 	storeHealthy   bool // store.Healthy() at scrape time
 	faultsArmed    int  // armed fault-injection points
 	faultsFired    int64
+
+	// Versioned result cache counters (delta.ResultCache; all zero when
+	// the daemon runs with -noincremental).
+	resultHits          uint64
+	resultMisses        uint64
+	resultInvalidations uint64
 }
 
 // b01 renders a boolean gauge.
@@ -245,6 +251,11 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_store_evictions_total %d\n", ext.store.Evictions)
 	fmt.Fprintf(w, "subgeminid_store_reloads_total %d\n", ext.store.Reloads)
 	fmt.Fprintf(w, "subgeminid_store_healthy %d\n", b01(ext.storeHealthy))
+	fmt.Fprintf(w, "subgeminid_delta_edits_total %d\n", ext.store.Edits)
+	fmt.Fprintf(w, "subgeminid_csr_rebuilds_total %d\n", ext.store.CSRRebuilds)
+	fmt.Fprintf(w, "subgeminid_result_cache_hits_total %d\n", ext.resultHits)
+	fmt.Fprintf(w, "subgeminid_result_cache_misses_total %d\n", ext.resultMisses)
+	fmt.Fprintf(w, "subgeminid_result_cache_invalidations_total %d\n", ext.resultInvalidations)
 	fmt.Fprintf(w, "subgeminid_jobs_submitted_total %d\n", ext.jobs.Submitted)
 	fmt.Fprintf(w, "subgeminid_jobs_done_total %d\n", ext.jobs.Done)
 	fmt.Fprintf(w, "subgeminid_jobs_failed_total %d\n", ext.jobs.Failed)

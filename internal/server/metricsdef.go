@@ -55,6 +55,11 @@ func MetricsReference() []MetricDef {
 		{"subgeminid_store_evictions_total", "counter", "", "circuits demoted to their snapshots under the byte budget"},
 		{"subgeminid_store_reloads_total", "counter", "", "demoted circuits reloaded from snapshots on demand"},
 		{"subgeminid_store_healthy", "gauge", "", "1 when the store's last persistence operation succeeded"},
+		{"subgeminid_delta_edits_total", "counter", "", "edit batches applied via PATCH /v1/circuits/{name}"},
+		{"subgeminid_csr_rebuilds_total", "counter", "", "edits whose CSR patch degenerated to a full rebuild (large blast radius)"},
+		{"subgeminid_result_cache_hits_total", "counter", "", "incremental result-cache lookups that found a usable capture"},
+		{"subgeminid_result_cache_misses_total", "counter", "", "incremental result-cache lookups that forced a full, re-capturing run"},
+		{"subgeminid_result_cache_invalidations_total", "counter", "", "result-cache entries dropped by circuit replacement or deletion (PATCH never invalidates)"},
 		{"subgeminid_jobs_submitted_total", "counter", "", "async jobs accepted"},
 		{"subgeminid_jobs_done_total", "counter", "", "async jobs finished successfully"},
 		{"subgeminid_jobs_failed_total", "counter", "", "async jobs that failed (errors, panics, interrupted-at-boot)"},

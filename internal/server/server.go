@@ -15,7 +15,9 @@
 //	POST   /v1/match                match one pattern (?circuit= selects the target)
 //	POST   /v1/match/batch          match many patterns in one request
 //	PUT    /v1/circuits/{name}      store or replace a named circuit (netlist body)
+//	PATCH  /v1/circuits/{name}      apply a batch of edit ops, bumping the version
 //	GET    /v1/circuits/{name}      describe one stored circuit
+//	GET    /v1/circuits/{name}/versions  list the circuit's edit history
 //	DELETE /v1/circuits/{name}      remove a stored circuit and its snapshot
 //	GET    /v1/circuits             list stored circuits
 //	POST   /v1/circuit              legacy alias: store the default circuit
@@ -71,6 +73,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subgemini/internal/delta"
 	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/jobs"
@@ -176,6 +179,19 @@ type Config struct {
 	// hits.  Preloading counts neither hits nor misses.
 	PreloadBuiltins bool
 
+	// DisableIncremental turns off the versioned result cache: every match
+	// and sweep runs the full engines regardless of edit history, and the
+	// "incremental-sweep" job kind is refused.  Results are bit-identical
+	// either way (the incremental engine is differentially tested against
+	// the full one); this is the operational escape hatch, mirrored by the
+	// daemon's -noincremental flag.
+	DisableIncremental bool
+
+	// ResultCacheSize bounds the versioned result cache entries (one per
+	// circuit × pattern structure pair); 0 selects the delta package
+	// default.
+	ResultCacheSize int
+
 	// Logf, when non-nil, receives one line per recovered handler panic
 	// and other rare server-side events.
 	Logf func(format string, args ...any)
@@ -192,6 +208,10 @@ type Server struct {
 	sem   chan struct{}
 	met   metrics
 	mux   *http.ServeMux
+
+	// rcache is the versioned incremental-match result cache; nil when
+	// Config.DisableIncremental is set (the full engines always run).
+	rcache *delta.ResultCache
 
 	// draining flips once shutdown begins: /readyz goes not-ready so load
 	// balancers stop routing here while in-flight requests finish.
@@ -234,6 +254,9 @@ func New(cfg Config) (*Server, error) {
 		cache: newPatternCache(cfg.MaxPatterns),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		mux:   http.NewServeMux(),
+	}
+	if !cfg.DisableIncremental {
+		s.rcache = delta.NewResultCache(cfg.ResultCacheSize)
 	}
 	st, err := store.Open(store.Config{
 		Dir:      cfg.DataDir,
@@ -293,7 +316,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
 	s.mux.HandleFunc("POST /v1/match/batch", s.handleBatch)
 	s.mux.HandleFunc("PUT /v1/circuits/{name}", s.handleCircuitPut)
+	s.mux.HandleFunc("PATCH /v1/circuits/{name}", s.handleCircuitPatch)
 	s.mux.HandleFunc("GET /v1/circuits/{name}", s.handleCircuitGet)
+	s.mux.HandleFunc("GET /v1/circuits/{name}/versions", s.handleCircuitVersions)
 	s.mux.HandleFunc("DELETE /v1/circuits/{name}", s.handleCircuitDelete)
 	s.mux.HandleFunc("GET /v1/circuits", s.handleCircuitList)
 	// Legacy single-circuit API: aliases for the default circuit.

@@ -47,6 +47,10 @@ type SweepRequest struct {
 	Max              int      `json:"max,omitempty"`
 	IncludeInstances bool     `json:"include_instances,omitempty"`
 	TimeoutMS        int      `json:"timeout_ms,omitempty"`
+
+	// SinceVersion floors the incremental replay base, exactly as on a
+	// match request (also settable via ?since_version=).
+	SinceVersion uint64 `json:"since_version,omitempty"`
 }
 
 // SweepPatternJSON is one pattern's share of a sweep response.
@@ -68,6 +72,13 @@ type SweepResponse struct {
 	Count          int                `json:"count"`
 	Results        []SweepPatternJSON `json:"results"`
 	DurationMicros int64              `json:"duration_us"`
+
+	// Version is the circuit's edit version; Replayed / Recomputed total
+	// the Phase II candidate outcomes answered from the result cache vs
+	// verified fresh across the sweep (zero on full sweeps).
+	Version    uint64 `json:"version,omitempty"`
+	Replayed   int    `json:"replayed,omitempty"`
+	Recomputed int    `json:"recomputed,omitempty"`
 }
 
 func (s *Server) handleLibraryPut(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +195,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	if req.SinceVersion == 0 {
+		req.SinceVersion = sinceVersion(r)
+	}
 	resp, e := s.runSweep(r.Context(), &req)
 	if e != nil {
 		writeError(w, e)
@@ -260,7 +274,7 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 		return nil, e
 	}
 	defer h.Release()
-	resp, err := s.executeSweep(ctx, req, lib, h)
+	resp, err := s.executeSweep(ctx, req, lib, h, s.incEnabled())
 	if err != nil {
 		return nil, s.matchError(err, timeout)
 	}
@@ -269,9 +283,10 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 
 // executeSweep runs the sweep against an acquired circuit handle: global
 // pre-marking under the entry lock, then sweep.Run sharing the entry's CSR
-// view and scratch pool.  Both the synchronous path and the job runner
-// land here.
-func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []sweep.Pattern, h *store.Handle) (*SweepResponse, error) {
+// view and scratch pool.  Both the synchronous path and the job runners
+// land here; incremental selects whether per-pattern runs consult the
+// versioned result cache (results are identical either way).
+func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []sweep.Pattern, h *store.Handle, incremental bool) (*SweepResponse, error) {
 	// Every global the sweep would mark on the shared circuit must be
 	// pre-marked under the entry write lock: request globals plus each
 	// pattern's declared globals (the circuit's own are already marked).
@@ -291,8 +306,7 @@ func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []swee
 		p1w = s.cfg.MaxWorkers
 	}
 
-	h.RLockWithGlobals(names)
-	rep, err := sweep.Run(h.Circuit(), lib, sweep.Options{
+	sopts := sweep.Options{
 		Globals:       names,
 		Workers:       workers,
 		Phase1Workers: p1w,
@@ -300,7 +314,12 @@ func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []swee
 		Cancel:        s.cancelHook(ctx),
 		CSR:           h.CSR(),
 		Scratch:       h.Scratch(),
-	})
+	}
+	if incremental {
+		sopts.Incremental = &sweepIncHook{s: s, h: h, minBase: req.SinceVersion}
+	}
+	h.RLockWithGlobals(names)
+	rep, err := sweep.Run(h.Circuit(), lib, sopts)
 	h.RUnlock()
 	if err != nil {
 		return nil, err
@@ -316,6 +335,9 @@ func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []swee
 		Count:          rep.Instances(),
 		Results:        make([]SweepPatternJSON, 0, len(rep.Results)),
 		DurationMicros: rep.Duration.Microseconds(),
+		Version:        h.Version(),
+		Replayed:       rep.Replayed,
+		Recomputed:     rep.Recomputed,
 	}
 	for i := range rep.Results {
 		pr := &rep.Results[i]
@@ -350,6 +372,10 @@ func statsJSON(r *stats.Report) StatsJSON {
 		RegionRadius:   r.RegionRadius,
 		RegionMaxSize:  r.RegionMaxSize,
 		RegionVertices: r.RegionBallSum,
+
+		IncrementalMode: r.IncrementalMode,
+		Replayed:        r.Replayed,
+		Recomputed:      r.Recomputed,
 	}
 }
 
@@ -374,8 +400,9 @@ func instancesJSON(insts []*core.Instance) []InstanceJSON {
 // (the job worker pool is the concurrency bound) and no default deadline;
 // an explicit timeout_ms is honored uncapped.  The library is re-resolved
 // at run time, so a job submitted against a stored library sweeps its
-// definition as of execution.
-func (s *Server) runSweepJob(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+// definition as of execution.  incremental distinguishes the "sweep" job
+// kind (always full) from "incremental-sweep" (consults the result cache).
+func (s *Server) runSweepJob(ctx context.Context, req *SweepRequest, incremental bool) (*SweepResponse, error) {
 	lib, e := s.resolveSweepLibrary(req)
 	if e != nil {
 		return nil, errors.New(e.msg)
@@ -392,5 +419,5 @@ func (s *Server) runSweepJob(ctx context.Context, req *SweepRequest) (*SweepResp
 	defer h.Release()
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
-	return s.executeSweep(ctx, req, lib, h)
+	return s.executeSweep(ctx, req, lib, h, incremental && s.incEnabled())
 }

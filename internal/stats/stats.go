@@ -45,6 +45,19 @@ type Report struct {
 	RegionMaxSize int // largest candidate ball extracted
 	RegionBallSum int // total ball vertices across all candidates
 
+	// Incremental matching (zero/empty for plain Find runs).
+	// IncrementalMode records which path FindIncremental took: "replay"
+	// (region-scoped Phase I + cached Phase II outcomes), "full" (a capture
+	// run over the whole graph), or "legacy" (Options.LegacyIncremental
+	// forced the oracle).  Replayed counts candidates whose outcome was
+	// replayed from the previous state; Recomputed counts candidates
+	// verified afresh; DirtyVertices is the size of the dirty set the run
+	// started from.
+	IncrementalMode string
+	Replayed        int
+	Recomputed      int
+	DirtyVertices   int
+
 	// Outcome.
 	Instances      int // instances found
 	MatchedDevices int // total devices inside matched instances
@@ -78,6 +91,10 @@ func (r *Report) String() string {
 	if r.RegionBallSum > 0 {
 		s += fmt.Sprintf(" regionR=%d regionAvg=%.0f regionMax=%d",
 			r.RegionRadius, r.RegionAvgSize(), r.RegionMaxSize)
+	}
+	if r.IncrementalMode != "" {
+		s += fmt.Sprintf(" inc=%s replayed=%d recomputed=%d dirty=%d",
+			r.IncrementalMode, r.Replayed, r.Recomputed, r.DirtyVertices)
 	}
 	if r.CancelledAt != "" {
 		s += " cancelled=" + r.CancelledAt

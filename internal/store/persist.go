@@ -66,6 +66,15 @@ type circuitRec struct {
 	Devices   int      `json:"devices"`
 	Nets      int      `json:"nets"`
 	SavedUnix int64    `json:"saved_unix"`
+
+	// Version is the circuit's edit version at manifest-write time;
+	// SnapVersion is the version the snapshot file covers.  Boot replays
+	// the edit log past SnapVersion, so the log (not Version) is the
+	// authority for the current version — a crash between log append and
+	// manifest rewrite leaves Version stale by design.  Zero values (a
+	// pre-edit-log manifest) read as version 1.
+	Version     uint64 `json:"edit_version,omitempty"`
+	SnapVersion uint64 `json:"snap_version,omitempty"`
 }
 
 type patternRec struct {
@@ -158,23 +167,40 @@ func (st *Store) loadDir() error {
 	return nil
 }
 
-// loadCircuitRec parses one snapshot back into a resident entry.
+// loadCircuitRec parses one snapshot back into a resident entry, replaying
+// any edit-log records past the snapshot's version (see edits.go).
 func (st *Store) loadCircuitRec(rec circuitRec) (*Entry, error) {
 	ckt, err := st.parseSnapshot(rec.File, rec.Display, rec.Globals)
 	if err != nil {
 		return nil, err
 	}
+	snapVersion := rec.SnapVersion
+	if snapVersion == 0 {
+		snapVersion = 1 // pre-edit-log manifest
+	}
+	version, steps, logCount, err := st.replayEditLog(rec.Name, ckt, snapVersion)
+	if err != nil {
+		return nil, fmt.Errorf("edit log %s.log: %w", rec.Name, err)
+	}
+	if version > snapVersion {
+		st.logf("store: circuit %q: replayed %d edit version(s) (%d -> %d)",
+			rec.Name, version-snapVersion, snapVersion, version)
+	}
 	e := &Entry{
-		name:     rec.Name,
-		display:  ckt.Name,
-		file:     rec.File,
-		ckt:      ckt,
-		view:     core.NewCSR(ckt),
-		bytes:    estimateBytes(ckt),
-		resident: true,
-		devices:  ckt.NumDevices(),
-		nets:     ckt.NumNets(),
-		saved:    time.Unix(rec.SavedUnix, 0),
+		name:        rec.Name,
+		display:     ckt.Name,
+		file:        rec.File,
+		ckt:         ckt,
+		view:        core.NewCSR(ckt),
+		bytes:       estimateBytes(ckt),
+		resident:    true,
+		devices:     ckt.NumDevices(),
+		nets:        ckt.NumNets(),
+		saved:       time.Unix(rec.SavedUnix, 0),
+		version:     version,
+		snapVersion: snapVersion,
+		steps:       steps,
+		logCount:    logCount,
 	}
 	for _, n := range ckt.Globals() {
 		e.globals = append(e.globals, n.Name)
@@ -278,13 +304,15 @@ func (st *Store) writeManifest() error {
 			continue
 		}
 		m.Circuits = append(m.Circuits, circuitRec{
-			Name:      e.name,
-			Display:   e.display,
-			File:      e.file,
-			Globals:   append([]string(nil), e.globals...),
-			Devices:   e.devices,
-			Nets:      e.nets,
-			SavedUnix: e.saved.Unix(),
+			Name:        e.name,
+			Display:     e.display,
+			File:        e.file,
+			Globals:     append([]string(nil), e.globals...),
+			Devices:     e.devices,
+			Nets:        e.nets,
+			SavedUnix:   e.saved.Unix(),
+			Version:     e.version,
+			SnapVersion: e.snapVersion,
 		})
 	}
 	for name := range st.patterns {

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"subgemini/internal/core"
+	"subgemini/internal/delta"
 	"subgemini/internal/graph"
 )
 
@@ -84,6 +85,10 @@ type Store struct {
 	globals  []string
 	logf     func(format string, args ...any)
 
+	// editMu serializes ApplyEdits and Flush: an edit clones, patches, and
+	// installs against one consistent predecessor entry.
+	editMu sync.Mutex
+
 	mu            sync.Mutex
 	entries       map[string]*Entry
 	lru           *list.List // of *Entry; front = most recently used
@@ -92,6 +97,8 @@ type Store struct {
 	residentBytes int64
 	evictions     int64
 	reloads       int64
+	edits         int64
+	csrRebuilds   int64 // edits whose CSR patch degraded to a full rebuild
 
 	// unhealthy is set while the last persistence operation failed; it is
 	// an atomic (not st.mu state) so Healthy can be read from the /readyz
@@ -131,6 +138,16 @@ type Entry struct {
 	bytes    int64
 	resident bool
 
+	// version numbers the circuit's edit history (1 at Put, +1 per
+	// ApplyEdits batch); snapVersion is the version the on-disk snapshot
+	// covers (they differ while the edit log holds unfolded records, see
+	// edits.go).  steps retains the last stepsKeep edit Steps for
+	// StepsSince; logCount counts records in the on-disk edit log.
+	version     uint64
+	snapVersion uint64
+	steps       []*delta.Step
+	logCount    int
+
 	// devices/nets cache the shape so Info works on demoted entries.
 	devices, nets int
 }
@@ -145,6 +162,7 @@ type Info struct {
 	Resident bool     `json:"resident"`
 	Snapshot bool     `json:"snapshot"`
 	Bytes    int64    `json:"bytes"`
+	Version  uint64   `json:"version"`
 }
 
 // Stats is the store-level gauge set for /metrics.
@@ -154,6 +172,8 @@ type Stats struct {
 	ResidentBytes int64
 	Evictions     int64
 	Reloads       int64
+	Edits         int64
+	CSRRebuilds   int64
 }
 
 // Open builds a Store and, when cfg.Dir is set, creates the directory
@@ -222,15 +242,17 @@ func (st *Store) Put(name string, ckt *graph.Circuit) (Info, error) {
 		ckt.MarkGlobal(g)
 	}
 	e := &Entry{
-		name:     name,
-		display:  ckt.Name,
-		ckt:      ckt,
-		view:     core.NewCSR(ckt),
-		bytes:    estimateBytes(ckt),
-		resident: true,
-		devices:  ckt.NumDevices(),
-		nets:     ckt.NumNets(),
-		saved:    time.Now(),
+		name:        name,
+		display:     ckt.Name,
+		ckt:         ckt,
+		view:        core.NewCSR(ckt),
+		bytes:       estimateBytes(ckt),
+		resident:    true,
+		devices:     ckt.NumDevices(),
+		nets:        ckt.NumNets(),
+		saved:       time.Now(),
+		version:     1,
+		snapVersion: 1,
 	}
 	for _, n := range ckt.Globals() {
 		e.globals = append(e.globals, n.Name)
@@ -262,6 +284,9 @@ func (st *Store) Put(name string, ckt *graph.Circuit) (Info, error) {
 
 	if st.dir != "" {
 		st.removeSnapshot(staleFile)
+		// A replace starts a fresh version lineage; any edit log of the old
+		// lineage is now meaningless.
+		st.removeEditLog(name)
 		if err := st.writeManifest(); err != nil {
 			return info, err
 		}
@@ -305,6 +330,7 @@ func (st *Store) Delete(name string) error {
 	}
 	if st.dir != "" {
 		st.removeSnapshot(e.file)
+		st.removeEditLog(name)
 		return st.writeManifest()
 	}
 	return nil
@@ -349,6 +375,8 @@ func (st *Store) Stats() Stats {
 		ResidentBytes: st.residentBytes,
 		Evictions:     st.evictions,
 		Reloads:       st.reloads,
+		Edits:         st.edits,
+		CSRRebuilds:   st.csrRebuilds,
 	}
 	for _, e := range st.entries {
 		if e.resident {
@@ -358,13 +386,11 @@ func (st *Store) Stats() Stats {
 	return s
 }
 
-// Close flushes the manifest.  Snapshots are written at Put time, so this
-// only rewrites the index (cheap) to capture any Delete-only sessions.
+// Close flushes dirty entries and the manifest.  Clean entries' snapshots
+// were written at Put or compaction time, so Flush skips them (see
+// edits.go); only circuits with unfolded edit-log records re-serialize.
 func (st *Store) Close() error {
-	if st.dir == "" {
-		return nil
-	}
-	return st.writeManifest()
+	return st.Flush()
 }
 
 // infoLocked builds an Info under st.mu.
@@ -378,6 +404,7 @@ func (st *Store) infoLocked(e *Entry) Info {
 		Resident: e.resident,
 		Snapshot: e.file != "",
 		Bytes:    e.bytes,
+		Version:  e.version,
 	}
 }
 
@@ -404,7 +431,9 @@ func (st *Store) evictLocked() {
 	for el := st.lru.Back(); el != nil && st.residentBytes > st.maxBytes; {
 		e := el.Value.(*Entry)
 		el = el.Prev()
-		if e.refs > 0 || !e.resident || e.file == "" {
+		if e.refs > 0 || !e.resident || e.file == "" || e.version != e.snapVersion {
+			// The last clause keeps edited-but-uncompacted entries resident:
+			// their snapshot alone cannot reproduce the current circuit.
 			continue
 		}
 		e.ckt = nil
@@ -449,6 +478,11 @@ func (h *Handle) Scratch() *core.ScratchPool { return &h.e.scratch }
 // Globals returns the names marked global on the entry's circuit at Put
 // time (store-level globals plus the netlist's own .GLOBAL nets).
 func (h *Handle) Globals() []string { return h.e.globals }
+
+// Version returns the edit version of the entry this handle leases.  It is
+// fixed for the handle's lifetime: edits install fresh entries, so a
+// concurrent PATCH never changes what an acquired handle sees.
+func (h *Handle) Version() uint64 { return h.e.version }
 
 // Release returns the lease.  Releasing twice is a no-op.
 func (h *Handle) Release() {

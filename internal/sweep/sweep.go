@@ -100,6 +100,30 @@ type Options struct {
 	// engine instead of the region-localized one (see
 	// core.Options.LegacyPhase2); results are identical either way.
 	LegacyPhase2 bool
+
+	// Incremental, when non-nil, lets per-pattern runs reuse match state
+	// captured against an earlier version of the main circuit (see
+	// core.FindIncremental).  Instances are identical with or without it.
+	Incremental Incremental
+}
+
+// Incremental supplies and collects per-pattern incremental match state.
+// Lookup is called once per executed run with the pattern clone (global
+// marks applied) and the exact core options of the run; it returns the
+// capture from a previous run of an equivalent pattern plus the dirty set
+// leading from that capture's circuit version to the current one, or
+// ok=false to force a full (but still capturing) run.  Store is called
+// with the fresh capture after the run; a nil capture means the run could
+// not capture and any prior entry should be left alone.
+//
+// The interface decouples the sweep engine from cache policy: the daemon
+// backs it with a versioned result cache keyed by circuit, version, and
+// pattern structure (internal/delta), while tests substitute fakes.
+// Implementations must be safe for concurrent use — workers call them in
+// parallel.
+type Incremental interface {
+	Lookup(pat *graph.Circuit, opts core.Options) (prev *core.IncrementalState, ds *core.DirtySet, ok bool)
+	Store(pat *graph.Circuit, opts core.Options, state *core.IncrementalState)
 }
 
 // PatternResult is one pattern's share of a sweep report.
@@ -130,6 +154,12 @@ type Report struct {
 	// len(Results)).
 	Runs    int
 	Deduped int
+
+	// Replayed / Recomputed total the Phase II candidate outcomes answered
+	// from a prior capture vs verified fresh, summed over executed runs.
+	// Both stay zero without Options.Incremental.
+	Replayed   int
+	Recomputed int
 
 	// Duration is the sweep's wall-clock time.
 	Duration time.Duration
@@ -267,6 +297,10 @@ func Run(g *graph.Circuit, patterns []Pattern, opts Options) (*Report, error) {
 		Runs:    len(order),
 		Deduped: deduped,
 	}
+	for _, i := range order {
+		out.Replayed += results[i].Report.Replayed
+		out.Recomputed += results[i].Report.Recomputed
+	}
 	for i := range patterns {
 		r := rep[i]
 		pr := PatternResult{Name: patterns[i].Name, Report: results[r].Report}
@@ -289,7 +323,7 @@ func runOne(g, pat *graph.Circuit, view *core.CSR, scratch *core.ScratchPool, in
 	if err := faults.Fire("sweep.worker"); err != nil {
 		return nil, err
 	}
-	m, err := core.NewMatcher(g, core.Options{
+	copts := core.Options{
 		Policy:       core.MatchAll,
 		MaxInstances: opts.MaxInstances,
 		Seed:         opts.Seed,
@@ -299,11 +333,24 @@ func runOne(g, pat *graph.Circuit, view *core.CSR, scratch *core.ScratchPool, in
 		Scratch:      scratch,
 		InitLabels:   init,
 		LegacyPhase2: opts.LegacyPhase2,
-	})
+	}
+	m, err := core.NewMatcher(g, copts)
 	if err != nil {
 		return nil, err
 	}
-	return m.Find(pat)
+	if opts.Incremental == nil {
+		return m.Find(pat)
+	}
+	prev, ds, ok := opts.Incremental.Lookup(pat, copts)
+	if !ok {
+		prev, ds = nil, nil // full run, but still capture for next time
+	}
+	res, next, err := m.FindIncremental(pat, prev, ds)
+	if err != nil {
+		return nil, err
+	}
+	opts.Incremental.Store(pat, copts, next)
+	return res, nil
 }
 
 // remap rekeys instances from Run's internal clone onto the circuit the

@@ -15,6 +15,12 @@
 //     POST /v1/match stays live; the pathological match itself is cut by
 //     its deadline and returns within 2x of it; goroutine counts return
 //     to the pre-overload baseline (no leaks).
+//   - edit-storm: concurrent sweeps race a sequence of PATCH edit
+//     batches with one injected edit-log write failure mid-storm; the
+//     failed PATCH leaves the version lineage intact (/readyz flips and
+//     recovers), the post-storm sweep replays from the result cache with
+//     counts identical to a forced full re-sweep, and replacing the
+//     circuit invalidates its cache entries.
 //
 // Usage (from the repository root):
 //
@@ -110,6 +116,11 @@ func run() error {
 		return fmt.Errorf("overload: %w", err)
 	}
 	fmt.Println("chaos-smoke: overload ok (bulk shed, match live, deadline cut the solve)")
+
+	if err := editStorm(bin, filepath.Join(tmp, "editstorm")); err != nil {
+		return fmt.Errorf("edit-storm: %w", err)
+	}
+	fmt.Println("chaos-smoke: edit-storm ok (replay survived concurrent edits and a log fault)")
 	return nil
 }
 
@@ -357,6 +368,218 @@ func overload(bin, dataDir string) error {
 			return fmt.Errorf("goroutines after overload = %d, baseline %d: leak", n, baseline)
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+	return d.stop()
+}
+
+// nandArray builds n disconnected CMOS NAND2 gates as top-level cards —
+// enough instances that a sweep's result cache has something to replay.
+func nandArray(n int) string {
+	var b strings.Builder
+	b.WriteString(".GLOBAL VDD GND\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "MP1_%d y%d a%d VDD pmos\n", i, i, i)
+		fmt.Fprintf(&b, "MP2_%d y%d b%d VDD pmos\n", i, i, i)
+		fmt.Fprintf(&b, "MN1_%d y%d a%d m%d nmos\n", i, i, i, i)
+		fmt.Fprintf(&b, "MN2_%d m%d b%d GND nmos\n", i, i, i)
+	}
+	b.WriteString(".END\n")
+	return b.String()
+}
+
+// sweepOnce runs one library sweep and returns the decoded response.
+func (d *daemon) sweepOnce(circuit, library string, sinceVersion uint64) (*sweepReply, error) {
+	body := fmt.Sprintf(`{"circuit":%q,"library":%q,"since_version":%d}`, circuit, library, sinceVersion)
+	var resp sweepReply
+	if err := d.do("POST", "/v1/sweep", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// sweepReply is the slice of the sweep response the storm asserts on.
+type sweepReply struct {
+	Count      int    `json:"count"`
+	Version    uint64 `json:"version"`
+	Replayed   int    `json:"replayed"`
+	Recomputed int    `json:"recomputed"`
+	Results    []struct {
+		Pattern string `json:"pattern"`
+		Count   int    `json:"count"`
+	} `json:"results"`
+}
+
+// editStorm: sweeps race PATCH edit batches, with the edit-log write
+// armed to fail once mid-storm.  The failed PATCH must not advance the
+// version lineage (/readyz flips and recovers with the next clean edit),
+// the post-storm sweep must replay from the result cache with per-pattern
+// counts identical to a forced full re-sweep, and replacing the circuit
+// must invalidate its cache entries.
+func editStorm(bin, dataDir string) error {
+	const patches = 12
+	// skip=6: the first six PATCH log appends pass, the seventh fails.
+	d, err := startDaemon(bin, dataDir, "-faults", "store.append-log=error:1:skip=6")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if err := d.putCircuit("mesh", nandArray(40)); err != nil {
+		return err
+	}
+	if err := d.do("PUT", "/v1/libraries/std", `{"patterns":["NAND2","INV"]}`, nil); err != nil {
+		return err
+	}
+	cold, err := d.sweepOnce("mesh", "std", 0)
+	if err != nil {
+		return err
+	}
+	if cold.Replayed != 0 {
+		return fmt.Errorf("cold sweep replayed %d candidates with an empty cache", cold.Replayed)
+	}
+	if cold.Count < 40 {
+		return fmt.Errorf("cold sweep found %d instances on 40 NAND2 gates, want >= 40", cold.Count)
+	}
+
+	// Sweepers hammer the circuit while the PATCH sequence lands.  They
+	// cannot assert counts — each runs against whatever version it leases —
+	// only that every sweep succeeds and stays internally consistent.
+	stop := make(chan struct{})
+	sweepErr := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					sweepErr <- nil
+					return
+				default:
+				}
+				if _, err := d.sweepOnce("mesh", "std", 0); err != nil {
+					sweepErr <- fmt.Errorf("sweep during storm: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	applied := 0
+	faultSeen := false
+	for i := 0; i < patches; i++ {
+		body := fmt.Sprintf(`{"ops":[{"op":"rewire_pin","device":"MN2_%d","pin":0,"net":"eco%d"}]}`, i, i)
+		code, _, respBody, err := d.doRaw("PATCH", "/v1/circuits/mesh", body)
+		if err != nil {
+			close(stop)
+			return err
+		}
+		switch {
+		case code == http.StatusOK:
+			applied++
+		case code >= 400 && !faultSeen:
+			// The injected log-append failure: the edit must not have
+			// applied, and the store reports degraded until a clean write.
+			faultSeen = true
+			if rcode, err := d.statusOf("GET", "/readyz", ""); err != nil {
+				close(stop)
+				return err
+			} else if rcode != http.StatusServiceUnavailable {
+				close(stop)
+				return fmt.Errorf("/readyz after injected edit-log fault = %d, want 503", rcode)
+			}
+		default:
+			close(stop)
+			return fmt.Errorf("PATCH %d = %d (%s), want 200 (or one injected failure)", i, code, respBody)
+		}
+	}
+	close(stop)
+	for i := 0; i < 3; i++ {
+		if err := <-sweepErr; err != nil {
+			return err
+		}
+	}
+	if !faultSeen {
+		return fmt.Errorf("the armed store.append-log fault never fired across %d PATCHes", patches)
+	}
+	if code, err := d.statusOf("GET", "/readyz", ""); err != nil {
+		return err
+	} else if code != http.StatusOK {
+		return fmt.Errorf("/readyz after the storm = %d, want 200 (clean edits recover the store)", code)
+	}
+
+	// The failed PATCH must be absent from the lineage: version = initial
+	// upload + successful edits, nothing skipped or double-counted.
+	var vl struct {
+		Version uint64 `json:"version"`
+	}
+	if err := d.do("GET", "/v1/circuits/mesh/versions", "", &vl); err != nil {
+		return err
+	}
+	wantVersion := uint64(1 + applied)
+	if vl.Version != wantVersion {
+		return fmt.Errorf("version after %d applied edits = %d, want %d", applied, vl.Version, wantVersion)
+	}
+
+	// Post-storm: the warm sweep replays from the cache, and a forced full
+	// re-sweep (since_version past the head) agrees pattern by pattern.
+	warm, err := d.sweepOnce("mesh", "std", 0)
+	if err != nil {
+		return err
+	}
+	if warm.Replayed == 0 {
+		return fmt.Errorf("post-storm sweep replayed nothing; the result cache sat out the storm")
+	}
+	full, err := d.sweepOnce("mesh", "std", wantVersion+1000)
+	if err != nil {
+		return err
+	}
+	if full.Replayed != 0 {
+		return fmt.Errorf("since_version past the head still replayed %d candidates", full.Replayed)
+	}
+	if len(warm.Results) != len(full.Results) {
+		return fmt.Errorf("warm sweep has %d patterns, full has %d", len(warm.Results), len(full.Results))
+	}
+	for i := range warm.Results {
+		if warm.Results[i].Count != full.Results[i].Count {
+			return fmt.Errorf("pattern %s: warm replay found %d instances, full re-sweep %d",
+				warm.Results[i].Pattern, warm.Results[i].Count, full.Results[i].Count)
+		}
+	}
+	fmt.Printf("  chaos: %d edits applied, warm sweep replayed %d / recomputed %d, counts match full\n",
+		applied, warm.Replayed, warm.Recomputed)
+
+	mets, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if got := int(mets["subgeminid_delta_edits_total"]); got != applied {
+		return fmt.Errorf("subgeminid_delta_edits_total = %d, want %d", got, applied)
+	}
+	if mets["subgeminid_result_cache_hits_total"] < 1 {
+		return fmt.Errorf("subgeminid_result_cache_hits_total = %v, want >= 1", mets["subgeminid_result_cache_hits_total"])
+	}
+	if mets["subgeminid_faults_fired_total"] < 1 {
+		return fmt.Errorf("subgeminid_faults_fired_total = %v, want >= 1", mets["subgeminid_faults_fired_total"])
+	}
+
+	// Replacement starts a new version lineage: the cache entries drop and
+	// the next sweep is a full, re-capturing run.
+	if err := d.putCircuit("mesh", nandArray(40)); err != nil {
+		return err
+	}
+	mets, err = d.metrics()
+	if err != nil {
+		return err
+	}
+	if mets["subgeminid_result_cache_invalidations_total"] < 1 {
+		return fmt.Errorf("subgeminid_result_cache_invalidations_total = %v after replacement, want >= 1",
+			mets["subgeminid_result_cache_invalidations_total"])
+	}
+	fresh, err := d.sweepOnce("mesh", "std", 0)
+	if err != nil {
+		return err
+	}
+	if fresh.Replayed != 0 {
+		return fmt.Errorf("sweep after replacement replayed %d candidates from a dead lineage", fresh.Replayed)
 	}
 	return d.stop()
 }
