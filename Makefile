@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all tier1 build test vet race diff diff-phase2 diff-incremental bench bench-smoke bench-sweep bench-phase2 bench-incremental smoke-daemon chaos-smoke bench-compare docs docs-check clean
+.PHONY: all tier1 build test vet lint-logs race diff diff-phase2 diff-incremental bench bench-smoke bench-sweep bench-phase2 bench-incremental smoke-daemon chaos-smoke bench-compare docs docs-check clean
 
 all: tier1
 
@@ -12,7 +12,7 @@ all: tier1
 # The differential run and the benchmark smoke keep the Phase I engines
 # honest: every engine configuration must agree bit for bit, and the
 # benchmarks must at least compile and complete one iteration.
-tier1: vet docs-check race diff bench-smoke smoke-daemon chaos-smoke
+tier1: vet lint-logs docs-check race diff bench-smoke smoke-daemon chaos-smoke
 
 # Engine differentials: Phase I legacy vs CSR vs striped CSR, Phase II
 # whole-graph vs region-localized, and the incremental replay engine vs
@@ -79,6 +79,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Structured-logging boundary: code under internal/ must not import the
+# legacy "log" package (internal/obs owns slog; printf-style lines lose
+# the request_id correlation the telemetry layer provides).
+lint-logs:
+	$(GO) run ./scripts/lintlogs
 
 race:
 	$(GO) test -race ./...

@@ -32,6 +32,8 @@
 //	GET  /metrics                Prometheus-style metrics: counters, store
 //	                             and job gauges, per-phase histograms,
 //	                             per-pattern outcome counters
+//	GET  /debug/requests         flight recorder: kept request timelines
+//	GET  /debug/requests/{id}    one request's span timeline(s) by ID
 //	GET  /debug/pprof/           Go runtime profiles (CPU, heap, ...)
 //
 // Flags:
@@ -64,6 +66,13 @@
 //	-retry-after D       Retry-After hint on shed responses (0 = 2s)
 //	-faults SPEC         arm fault-injection points (testing only); also
 //	                     settable via $SUBGEMINID_FAULTS
+//	-log-format text     daemon log encoding: "text" or "json"
+//	-log-level info      minimum log level: debug, info, warn, error
+//	-slow-request D      requests over D log a slow-request line and are
+//	                     always kept by the flight recorder (0 = 1s)
+//	-flight-recorder N   flight-recorder ring capacity in timelines (0 = 256)
+//	-flight-sample N     tail-sampling rate for unremarkable requests:
+//	                     keep 1 in N (0 = 16; 1 keeps everything)
 //	-no-preload          skip compiling the built-in library at startup
 //	-noincremental       disable the incremental matcher and its versioned
 //	                     result cache; every match and sweep runs the full
@@ -99,6 +108,7 @@ import (
 
 	"subgemini"
 	"subgemini/internal/faults"
+	"subgemini/internal/obs"
 )
 
 func main() {
@@ -141,9 +151,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		shedMem     = flags.Int64("shed-memory-bytes", 0, "shed batch/sweep/job submissions while the Go heap in use is at or past this (0 = off)")
 		retryAfter  = flags.Duration("retry-after", 0, "Retry-After hint on shed responses, rounded to whole seconds (0 = 2s)")
 		faultSpec   = flags.String("faults", "", "arm fault-injection points, e.g. 'store.reload=error:1,jobs.run=panic' (testing only; overrides $SUBGEMINID_FAULTS)")
+		logFormat   = flags.String("log-format", "text", `log encoding: "text" or "json"`)
+		logLevel    = flags.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		slowReq     = flags.Duration("slow-request", 0, "requests over this duration log a slow-request line and are always kept by the flight recorder (0 = 1s)")
+		flightSize  = flags.Int("flight-recorder", 0, "flight-recorder ring capacity in timelines (0 = 256)")
+		flightN     = flags.Int("flight-sample", 0, "tail-sampling rate for unremarkable requests, keep 1 in N (0 = 16; 1 keeps everything)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf(`-log-format %q: want "text" or "json"`, *logFormat)
+	}
+	if !obs.ParseLevelOK(*logLevel) {
+		return fmt.Errorf("-log-level %q: want debug, info, warn, or error", *logLevel)
 	}
 	if spec := *faultSpec; spec != "" || os.Getenv("SUBGEMINID_FAULTS") != "" {
 		if spec == "" {
@@ -175,9 +196,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		JobWorkers:         *jobWorkers,
 		JobQueue:           *jobQueue,
 		JobRetention:       *jobKeep,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(stderr, "subgeminid: "+format+"\n", a...)
-		},
+		Log:                obs.NewLogger(stderr, *logFormat, *logLevel),
+		SlowRequest:        *slowReq,
+		FlightRecorderSize: *flightSize,
+		FlightSampleN:      *flightN,
 	}
 	if *globalsCSV != "" {
 		cfg.Globals = strings.Split(*globalsCSV, ",")

@@ -2,21 +2,33 @@
 // subgemini -trace or any Options.Tracer sink) as human-readable tables:
 // one Phase I relabeling table and one Phase II candidate table per run.
 //
+// It also renders subgeminid request-timeline JSON — the body of
+// GET /debug/requests/{id} (or a single timeline object from the list
+// endpoint) — as an indented span table, so forensics on a captured
+// request is one pipe away:
+//
+//	curl -s localhost:8080/debug/requests/r-ab12-000003 | tracefmt
+//
 // Usage:
 //
 //	tracefmt run.jsonl
 //	subgemini -circuit chip.sp -cell NAND2 -trace - | tracefmt
 //
-// With no argument (or "-") the stream is read from stdin.
+// With no argument (or "-") the stream is read from stdin.  The input
+// format is detected from the payload itself: a JSON object with
+// "timelines" or "spans" is a timeline; anything else is a trace stream.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"os"
 
 	"subgemini"
+	"subgemini/internal/obs"
 )
 
 func main() {
@@ -31,7 +43,7 @@ func main() {
 // drive it without spawning a process.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) > 1 {
-		return fmt.Errorf("usage: tracefmt [trace.jsonl]")
+		return fmt.Errorf("usage: tracefmt [trace.jsonl | timeline.json]")
 	}
 	in := stdin
 	if len(args) == 1 && args[0] != "-" {
@@ -42,9 +54,46 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	events, err := subgemini.ReadTraceJSONL(in)
+	src, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	if tls, ok := parseTimelines(src); ok {
+		for i, tl := range tls {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			obs.RenderTimeline(stdout, tl)
+		}
+		return nil
+	}
+	events, err := subgemini.ReadTraceJSONL(bytes.NewReader(src))
 	if err != nil {
 		return err
 	}
 	return subgemini.RenderTrace(stdout, events)
+}
+
+// parseTimelines recognizes the two timeline shapes the daemon serves: the
+// GET /debug/requests/{id} envelope ({"request_id":..., "timelines":[...]})
+// and a bare timeline object ({"request_id":..., "spans":[...]}).
+func parseTimelines(src []byte) ([]obs.TimelineJSON, bool) {
+	var probe struct {
+		Timelines []obs.TimelineJSON `json:"timelines"`
+		Spans     []obs.SpanJSON     `json:"spans"`
+	}
+	if err := json.Unmarshal(src, &probe); err != nil {
+		return nil, false
+	}
+	if len(probe.Timelines) > 0 {
+		return probe.Timelines, true
+	}
+	if probe.Spans != nil {
+		var tl obs.TimelineJSON
+		if err := json.Unmarshal(src, &tl); err != nil {
+			return nil, false
+		}
+		return []obs.TimelineJSON{tl}, true
+	}
+	return nil, false
 }

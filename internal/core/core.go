@@ -29,6 +29,7 @@ import (
 
 	"subgemini/internal/csr"
 	"subgemini/internal/graph"
+	"subgemini/internal/obs"
 	"subgemini/internal/label"
 	"subgemini/internal/stats"
 	"subgemini/internal/trace"
@@ -154,6 +155,22 @@ type Options struct {
 	// The hook must be safe for concurrent use (ctx.Err is): FindParallel
 	// workers and striped Phase I passes poll it from several goroutines.
 	Cancel func() error
+
+	// Observe, when non-nil, receives span timelines for the run: one
+	// phase1 span (attrs: passes, cv_size), one phase2 span (attrs:
+	// candidates, instances — or replayed/recomputed on the incremental
+	// path), and a csr-build span when the matcher has to construct its own
+	// adjacency view.  Wiring a request timeline in is one line:
+	//
+	//	opts.Observe = obs.ScopeFromContext(ctx)
+	//
+	// Like Cancel, the hook must be safe for concurrent use: FindParallel
+	// workers and sweep workers emit spans from several goroutines (the
+	// Timeline behind a Scope is mutex-protected).  A nil Observe costs
+	// nothing — the disabled path performs zero allocations, pinned by
+	// TestObserveDisabledNoAllocs — and the field never affects results,
+	// so delta.PatternKey deliberately excludes it.
+	Observe *obs.Scope
 
 	// Trace, when non-nil, receives a human-readable account of the run.
 	Trace io.Writer
@@ -359,7 +376,16 @@ func (m *Matcher) csrView() *csr.Graph {
 		if v := m.opts.CSR; v != nil && v.Fits(m.g) {
 			m.gCSR = v
 		} else {
+			ref := obs.NoSpan
+			if o := m.opts.Observe; o != nil {
+				ref = o.Begin(obs.KindCSRBuild, m.g.Name)
+			}
 			m.gCSR = csr.New(m.g)
+			if o := m.opts.Observe; o != nil {
+				o.AttrInt(ref, "devices", int64(len(m.g.Devices)))
+				o.AttrInt(ref, "nets", int64(len(m.g.Nets)))
+				o.End(ref)
+			}
 		}
 	}
 	return m.gCSR
@@ -491,9 +517,18 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 
 	// Phase I: choose the key vertex and candidate vector.
 	t0 := time.Now()
+	p1Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p1Ref = o.Begin(obs.KindPhase1, pat.s.Name)
+	}
 	p1 := newPhase1(m, pat, &res.Report)
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p1Ref, "passes", int64(res.Report.Phase1Passes))
+		o.AttrInt(p1Ref, "cv_size", int64(len(cv)))
+		o.End(p1Ref)
+	}
 	if err != nil {
 		// p1.run errors only when Options.Cancel fired; hand back the
 		// partial report so callers can see where the run was cut.
@@ -529,12 +564,19 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 
 	// Phase II: verify each candidate.
 	t1 := time.Now()
+	p2Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p2Ref = o.Begin(obs.KindPhase2, pat.s.Name)
+	}
 	p2, err := m.newPhase2Engine(pat, key, &res.Report)
 	if err != nil {
 		// The pattern references a global net absent from G: no instance
 		// can exist.
 		m.opts.tracef("phase2: %v", err)
 		res.Report.Phase2Duration = time.Since(t1)
+		if o := m.opts.Observe; o != nil {
+			o.End(p2Ref)
+		}
 		if tr != nil {
 			tr.Event(trace.Event{Kind: trace.KindRunEnd})
 		}
@@ -550,6 +592,10 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		if err := m.opts.cancelled(); err != nil {
 			res.Report.CancelledAt = "phase2"
 			res.Report.Phase2Duration = time.Since(t1)
+			if o := m.opts.Observe; o != nil {
+				o.AttrInt(p2Ref, "candidates", int64(res.Report.Candidates))
+				o.End(p2Ref)
+			}
 			return res, err
 		}
 		res.Report.Candidates++
@@ -560,6 +606,10 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 				// recursion; the candidate's partial state was discarded.
 				res.Report.CancelledAt = "phase2"
 				res.Report.Phase2Duration = time.Since(t1)
+				if o := m.opts.Observe; o != nil {
+					o.AttrInt(p2Ref, "candidates", int64(res.Report.Candidates))
+					o.End(p2Ref)
+				}
 				return res, err
 			}
 			if inst == nil {
@@ -593,6 +643,11 @@ func (m *Matcher) Find(s *graph.Circuit) (*Result, error) {
 		}
 	}
 	res.Report.Phase2Duration = time.Since(t1)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p2Ref, "candidates", int64(res.Report.Candidates))
+		o.AttrInt(p2Ref, "instances", int64(res.Report.Instances))
+		o.End(p2Ref)
+	}
 	if tr != nil {
 		tr.Event(trace.Event{Kind: trace.KindRunEnd,
 			Instances: len(res.Instances), Candidates: res.Report.Candidates})

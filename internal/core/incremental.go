@@ -8,6 +8,7 @@ import (
 	"subgemini/internal/csr"
 	"subgemini/internal/graph"
 	"subgemini/internal/label"
+	"subgemini/internal/obs"
 )
 
 // This file implements incremental re-matching after circuit edits: given
@@ -223,9 +224,19 @@ func (m *Matcher) findCapture(pat *pattern) (*Result, *IncrementalState, error) 
 	res.Report.IncrementalMode = "full"
 
 	t0 := time.Now()
+	p1Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p1Ref = o.Begin(obs.KindPhase1, pat.s.Name)
+	}
 	p1 := newPhase1(m, pat, &res.Report)
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
+	if o := m.opts.Observe; o != nil {
+		o.Attr(p1Ref, "mode", "full")
+		o.AttrInt(p1Ref, "passes", int64(res.Report.Phase1Passes))
+		o.AttrInt(p1Ref, "cv_size", int64(len(cv)))
+		o.End(p1Ref)
+	}
 	if err != nil {
 		res.Report.CancelledAt = "phase1"
 		return res, nil, err
@@ -330,6 +341,12 @@ func (m *Matcher) findReplay(pat *pattern, prev *IncrementalState, ds *DirtySet)
 	rc := newReplayCtx(prev, ds, nd, nn)
 
 	t0 := time.Now()
+	p1Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p1Ref = o.Begin(obs.KindPhase1, pat.s.Name)
+		o.Attr(p1Ref, "mode", "replay")
+		o.AttrInt(p1Ref, "dirty", int64(res.Report.DirtyVertices))
+	}
 	p1 := newPhase1(m, pat, &res.Report)
 	gn := p1.gSpace.Size()
 
@@ -374,6 +391,11 @@ func (m *Matcher) findReplay(pat *pattern, prev *IncrementalState, ds *DirtySet)
 		var err error
 		key, cv, err = p1.run()
 		res.Report.Phase1Duration = time.Since(t0)
+		if o := m.opts.Observe; o != nil {
+			o.Attr(p1Ref, "degraded", "true")
+			o.AttrInt(p1Ref, "cv_size", int64(len(cv)))
+			o.End(p1Ref)
+		}
 		if err != nil {
 			res.Report.CancelledAt = "phase1"
 			return res, nil, err
@@ -403,6 +425,9 @@ func (m *Matcher) findReplay(pat *pattern, prev *IncrementalState, ds *DirtySet)
 		if err := p1.runRegion(); err != nil {
 			res.Report.Phase1Duration = time.Since(t0)
 			res.Report.CancelledAt = "phase1"
+			if o := m.opts.Observe; o != nil {
+				o.End(p1Ref)
+			}
 			return res, nil, err
 		}
 		// Depths beyond E+1 may be contaminated by the frozen boundary;
@@ -432,6 +457,11 @@ func (m *Matcher) findReplay(pat *pattern, prev *IncrementalState, ds *DirtySet)
 		p1.gActDev, p1.gActNet = actDev, actNet
 		key, cv = p1.chooseCandidates()
 		res.Report.Phase1Duration = time.Since(t0)
+		if o := m.opts.Observe; o != nil {
+			o.AttrInt(p1Ref, "region", int64(len(region)))
+			o.AttrInt(p1Ref, "cv_size", int64(len(cv)))
+			o.End(p1Ref)
+		}
 	}
 	res.Report.CVSize = len(cv)
 	return m.finishIncremental(pat, p1, key, cv, res, rc)
@@ -555,11 +585,18 @@ func (m *Matcher) finishIncremental(pat *pattern, p1 *phase1, key label.VID, cv 
 	state.keyVID = key
 
 	t1 := time.Now()
+	p2Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p2Ref = o.Begin(obs.KindPhase2, pat.s.Name)
+	}
 	p2, err := m.newPhase2Engine(pat, key, &res.Report)
 	if err != nil {
 		// The pattern references a global net absent from G: no instance
 		// can exist (same contract as Find).
 		res.Report.Phase2Duration = time.Since(t1)
+		if o := m.opts.Observe; o != nil {
+			o.End(p2Ref)
+		}
 		state.gLab = append([]label.Value(nil), p1.gLab...)
 		state.gState = append([]g1State(nil), p1.gState...)
 		return res, state, nil
@@ -588,6 +625,9 @@ func (m *Matcher) finishIncremental(pat *pattern, p1 *phase1, key label.VID, cv 
 		if err := m.opts.cancelled(); err != nil {
 			res.Report.CancelledAt = "phase2"
 			res.Report.Phase2Duration = time.Since(t1)
+			if o := m.opts.Observe; o != nil {
+				o.End(p2Ref)
+			}
 			return res, nil, err
 		}
 		res.Report.Candidates++
@@ -613,6 +653,9 @@ func (m *Matcher) finishIncremental(pat *pattern, p1 *phase1, key label.VID, cv 
 			if err := p2.cancelled(); err != nil {
 				res.Report.CancelledAt = "phase2"
 				res.Report.Phase2Duration = time.Since(t1)
+				if o := m.opts.Observe; o != nil {
+					o.End(p2Ref)
+				}
 				return res, nil, err
 			}
 			res.Report.Recomputed++
@@ -633,6 +676,13 @@ func (m *Matcher) finishIncremental(pat *pattern, p1 *phase1, key label.VID, cv 
 		}
 	}
 	res.Report.Phase2Duration = time.Since(t1)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p2Ref, "candidates", int64(res.Report.Candidates))
+		o.AttrInt(p2Ref, "replayed", int64(res.Report.Replayed))
+		o.AttrInt(p2Ref, "recomputed", int64(res.Report.Recomputed))
+		o.AttrInt(p2Ref, "instances", int64(res.Report.Instances))
+		o.End(p2Ref)
+	}
 	state.gLab = append([]label.Value(nil), p1.gLab...)
 	state.gState = append([]g1State(nil), p1.gState...)
 	return res, state, nil

@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"testing"
+
+	"subgemini/internal/core"
+	"subgemini/internal/gen/paperex"
+	"subgemini/internal/obs"
+)
+
+// TestFindEmitsObserveSpans runs the paper's worked example with a timeline
+// attached and checks the span stream: a csr-build span (the matcher had to
+// construct its own view), a phase1 span with pass/CV attributes, and a
+// phase2 span with candidate/instance attributes.
+func TestFindEmitsObserveSpans(t *testing.T) {
+	tl := obs.NewTimeline("r-test", "http", "POST", "/v1/match")
+	res, err := core.Find(paperex.PaperMain(), paperex.PaperPattern(), core.Options{Observe: tl.Scope(obs.NoSpan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1", len(res.Instances))
+	}
+	tl.Finish(200)
+	js := tl.JSON()
+	byKind := map[string]obs.SpanJSON{}
+	for _, sp := range js.Spans {
+		byKind[sp.Kind] = sp
+	}
+	if _, ok := byKind[obs.KindCSRBuild]; !ok {
+		t.Errorf("no csr-build span in %+v", js.Spans)
+	}
+	p1, ok := byKind[obs.KindPhase1]
+	if !ok {
+		t.Fatalf("no phase1 span in %+v", js.Spans)
+	}
+	if p1.Name != "paperS" || p1.Attrs["cv_size"] != "2" || p1.Attrs["passes"] == "" {
+		t.Errorf("phase1 span = %+v, want pattern paperS, cv_size 2, passes set", p1)
+	}
+	p2, ok := byKind[obs.KindPhase2]
+	if !ok {
+		t.Fatalf("no phase2 span in %+v", js.Spans)
+	}
+	if p2.Attrs["candidates"] != "2" || p2.Attrs["instances"] != "1" {
+		t.Errorf("phase2 span = %+v, want 2 candidates, 1 instance", p2)
+	}
+	if p2.Open || p1.Open {
+		t.Error("phase spans left open")
+	}
+}
+
+// TestFindParallelEmitsObserveSpans checks the parallel path emits the same
+// phase1/phase2 spans (it must not fall back to sequential just because a
+// timeline is attached, unlike Trace/Tracer).
+func TestFindParallelEmitsObserveSpans(t *testing.T) {
+	tl := obs.NewTimeline("r-par", "http", "POST", "/v1/match")
+	m, err := core.NewMatcher(paperex.PaperMain(), core.Options{Observe: tl.Scope(obs.NoSpan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.FindParallel(paperex.PaperPattern(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != 1 {
+		t.Fatalf("found %d instances, want 1", len(res.Instances))
+	}
+	kinds := map[string]int{}
+	for _, sp := range tl.JSON().Spans {
+		kinds[sp.Kind]++
+	}
+	if kinds[obs.KindPhase1] != 1 || kinds[obs.KindPhase2] != 1 {
+		t.Errorf("span kinds %v, want one phase1 and one phase2", kinds)
+	}
+}
+
+// TestFindIncrementalEmitsObserveSpans checks the capture path tags its
+// phase1 span mode=full and its phase2 span with replayed/recomputed.
+func TestFindIncrementalEmitsObserveSpans(t *testing.T) {
+	tl := obs.NewTimeline("r-inc", "http", "POST", "/v1/match")
+	m, err := core.NewMatcher(paperex.PaperMain(), core.Options{Observe: tl.Scope(obs.NoSpan)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := m.FindIncremental(paperex.PaperPattern(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || len(res.Instances) != 1 {
+		t.Fatalf("capture run: %d instances, state %v", len(res.Instances), st != nil)
+	}
+	byKind := map[string]obs.SpanJSON{}
+	for _, sp := range tl.JSON().Spans {
+		byKind[sp.Kind] = sp
+	}
+	if byKind[obs.KindPhase1].Attrs["mode"] != "full" {
+		t.Errorf("phase1 span = %+v, want mode=full", byKind[obs.KindPhase1])
+	}
+	if byKind[obs.KindPhase2].Attrs["recomputed"] != "2" {
+		t.Errorf("phase2 span = %+v, want recomputed=2", byKind[obs.KindPhase2])
+	}
+}
+
+// TestObserveDisabledNoAllocs pins the acceptance criterion that a nil
+// Options.Observe adds zero allocations to the match path.  Two pins: the
+// nil-scope operations core would invoke are exactly allocation-free (the
+// mechanism — every emission site guards on Observe != nil and never
+// renders attrs first), and a warmed matcher's Find does not allocate more
+// with the nil hook than the same warmed matcher measured again (the
+// end-to-end effect).
+func TestObserveDisabledNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector instrumentation allocations")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var sc *obs.Scope
+		ref := sc.Begin(obs.KindPhase1, "x")
+		sc.Attr(ref, "k", "v")
+		sc.AttrInt(ref, "n", 42)
+		sc.End(ref)
+	})
+	if allocs != 0 {
+		t.Errorf("nil scope operations allocate %.1f/run, want 0", allocs)
+	}
+
+	g, s := paperex.PaperMain(), paperex.PaperPattern()
+	m, err := core.NewMatcher(g, core.Options{Scratch: &core.ScratchPool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every lazy cache (CSR view, labels, interning) with one run,
+	// then check run-to-run stability: the guarded emissions contribute
+	// nothing, so two measurements of the same warmed matcher agree.
+	if _, err := m.Find(s); err != nil {
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(100, func() { m.Find(s) })
+	again := testing.AllocsPerRun(100, func() { m.Find(s) })
+	if again > base {
+		t.Errorf("nil Observe path allocates %.0f/run, baseline %.0f", again, base)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"subgemini/internal/graph"
+	"subgemini/internal/obs"
 	"subgemini/internal/stats"
 	"subgemini/internal/trace"
 )
@@ -62,6 +63,10 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	}
 
 	t0 := time.Now()
+	p1Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p1Ref = o.Begin(obs.KindPhase1, pat.s.Name)
+	}
 	p1 := newPhase1(m, pat, &res.Report)
 	if m.opts.Workers == 0 && !m.opts.LegacyPhase1 {
 		// Unless the caller pinned a Phase I worker count, reuse the
@@ -71,6 +76,11 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	}
 	key, cv, err := p1.run()
 	res.Report.Phase1Duration = time.Since(t0)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p1Ref, "passes", int64(res.Report.Phase1Passes))
+		o.AttrInt(p1Ref, "cv_size", int64(len(cv)))
+		o.End(p1Ref)
+	}
 	if err != nil {
 		res.Report.CancelledAt = "phase1"
 		return res, err
@@ -107,6 +117,10 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		m.typeID(d.Type)
 	}
 	t1 := time.Now()
+	p2Ref := obs.NoSpan
+	if o := m.opts.Observe; o != nil {
+		p2Ref = o.Begin(obs.KindPhase2, pat.s.Name)
+	}
 	type shard struct {
 		instances []*Instance
 		report    stats.Report
@@ -148,6 +162,10 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 	}
 	wg.Wait()
 	res.Report.Phase2Duration = time.Since(t1)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p2Ref, "workers", int64(workers))
+		o.End(p2Ref)
+	}
 	// Cancellation is monotonic (a cancelled context stays cancelled), so
 	// one poll after the join decides whether the run was cut short; the
 	// per-shard latch catches a hook whose error was observed only inside a
@@ -212,6 +230,10 @@ func (m *Matcher) FindParallel(s *graph.Circuit, workers int) (*Result, error) {
 		res.Report.MatchedDevices += len(k.inst.DevMap)
 	}
 	res.Report.Instances = len(res.Instances)
+	if o := m.opts.Observe; o != nil {
+		o.AttrInt(p2Ref, "candidates", int64(res.Report.Candidates))
+		o.AttrInt(p2Ref, "instances", int64(res.Report.Instances))
+	}
 	if tr != nil {
 		tr.Event(trace.Event{Kind: trace.KindRunEnd,
 			Instances: len(res.Instances), Candidates: res.Report.Candidates})

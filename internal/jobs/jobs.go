@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"subgemini/internal/faults"
+	"subgemini/internal/obs"
 )
 
 func init() {
@@ -99,8 +101,9 @@ type Config struct {
 	// recovery).
 	Dir string
 
-	// Logf, when non-nil, receives recovery and worker-panic lines.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives recovery, worker-panic, and persistence
+	// lines as structured records; nil discards them.
+	Log *slog.Logger
 }
 
 // View is the client-visible job record; it is also the persisted form.
@@ -112,6 +115,7 @@ type View struct {
 	CreatedMS  int64           `json:"created_unix_ms"`
 	StartedMS  int64           `json:"started_unix_ms,omitempty"`
 	FinishedMS int64           `json:"finished_unix_ms,omitempty"`
+	RequestID  string          `json:"request_id,omitempty"`
 	Request    json.RawMessage `json:"request,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 }
@@ -170,8 +174,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = time.Hour
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = obs.Discard()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
@@ -222,7 +226,7 @@ func (e *Engine) recover() error {
 			err = json.Unmarshal(raw, &v)
 		}
 		if err != nil || v.ID == "" {
-			e.cfg.Logf("jobs: record %s unreadable (%v); moved aside", name, err)
+			e.cfg.Log.Warn("job record unreadable; moved aside", "record", name, "err", err)
 			os.Rename(path, path+".corrupt")
 			continue
 		}
@@ -242,7 +246,7 @@ func (e *Engine) recover() error {
 		}
 	}
 	if len(e.jobs) > 0 {
-		e.cfg.Logf("jobs: recovered %d record(s), %d marked failed after interruption", len(e.jobs), recovered)
+		e.cfg.Log.Info("recovered job records", "records", len(e.jobs), "failed_after_interruption", recovered)
 	}
 	return nil
 }
@@ -260,6 +264,13 @@ func idNumber(id string) (int, bool) {
 // Submit enqueues work.  The request payload is stored verbatim on the
 // record for clients to correlate; fn runs when a worker frees.
 func (e *Engine) Submit(kind string, request json.RawMessage, fn Runner) (View, error) {
+	return e.SubmitWithRequestID(kind, "", request, fn)
+}
+
+// SubmitWithRequestID is Submit carrying the originating request's telemetry
+// ID, persisted on the job record so a /debug/requests lookup by the
+// submitting response's X-Request-Id finds the async work it spawned.
+func (e *Engine) SubmitWithRequestID(kind, requestID string, request json.RawMessage, fn Runner) (View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -274,6 +285,7 @@ func (e *Engine) Submit(kind string, request json.RawMessage, fn Runner) (View, 
 			ID:        fmt.Sprintf("j-%06d", e.nextID),
 			Kind:      kind,
 			State:     Queued,
+			RequestID: requestID,
 			CreatedMS: nowMS(),
 			Request:   request,
 		},
@@ -345,7 +357,7 @@ func (e *Engine) run(j *job) {
 func (e *Engine) runSafe(fn Runner, ctx context.Context) (res any, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			e.cfg.Logf("jobs: runner panicked: %v", rec)
+			e.cfg.Log.Error("job runner panicked", "panic", fmt.Sprint(rec))
 			err = fmt.Errorf("job panicked: %v", rec)
 		}
 	}()
@@ -515,7 +527,7 @@ func (e *Engine) persist(j *job) {
 			return
 		}
 	}
-	e.cfg.Logf("jobs: persisting %s (gave up after %d attempts): %v", j.view.ID, persistAttempts, err)
+	e.cfg.Log.Error("persisting job record failed", "job", j.view.ID, "attempts", persistAttempts, "err", err)
 }
 
 // persistOnce is one atomic record-write attempt: temp file, fsync, rename.

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Keep reasons, in classification precedence order: a shed beats a cancel
+// beats an error beats slow beats the probabilistic sample.  /metrics
+// renders one subgeminid_flight_recorder_kept_total{reason=...} series per
+// entry of KeepReasons.
+const (
+	KeepShed    = "shed"    // 429: load-shed before any work happened
+	KeepCancel  = "cancel"  // deadline exceeded or client went away
+	KeepError   = "error"   // 5xx outcome
+	KeepSlow    = "slow"    // total duration over the -slow-request threshold
+	KeepSampled = "sampled" // ordinary request kept by 1-in-N tail sampling
+)
+
+// KeepReasons enumerates every keep reason in the order /metrics renders
+// them.
+var KeepReasons = []string{KeepShed, KeepCancel, KeepError, KeepSlow, KeepSampled}
+
+// Recorder is the tail-sampling flight recorder: a fixed-size ring of
+// completed timelines.  Interesting requests (sheds, cancellations, errors,
+// slow ones) are always kept; the rest are kept one-in-N so the ring keeps
+// a background of normal traffic to compare against.  Sampling is a
+// deterministic counter, not a PRNG, so tests can predict exactly which
+// requests survive.
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []*Timeline
+	next     int
+	sampleN  uint64
+	slow     time.Duration
+	tick     uint64
+	spans    map[string]uint64
+	kept     map[string]uint64
+	slowSeen uint64
+}
+
+// Defaults applied when NewRecorder gets zero values.
+const (
+	DefaultRecorderSize = 256
+	DefaultSampleN      = 16
+	DefaultSlowRequest  = time.Second
+)
+
+// NewRecorder builds a recorder holding size timelines, keeping 1-in-sampleN
+// uninteresting requests, with slow as the always-keep latency threshold.
+// Zero values take the defaults above; the recorder is always on.
+func NewRecorder(size, sampleN int, slow time.Duration) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	if sampleN <= 0 {
+		sampleN = DefaultSampleN
+	}
+	if slow <= 0 {
+		slow = DefaultSlowRequest
+	}
+	return &Recorder{
+		ring:    make([]*Timeline, 0, size),
+		sampleN: uint64(sampleN),
+		slow:    slow,
+		spans:   make(map[string]uint64),
+		kept:    make(map[string]uint64),
+	}
+}
+
+// SlowThreshold returns the always-keep latency threshold.
+func (r *Recorder) SlowThreshold() time.Duration { return r.slow }
+
+// Classify returns the keep reason for a finished timeline, or "" to drop
+// it.  Exposed for tests; Observe applies it.
+func (r *Recorder) Classify(t *Timeline) string {
+	t.mu.Lock()
+	status, cancelled, dur := t.status, t.cancelled, time.Duration(t.durNS)
+	t.mu.Unlock()
+	switch {
+	case status == 429:
+		return KeepShed
+	case cancelled:
+		return KeepCancel
+	case status >= 500:
+		return KeepError
+	case dur >= r.slow:
+		return KeepSlow
+	}
+	r.mu.Lock()
+	r.tick++
+	hit := r.tick%r.sampleN == 1 || r.sampleN == 1
+	r.mu.Unlock()
+	if hit {
+		return KeepSampled
+	}
+	return ""
+}
+
+// Observe classifies a finished timeline, tallies its spans, and — when the
+// sampler keeps it — inserts it into the ring.  Returns the keep reason
+// ("" when dropped) and whether the timeline is slow (for the caller's
+// slow-request log line, which fires whether or not the ring kept it).
+func (r *Recorder) Observe(t *Timeline) (reason string, slow bool) {
+	if r == nil || t == nil {
+		return "", false
+	}
+	reason = r.Classify(t)
+	t.mu.Lock()
+	t.reason = reason
+	slow = time.Duration(t.durNS) >= r.slow
+	kinds := make([]string, len(t.spans))
+	for i := range t.spans {
+		kinds[i] = t.spans[i].Kind
+	}
+	t.mu.Unlock()
+	r.mu.Lock()
+	for _, k := range kinds {
+		r.spans[k]++
+	}
+	if slow {
+		r.slowSeen++
+	}
+	if reason == "" {
+		r.mu.Unlock()
+		return "", slow
+	}
+	r.kept[reason]++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, t)
+	} else {
+		r.ring[r.next] = t
+		r.next = (r.next + 1) % len(r.ring)
+	}
+	r.mu.Unlock()
+	return reason, slow
+}
+
+// snapshot returns the kept timelines newest-first.
+func (r *Recorder) snapshot() []*Timeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.ring)
+	out := make([]*Timeline, 0, n)
+	if n < cap(r.ring) {
+		// Ring not yet full: appends go to the tail, so the tail is newest.
+		for i := n - 1; i >= 0; i-- {
+			out = append(out, r.ring[i])
+		}
+		return out
+	}
+	// Full ring: next points at the oldest slot (the one about to be
+	// overwritten), so next-1 is the newest.
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(r.next+2*n-1-i)%n])
+	}
+	return out
+}
+
+// Filter selects timelines out of the recorder.  Zero values match
+// everything.
+type Filter struct {
+	Outcome string        // keep reason: shed, cancel, error, slow, sampled
+	Path    string        // substring of the request path
+	MinDur  time.Duration // minimum total duration
+	Limit   int           // max results (0 = 50)
+}
+
+// List returns JSON snapshots of kept timelines matching f, newest first.
+func (r *Recorder) List(f Filter) []TimelineJSON {
+	if r == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	out := []TimelineJSON{}
+	for _, t := range r.snapshot() {
+		js := t.JSON()
+		if f.Outcome != "" && js.KeepReason != f.Outcome {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(js.Path, f.Path) {
+			continue
+		}
+		if f.MinDur > 0 && time.Duration(js.DurationUS)*time.Microsecond < f.MinDur {
+			continue
+		}
+		out = append(out, js)
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Find returns every kept timeline carrying the request ID, oldest first —
+// an HTTP submit and the job it spawned share one ID and both show up.
+func (r *Recorder) Find(id string) []TimelineJSON {
+	if r == nil || id == "" {
+		return nil
+	}
+	var out []TimelineJSON
+	all := r.snapshot()
+	for i := len(all) - 1; i >= 0; i-- {
+		if all[i].ID() == id {
+			out = append(out, all[i].JSON())
+		}
+	}
+	return out
+}
+
+// Counters is a consistent snapshot of the recorder's /metrics state.
+type Counters struct {
+	Spans map[string]uint64 // per span kind
+	Kept  map[string]uint64 // per keep reason
+	Slow  uint64            // requests over the slow threshold
+}
+
+// CountersSnapshot returns copies of the recorder's counters.
+func (r *Recorder) CountersSnapshot() Counters {
+	if r == nil {
+		return Counters{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := Counters{
+		Spans: make(map[string]uint64, len(r.spans)),
+		Kept:  make(map[string]uint64, len(r.kept)),
+		Slow:  r.slowSeen,
+	}
+	for k, v := range r.spans {
+		c.Spans[k] = v
+	}
+	for k, v := range r.kept {
+		c.Kept[k] = v
+	}
+	return c
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RenderTimeline writes one timeline as an indented span table: each span on
+// a row with its start offset, duration, kind, name, and attributes, children
+// indented under their parents.  This is what `tracefmt` prints for a
+// /debug/requests/{id} payload.
+func RenderTimeline(w io.Writer, t TimelineJSON) {
+	fmt.Fprintf(w, "request %s  %s", t.RequestID, t.Scope)
+	if t.Method != "" || t.Path != "" {
+		fmt.Fprintf(w, "  %s %s", t.Method, t.Path)
+	}
+	fmt.Fprintf(w, "  status=%d  total=%s", t.Status, fmtUS(t.DurationUS))
+	if t.Cancelled {
+		fmt.Fprint(w, "  cancelled")
+	}
+	if t.KeepReason != "" {
+		fmt.Fprintf(w, "  kept=%s", t.KeepReason)
+	}
+	fmt.Fprintln(w)
+
+	// Children grouped under parents, siblings in start order.
+	children := make(map[int32][]int)
+	for i, sp := range t.Spans {
+		children[sp.Parent] = append(children[sp.Parent], i)
+	}
+	for _, idxs := range children {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return t.Spans[idxs[a]].StartUS < t.Spans[idxs[b]].StartUS
+		})
+	}
+	var walk func(parent int32, depth int)
+	walk = func(parent int32, depth int) {
+		for _, i := range children[parent] {
+			sp := t.Spans[i]
+			fmt.Fprintf(w, "  %9s  %9s  ", "+"+fmtUS(sp.StartUS), fmtUS(sp.DurUS))
+			for d := 0; d < depth; d++ {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprint(w, sp.Kind)
+			if sp.Name != "" {
+				fmt.Fprintf(w, " (%s)", sp.Name)
+			}
+			if sp.Open {
+				fmt.Fprint(w, " [open]")
+			}
+			if len(sp.Attrs) > 0 {
+				keys := make([]string, 0, len(sp.Attrs))
+				for k := range sp.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(w, "  %s=%s", k, sp.Attrs[k])
+				}
+			}
+			fmt.Fprintln(w)
+			walk(int32(i), depth+1)
+		}
+	}
+	walk(int32(NoSpan), 0)
+}
+
+// fmtUS renders a microsecond count compactly (µs below 1ms, ms below 1s,
+// seconds above).
+func fmtUS(us int64) string {
+	switch {
+	case us < 1_000:
+		return fmt.Sprintf("%dµs", us)
+	case us < 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", float64(us)/1e6)
+	}
+}

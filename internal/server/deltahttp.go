@@ -23,6 +23,7 @@ import (
 	"subgemini/internal/core"
 	"subgemini/internal/delta"
 	"subgemini/internal/graph"
+	"subgemini/internal/obs"
 	"subgemini/internal/store"
 )
 
@@ -50,7 +51,11 @@ func (s *Server) handleCircuitPatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, `patch has no "ops"`))
 		return
 	}
+	sc := obs.ScopeFromContext(r.Context())
+	ref := sc.Begin(obs.KindPersist, name)
+	sc.AttrInt(ref, "ops", int64(len(req.Ops)))
 	info, err := s.store.ApplyEdits(name, req.Ops)
+	sc.End(ref)
 	if err != nil {
 		switch {
 		case errors.Is(err, store.ErrNotFound):

@@ -15,6 +15,7 @@ import (
 	"subgemini/internal/faults"
 	"subgemini/internal/graph"
 	"subgemini/internal/netlist"
+	"subgemini/internal/obs"
 	"subgemini/internal/store"
 )
 
@@ -219,7 +220,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if s.shedBulk(w, "batch") {
+	if s.shedBulk(w, r, "batch") {
 		return
 	}
 	var req BatchRequest
@@ -320,7 +321,7 @@ func (s *Server) resolvePattern(req *MatchRequest) (*graph.Circuit, bool, *httpE
 		}
 		if tpl, ok := s.cache.template(pat.Name); ok {
 			if err := s.store.SavePattern(pat.Name, tpl); err != nil {
-				s.logf("persisting pattern %q: %v", pat.Name, err)
+				s.log.Warn("persisting pattern failed", "pattern", pat.Name, "err", err)
 			}
 		}
 		return pat, false, nil
@@ -342,9 +343,16 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	if e := validateMatch(req); e != nil {
 		return nil, e
 	}
+	sc := obs.ScopeFromContext(ctx)
+	ref := sc.Begin(obs.KindCacheLookup, "pattern")
 	pat, cacheHit, e := s.resolvePattern(req)
+	sc.End(ref)
 	if e != nil {
 		return nil, e
+	}
+	sc.Attr(ref, "pattern", pat.Name)
+	if cacheHit {
+		sc.Attr(ref, "hit", "true")
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -358,10 +366,14 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	defer cancel()
 
 	// Admission control: wait for a match slot, but not past the deadline.
+	qRef := sc.Begin(obs.KindQueueWait, "match-slot")
 	select {
 	case s.sem <- struct{}{}:
+		sc.End(qRef)
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		sc.End(qRef)
+		obs.FromContext(ctx).SetCancelled()
 		s.met.rejected.Add(1)
 		return nil, errf(http.StatusServiceUnavailable,
 			"server saturated: no match slot within %v (%d concurrent)", timeout, s.cfg.MaxConcurrent)
@@ -369,14 +381,17 @@ func (s *Server) runMatch(ctx context.Context, req *MatchRequest) (*MatchRespons
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
+	gRef := sc.Begin(obs.KindStoreGet, req.Circuit)
 	h, e := s.acquireCircuit(req.Circuit)
+	sc.End(gRef)
 	if e != nil {
 		return nil, e
 	}
 	defer h.Release()
+	sc.Attr(gRef, "circuit", h.Name())
 	resp, err := s.executeMatch(ctx, req, pat, h)
 	if err != nil {
-		return nil, s.matchError(err, timeout)
+		return nil, s.matchError(ctx, err, timeout)
 	}
 	resp.CacheHit = cacheHit
 	return resp, nil
@@ -392,13 +407,17 @@ func validateMatch(req *MatchRequest) *httpError {
 	return nil
 }
 
-// matchError maps a matcher error to an HTTP status.
-func (s *Server) matchError(err error, timeout time.Duration) *httpError {
+// matchError maps a matcher error to an HTTP status, marking the request's
+// timeline cancelled on the two context-driven outcomes so the flight
+// recorder always keeps those requests.
+func (s *Server) matchError(ctx context.Context, err error, timeout time.Duration) *httpError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
+		obs.FromContext(ctx).SetCancelled()
 		s.met.timeouts.Add(1)
 		return errf(http.StatusGatewayTimeout, "match exceeded its %v deadline", timeout)
 	case errors.Is(err, context.Canceled):
+		obs.FromContext(ctx).SetCancelled()
 		return errf(http.StatusServiceUnavailable, "request cancelled")
 	default:
 		return errf(http.StatusBadRequest, "match: %v", err)
@@ -427,6 +446,7 @@ func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph
 		Cancel:       s.cancelHook(ctx),
 		Scratch:      h.Scratch(),
 		CSR:          h.CSR(),
+		Observe:      obs.ScopeFromContext(ctx),
 	}
 	if req.NonOverlap {
 		opts.Policy = core.NonOverlapping
@@ -458,7 +478,13 @@ func (s *Server) executeMatch(ctx context.Context, req *MatchRequest, pat *graph
 			res, err = m.FindParallel(pat, workers)
 		case s.incEnabled():
 			key := delta.PatternKey(pat, opts)
+			lRef := opts.Observe.Begin(obs.KindCacheLookup, "result-cache")
 			prev, ds, base := s.incLookup(h, key, req.SinceVersion)
+			if prev != nil {
+				opts.Observe.Attr(lRef, "hit", "true")
+				opts.Observe.AttrInt(lRef, "base_version", int64(base))
+			}
+			opts.Observe.End(lRef)
 			var next *core.IncrementalState
 			res, next, err = m.FindIncremental(pat, prev, ds)
 			if err == nil {
@@ -528,8 +554,12 @@ func (s *Server) parseCircuitBody(r *http.Request, name string) (*graph.Circuit,
 
 // putCircuit stores a parsed circuit under key, snapshotting it when a
 // data directory is configured.
-func (s *Server) putCircuit(key string, ckt *graph.Circuit) (store.Info, *httpError) {
+func (s *Server) putCircuit(ctx context.Context, key string, ckt *graph.Circuit) (store.Info, *httpError) {
+	sc := obs.ScopeFromContext(ctx)
+	ref := sc.Begin(obs.KindPersist, key)
 	info, err := s.store.Put(key, ckt)
+	sc.AttrInt(ref, "devices", int64(ckt.NumDevices()))
+	sc.End(ref)
 	if err != nil {
 		if store.ValidName(key) {
 			return store.Info{}, errf(http.StatusInternalServerError, "storing circuit %q: %v", key, err)
@@ -561,7 +591,7 @@ func (s *Server) handleCircuitPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	info, e := s.putCircuit(key, ckt)
+	info, e := s.putCircuit(r.Context(), key, ckt)
 	if e != nil {
 		writeError(w, e)
 		return
@@ -616,7 +646,7 @@ func (s *Server) handleLegacyCircuitUpload(w http.ResponseWriter, r *http.Reques
 		writeError(w, e)
 		return
 	}
-	info, e := s.putCircuit(DefaultCircuit, ckt)
+	info, e := s.putCircuit(r.Context(), DefaultCircuit, ckt)
 	if e != nil {
 		writeError(w, e)
 		return
@@ -657,6 +687,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		storeHealthy:   s.store.Healthy(),
 		faultsArmed:    faults.Armed(),
 		faultsFired:    faults.FiredTotal(),
+		obsCounters:    s.rec.CountersSnapshot(),
 	}
 	if s.rcache != nil {
 		ext.resultHits, ext.resultMisses, ext.resultInvalidations = s.rcache.Counters()

@@ -12,6 +12,7 @@ import (
 	"subgemini/internal/extract"
 	"subgemini/internal/jobs"
 	"subgemini/internal/netlist"
+	"subgemini/internal/obs"
 	"subgemini/internal/stdcell"
 	"subgemini/internal/store"
 )
@@ -74,7 +75,7 @@ type ExtractResponse struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.shedBulk(w, "jobs") {
+	if s.shedBulk(w, r, "jobs") {
 		return
 	}
 	var req JobRequest
@@ -94,7 +95,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusInternalServerError, "encoding job request: %v", err))
 		return
 	}
-	view, err := s.jobs.Submit(req.Kind, raw, runner)
+	// The job inherits the submitting request's telemetry ID: the async run
+	// gets its own timeline in the flight recorder, findable by the same ID
+	// this response's X-Request-Id header carries.
+	rid := obs.RequestID(r.Context())
+	view, err := s.jobs.SubmitWithRequestID(req.Kind, rid, raw, s.observeJobRunner(req.Kind, rid, runner))
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, view)

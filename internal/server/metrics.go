@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"subgemini/internal/jobs"
+	"subgemini/internal/obs"
 	"subgemini/internal/stats"
 	"subgemini/internal/store"
 	"subgemini/internal/sweep"
@@ -198,6 +199,10 @@ type externalMetrics struct {
 	resultHits          uint64
 	resultMisses        uint64
 	resultInvalidations uint64
+
+	// Flight-recorder counters (obs.Recorder.CountersSnapshot at scrape
+	// time); the zero value renders every fixed label at 0.
+	obsCounters obs.Counters
 }
 
 // b01 renders a boolean gauge.
@@ -272,6 +277,15 @@ func (m *metrics) write(w io.Writer, ext externalMetrics) {
 	fmt.Fprintf(w, "subgeminid_sweep_instances_total %d\n", m.sweepInstances.Load())
 	fmt.Fprintf(w, "subgeminid_faults_armed %d\n", ext.faultsArmed)
 	fmt.Fprintf(w, "subgeminid_faults_fired_total %d\n", ext.faultsFired)
+	fmt.Fprintf(w, "subgeminid_slow_requests_total %d\n", ext.obsCounters.Slow)
+	// Span-kind and keep-reason label sets are fixed, so every series renders
+	// (at zero if never hit) and dashboards can rely on their presence.
+	for _, kind := range obs.SpanKinds {
+		fmt.Fprintf(w, "subgeminid_request_spans_total{kind=%q} %d\n", kind, ext.obsCounters.Spans[kind])
+	}
+	for _, reason := range obs.KeepReasons {
+		fmt.Fprintf(w, "subgeminid_flight_recorder_kept_total{reason=%q} %d\n", reason, ext.obsCounters.Kept[reason])
+	}
 	m.phase1.write(w, "subgeminid_match_phase1_seconds")
 	m.phase2.write(w, "subgeminid_match_phase2_seconds")
 	m.sweepDur.write(w, "subgeminid_sweep_seconds")

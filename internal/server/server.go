@@ -30,6 +30,8 @@
 //	GET    /healthz                 liveness probe (process is up)
 //	GET    /readyz                  readiness probe (not draining, store healthy)
 //	GET    /metrics                 Prometheus-style text metrics
+//	GET    /debug/requests          flight recorder: recent request timelines, with filters
+//	GET    /debug/requests/{id}     full span timeline JSON for one request ID
 //	GET    /debug/pprof/            Go runtime profiles (CPU, heap, goroutine, ...)
 //
 // Circuits live in an internal/store Store: named, ref-counted entries
@@ -66,6 +68,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
@@ -78,6 +81,7 @@ import (
 	"subgemini/internal/graph"
 	"subgemini/internal/jobs"
 	"subgemini/internal/netlist"
+	"subgemini/internal/obs"
 	"subgemini/internal/store"
 )
 
@@ -192,9 +196,29 @@ type Config struct {
 	// default.
 	ResultCacheSize int
 
-	// Logf, when non-nil, receives one line per recovered handler panic
-	// and other rare server-side events.
+	// Log, when non-nil, is the structured logger for every server-side
+	// event (handler panics, store evictions, job recovery, slow-request
+	// lines); build one with obs.NewLogger.  Nil falls back to Logf, then
+	// to discarding.
+	Log *slog.Logger
+
+	// Logf, when non-nil and Log is nil, receives the same events as
+	// pre-rendered printf lines.  Retained for embedders and tests that
+	// capture log output as strings.
 	Logf func(format string, args ...any)
+
+	// SlowRequest is the latency at or past which a request is always kept
+	// by the flight recorder and logged with its top spans inline.
+	// 0 selects 1s.
+	SlowRequest time.Duration
+
+	// FlightRecorderSize is how many completed request timelines the
+	// flight recorder ring retains for /debug/requests.  0 selects 256.
+	FlightRecorderSize int
+
+	// FlightSampleN keeps one in N uninteresting requests (errors, sheds,
+	// cancellations, and slow requests are always kept).  0 selects 16.
+	FlightSampleN int
 }
 
 // Server is the daemon state.  Create one with New; it implements
@@ -212,6 +236,16 @@ type Server struct {
 	// rcache is the versioned incremental-match result cache; nil when
 	// Config.DisableIncremental is set (the full engines always run).
 	rcache *delta.ResultCache
+
+	// log is the resolved structured logger (never nil) and rec the
+	// always-on tail-sampling flight recorder behind /debug/requests.
+	log *slog.Logger
+	rec *obs.Recorder
+
+	// Request IDs are a boot nonce plus a process-local sequence; an
+	// inbound X-Request-Id that sanitizes cleanly is honored instead.
+	ridBoot string
+	ridSeq  atomic.Uint64
 
 	// draining flips once shutdown begins: /readyz goes not-ready so load
 	// balancers stop routing here while in-flight requests finish.
@@ -250,10 +284,20 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryAfter = 2 * time.Second
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: newPatternCache(cfg.MaxPatterns),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
+		cfg:     cfg,
+		cache:   newPatternCache(cfg.MaxPatterns),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+		rec:     obs.NewRecorder(cfg.FlightRecorderSize, cfg.FlightSampleN, cfg.SlowRequest),
+		ridBoot: fmt.Sprintf("r-%08x", time.Now().UnixNano()&0xffffffff),
+	}
+	switch {
+	case cfg.Log != nil:
+		s.log = cfg.Log
+	case cfg.Logf != nil:
+		s.log = obs.LogfLogger(cfg.Logf)
+	default:
+		s.log = obs.Discard()
 	}
 	if !cfg.DisableIncremental {
 		s.rcache = delta.NewResultCache(cfg.ResultCacheSize)
@@ -262,7 +306,7 @@ func New(cfg Config) (*Server, error) {
 		Dir:      cfg.DataDir,
 		MaxBytes: cfg.MaxStoreBytes,
 		Globals:  cfg.Globals,
-		Logf:     s.logf,
+		Log:      s.log.With("component", "store"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("opening circuit store: %w", err)
@@ -277,7 +321,7 @@ func New(cfg Config) (*Server, error) {
 		Queue:     cfg.JobQueue,
 		Retention: cfg.JobRetention,
 		Dir:       jobsDir,
-		Logf:      s.logf,
+		Log:       s.log.With("component", "jobs"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("starting job engine: %w", err)
@@ -337,6 +381,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Flight recorder: recent request timelines, filterable, and a full
+	// span tree per request ID (see internal/obs and OPERATIONS.md
+	// "Request forensics").
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequestByID)
 	// Go's profiling endpoints, on the daemon's own mux rather than
 	// http.DefaultServeMux, so they share the panic isolation and request
 	// accounting of every other route.  pprof.Index also serves the named
@@ -375,13 +424,6 @@ func (s *Server) PreloadPatterns(f *netlist.File) (int, error) {
 	return n, nil
 }
 
-// logf logs through the configured sink, if any.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
-
 // statusWriter captures the response status for request accounting.
 type statusWriter struct {
 	http.ResponseWriter
@@ -402,20 +444,27 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// ServeHTTP wraps the router with body limits, request accounting, and
-// panic isolation: a panicking handler yields a 500 response and a log
-// line, never a dead daemon.
+// ServeHTTP wraps the router with body limits, request accounting, panic
+// isolation, and request telemetry: every request gets an ID (minted, or
+// honored from an inbound X-Request-Id), a span timeline carried on the
+// context, and an X-Request-Id response header — on every outcome,
+// including sheds, faults, and panics.  A panicking handler yields a 500
+// response and a log line, never a dead daemon.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	}
+	tl := obs.NewTimeline(s.mintRequestID(r), "http", r.Method, r.URL.Path)
+	r = r.WithContext(obs.NewContext(r.Context(), tl))
+	w.Header().Set("X-Request-Id", tl.ID())
 	sw := &statusWriter{ResponseWriter: w}
 	defer func() {
 		if rec := recover(); rec != nil {
 			buf := make([]byte, 8<<10)
 			buf = buf[:runtime.Stack(buf, false)]
-			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, buf)
+			s.log.ErrorContext(r.Context(), "panic serving request",
+				"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec), "stack", string(buf))
 			if sw.status == 0 {
 				http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
 			}
@@ -423,6 +472,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if sw.status >= 400 {
 			s.met.errors.Add(1)
 		}
+		s.finishRequest(tl, sw.status)
 	}()
 	// Fault point inside the recovery scope: error mode turns requests
 	// away with 503, panic mode exercises the isolation path above.

@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"subgemini/internal/obs"
 )
 
 // memSamplePeriod bounds how often shedding re-reads runtime.MemStats.
@@ -48,7 +50,9 @@ func (ms *memSampler) heapInUse() uint64 {
 // shedBulk decides whether a bulk endpoint must be turned away right now,
 // and if so writes the structured 429 itself and returns true.  endpoint
 // is the metrics label ("batch", "sweep", or "jobs").
-func (s *Server) shedBulk(w http.ResponseWriter, endpoint string) bool {
+func (s *Server) shedBulk(w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	sc := obs.ScopeFromContext(r.Context())
+	ref := sc.Begin(obs.KindShedCheck, endpoint)
 	reason := ""
 	if n := s.cfg.ShedInflight; n > 0 {
 		if in := s.met.inflight.Load(); in >= int64(n) {
@@ -61,8 +65,11 @@ func (s *Server) shedBulk(w http.ResponseWriter, endpoint string) bool {
 		}
 	}
 	if reason == "" {
+		sc.End(ref)
 		return false
 	}
+	sc.Attr(ref, "shed", reason)
+	sc.End(ref)
 	s.met.shed(endpoint)
 	retry := int(s.cfg.RetryAfter / time.Second)
 	if retry < 1 {

@@ -14,6 +14,7 @@ import (
 
 	"subgemini/internal/core"
 	"subgemini/internal/netlist"
+	"subgemini/internal/obs"
 	"subgemini/internal/stats"
 	"subgemini/internal/stdcell"
 	"subgemini/internal/store"
@@ -117,7 +118,7 @@ func (s *Server) handleLibraryPut(w http.ResponseWriter, r *http.Request) {
 			}
 			s.cache.put(sub, tpl, false)
 			if err := s.store.SavePattern(sub, tpl); err != nil {
-				s.logf("persisting pattern %q: %v", sub, err)
+				s.log.Warn("persisting pattern failed", "pattern", sub, "err", err)
 			}
 			patterns = append(patterns, sub)
 		}
@@ -187,7 +188,7 @@ func (s *Server) handleLibraryList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if s.shedBulk(w, "sweep") {
+	if s.shedBulk(w, r, "sweep") {
 		return
 	}
 	var req SweepRequest
@@ -243,7 +244,11 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	if e := validateSweep(req); e != nil {
 		return nil, e
 	}
+	sc := obs.ScopeFromContext(ctx)
+	ref := sc.Begin(obs.KindCacheLookup, "sweep-library")
 	lib, e := s.resolveSweepLibrary(req)
+	sc.AttrInt(ref, "patterns", int64(len(lib)))
+	sc.End(ref)
 	if e != nil {
 		return nil, e
 	}
@@ -258,10 +263,14 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	qRef := sc.Begin(obs.KindQueueWait, "match-slot")
 	select {
 	case s.sem <- struct{}{}:
+		sc.End(qRef)
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		sc.End(qRef)
+		obs.FromContext(ctx).SetCancelled()
 		s.met.rejected.Add(1)
 		return nil, errf(http.StatusServiceUnavailable,
 			"server saturated: no match slot within %v (%d concurrent)", timeout, s.cfg.MaxConcurrent)
@@ -269,14 +278,16 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
+	gRef := sc.Begin(obs.KindStoreGet, req.Circuit)
 	h, e := s.acquireCircuit(req.Circuit)
+	sc.End(gRef)
 	if e != nil {
 		return nil, e
 	}
 	defer h.Release()
 	resp, err := s.executeSweep(ctx, req, lib, h, s.incEnabled())
 	if err != nil {
-		return nil, s.matchError(err, timeout)
+		return nil, s.matchError(ctx, err, timeout)
 	}
 	return resp, nil
 }
@@ -314,6 +325,7 @@ func (s *Server) executeSweep(ctx context.Context, req *SweepRequest, lib []swee
 		Cancel:        s.cancelHook(ctx),
 		CSR:           h.CSR(),
 		Scratch:       h.Scratch(),
+		Observe:       obs.ScopeFromContext(ctx),
 	}
 	if incremental {
 		sopts.Incremental = &sweepIncHook{s: s, h: h, minBase: req.SinceVersion}

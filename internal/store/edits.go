@@ -233,11 +233,11 @@ func (st *Store) compactEntry(e *Entry) error {
 	file, err := st.writeSnapshot(e.name, e.ckt)
 	e.markMu.RUnlock()
 	if err != nil {
-		st.logf("store: compaction of %q failed: %v", e.name, err)
+		st.log.Warn("circuit compaction failed", "circuit", e.name, "err", err)
 		return err
 	}
 	if err := os.Remove(st.editLogPath(e.name)); err != nil && !os.IsNotExist(err) {
-		st.logf("store: removing folded edit log of %q: %v", e.name, err)
+		st.log.Warn("removing folded edit log failed", "circuit", e.name, "err", err)
 		return err
 	}
 	st.mu.Lock()
@@ -246,7 +246,7 @@ func (st *Store) compactEntry(e *Entry) error {
 	e.logCount = 0
 	e.saved = time.Now()
 	st.mu.Unlock()
-	st.logf("store: compacted circuit %q at version %d", e.name, e.version)
+	st.log.Info("compacted circuit", "circuit", e.name, "version", e.version)
 	return nil
 }
 
@@ -320,7 +320,7 @@ func (st *Store) replayEditLog(name string, ckt *graph.Circuit, snapVersion uint
 		if derr := json.Unmarshal(line, &rec); derr != nil {
 			rest := bytes.TrimSpace(bytes.Join(lines[i+1:], []byte("\n")))
 			if len(rest) == 0 {
-				st.logf("store: circuit %q edit log ends in a torn record; recovered through version %d", name, version)
+				st.log.Warn("edit log ends in a torn record; recovered", "circuit", name, "through_version", version)
 				break
 			}
 			return 0, nil, 0, fmt.Errorf("edit log record %d is corrupt: %v", i+1, derr)

@@ -158,8 +158,8 @@ func (st *Store) loadDir() error {
 		st.libraries[rec.Name] = append([]string(nil), rec.Patterns...)
 	}
 	if len(m.Circuits)+len(m.Patterns)+len(m.Libraries) > 0 {
-		st.logf("store: reloaded %d circuit(s), %d pattern(s), %d librar(ies) from %s",
-			len(m.Circuits), len(m.Patterns), len(m.Libraries), st.dir)
+		st.log.Info("reloaded store", "circuits", len(m.Circuits),
+			"patterns", len(m.Patterns), "libraries", len(m.Libraries), "dir", st.dir)
 	}
 	st.mu.Lock()
 	st.evictLocked()
@@ -183,8 +183,8 @@ func (st *Store) loadCircuitRec(rec circuitRec) (*Entry, error) {
 		return nil, fmt.Errorf("edit log %s.log: %w", rec.Name, err)
 	}
 	if version > snapVersion {
-		st.logf("store: circuit %q: replayed %d edit version(s) (%d -> %d)",
-			rec.Name, version-snapVersion, snapVersion, version)
+		st.log.Info("replayed edit versions", "circuit", rec.Name,
+			"versions", version-snapVersion, "from", snapVersion, "to", version)
 	}
 	e := &Entry{
 		name:        rec.Name,
@@ -364,7 +364,7 @@ func (st *Store) adoptReloaded(e *Entry, ckt *graph.Circuit) {
 	e.resident = true
 	st.residentBytes += e.bytes
 	st.reloads++
-	st.logf("store: reloaded circuit %q from snapshot", e.name)
+	st.log.Info("reloaded circuit from snapshot", "circuit", e.name)
 }
 
 // patternFile maps a pattern name to its snapshot filename.  Pattern names

@@ -43,6 +43,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ import (
 	"subgemini/internal/core"
 	"subgemini/internal/delta"
 	"subgemini/internal/graph"
+	"subgemini/internal/obs"
 )
 
 // ErrNotFound reports a name with no store entry.
@@ -73,9 +75,9 @@ type Config struct {
 	// daemon-level special signals).
 	Globals []string
 
-	// Logf, when non-nil, receives one line per eviction, reload, and
-	// boot-time recovery event.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives one structured record per eviction,
+	// reload, compaction, and boot-time recovery event; nil discards them.
+	Log *slog.Logger
 }
 
 // Store is the named circuit table.  Create one with Open.
@@ -83,7 +85,7 @@ type Store struct {
 	dir      string
 	maxBytes int64 // MaxBytes; named to discourage direct use, see overLocked
 	globals  []string
-	logf     func(format string, args ...any)
+	log      *slog.Logger
 
 	// editMu serializes ApplyEdits and Flush: an edit clones, patches, and
 	// installs against one consistent predecessor entry.
@@ -185,14 +187,14 @@ func Open(cfg Config) (*Store, error) {
 		dir:       cfg.Dir,
 		maxBytes:  cfg.MaxBytes,
 		globals:   append([]string(nil), cfg.Globals...),
-		logf:      cfg.Logf,
+		log:       cfg.Log,
 		entries:   make(map[string]*Entry),
 		lru:       list.New(),
 		patterns:  make(map[string]*graph.Circuit),
 		libraries: make(map[string][]string),
 	}
-	if st.logf == nil {
-		st.logf = func(string, ...any) {}
+	if st.log == nil {
+		st.log = obs.Discard()
 	}
 	if cfg.Dir != "" {
 		if err := st.loadDir(); err != nil {
@@ -442,7 +444,7 @@ func (st *Store) evictLocked() {
 		e.resident = false
 		st.residentBytes -= e.bytes
 		st.evictions++
-		st.logf("store: evicted circuit %q (%d bytes est.) under %d-byte budget", e.name, e.bytes, st.maxBytes)
+		st.log.Info("evicted circuit under memory budget", "circuit", e.name, "bytes_est", e.bytes, "budget_bytes", st.maxBytes)
 	}
 }
 

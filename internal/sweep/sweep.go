@@ -43,6 +43,7 @@ import (
 	"subgemini/internal/core"
 	"subgemini/internal/faults"
 	"subgemini/internal/graph"
+	"subgemini/internal/obs"
 	"subgemini/internal/stats"
 )
 
@@ -105,6 +106,13 @@ type Options struct {
 	// captured against an earlier version of the main circuit (see
 	// core.FindIncremental).  Instances are identical with or without it.
 	Incremental Incremental
+
+	// Observe, when non-nil, receives span timelines from every per-pattern
+	// run (see core.Options.Observe).  The timeline behind the scope is
+	// mutex-protected, so concurrent sweep workers may share one; each
+	// pattern's phase spans carry the pattern name, which keeps the
+	// interleaved spans attributable.  Nil costs nothing.
+	Observe *obs.Scope
 }
 
 // Incremental supplies and collects per-pattern incremental match state.
@@ -333,6 +341,7 @@ func runOne(g, pat *graph.Circuit, view *core.CSR, scratch *core.ScratchPool, in
 		Scratch:      scratch,
 		InitLabels:   init,
 		LegacyPhase2: opts.LegacyPhase2,
+		Observe:      opts.Observe,
 	}
 	m, err := core.NewMatcher(g, copts)
 	if err != nil {

@@ -21,6 +21,11 @@
 //     recovers), the post-storm sweep replays from the result cache with
 //     counts identical to a forced full re-sweep, and replacing the
 //     circuit invalidates its cache entries.
+//   - telemetry: a shed request, a fault-injected request, and a slow
+//     match each return an X-Request-Id whose timeline the flight
+//     recorder kept for cause (shed / error / slow); the detail endpoint
+//     reconstructs the slow match's span tree and the outcome filter
+//     finds the shed.
 //
 // Usage (from the repository root):
 //
@@ -121,6 +126,11 @@ func run() error {
 		return fmt.Errorf("edit-storm: %w", err)
 	}
 	fmt.Println("chaos-smoke: edit-storm ok (replay survived concurrent edits and a log fault)")
+
+	if err := telemetry(bin, filepath.Join(tmp, "telemetry")); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	fmt.Println("chaos-smoke: telemetry ok (shed, fault, and slow requests all landed in the flight recorder)")
 	return nil
 }
 
@@ -581,6 +591,158 @@ func editStorm(bin, dataDir string) error {
 	if fresh.Replayed != 0 {
 		return fmt.Errorf("sweep after replacement replayed %d candidates from a dead lineage", fresh.Replayed)
 	}
+	return d.stop()
+}
+
+// timeline is the slice of a /debug/requests timeline the telemetry scene
+// asserts on.
+type timeline struct {
+	RequestID  string `json:"request_id"`
+	Scope      string `json:"scope"`
+	Path       string `json:"path"`
+	Status     int    `json:"status"`
+	KeepReason string `json:"keep_reason"`
+	DurationUS int64  `json:"duration_us"`
+	Spans      []struct {
+		Kind  string            `json:"kind"`
+		DurUS int64             `json:"dur_us"`
+		Attrs map[string]string `json:"attrs"`
+	} `json:"spans"`
+}
+
+// findTimelines fetches GET /debug/requests/{id} and returns its timelines.
+func (d *daemon) findTimelines(id string) ([]timeline, error) {
+	var body struct {
+		Timelines []timeline `json:"timelines"`
+	}
+	if err := d.do("GET", "/debug/requests/"+id, "", &body); err != nil {
+		return nil, err
+	}
+	return body.Timelines, nil
+}
+
+// telemetry: drive one shed request, one fault-injected request, and one
+// slow match through the daemon, then prove that each response's
+// X-Request-Id resolves in the flight recorder to a timeline kept for the
+// right cause, that the slow match's span tree reconstructs its path
+// through the engine, and that the list endpoint's outcome filter finds
+// the shed.
+func telemetry(bin, dataDir string) error {
+	// -shed-memory-bytes 1 sheds every bulk request (heap in use is always
+	// past a 1-byte budget) while single matches stay live; -slow-request
+	// 1ms makes the ring match below slow for certain; the huge -flight-
+	// sample proves keeps are for cause, not sampling luck.  The armed
+	// server.handler fault fires on the third request (skip=2): the two
+	// uploads pass, the probe after them draws the 503.
+	d, err := startDaemon(bin, dataDir,
+		"-shed-memory-bytes", "1", "-slow-request", "1ms", "-flight-sample", "1000000",
+		"-log-format", "json",
+		"-faults", "server.handler=error:1:skip=2")
+	if err != nil {
+		return err
+	}
+	defer d.kill()
+
+	if err := d.putCircuit("alpha", nandNetlist); err != nil {
+		return err
+	}
+	if err := d.putCircuit("ring", ringCircuit(2000)); err != nil {
+		return err
+	}
+
+	// Request 3: the armed fault turns it away with 503.
+	code, hdr, body, err := d.doRaw("GET", "/v1/circuits", "")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("fault-armed request = %d (%s), want 503", code, body)
+	}
+	faultID := hdr.Get("X-Request-Id")
+
+	// A bulk request sheds under the 1-byte memory budget.
+	code, hdr, body, err = d.doRaw("POST", "/v1/match/batch",
+		`{"circuit":"alpha","requests":[{"pattern":"NAND2"}]}`)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusTooManyRequests {
+		return fmt.Errorf("batch under memory shed = %d (%s), want 429", code, body)
+	}
+	shedID := hdr.Get("X-Request-Id")
+
+	// A single match stays live; matching a 4-ring against a 2000-ring
+	// finds nothing but walks the whole Phase I relabeling, far past 1ms.
+	code, hdr, body, err = d.doRaw("POST", "/v1/match", fmt.Sprintf(
+		`{"circuit":"ring","netlist":%s,"subckt":"ringpat"}`, mustJSON(ringPattern(4))))
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("slow match = %d (%s), want 200", code, body)
+	}
+	slowID := hdr.Get("X-Request-Id")
+
+	for _, check := range []struct{ id, reason string }{
+		{faultID, "error"}, {shedID, "shed"}, {slowID, "slow"},
+	} {
+		if check.id == "" {
+			return fmt.Errorf("the %s response carried no X-Request-Id header", check.reason)
+		}
+		tls, err := d.findTimelines(check.id)
+		if err != nil {
+			return fmt.Errorf("flight recorder lookup for the %s request: %w", check.reason, err)
+		}
+		if len(tls) != 1 {
+			return fmt.Errorf("flight recorder holds %d timelines for %s, want 1", len(tls), check.id)
+		}
+		if tls[0].KeepReason != check.reason {
+			return fmt.Errorf("request %s kept for %q, want %q", check.id, tls[0].KeepReason, check.reason)
+		}
+	}
+
+	// The slow match's timeline reconstructs its path through the daemon.
+	tls, err := d.findTimelines(slowID)
+	if err != nil {
+		return err
+	}
+	kinds := map[string]bool{}
+	for _, sp := range tls[0].Spans {
+		kinds[sp.Kind] = true
+	}
+	for _, kind := range []string{"queue-wait", "store-get", "phase1", "phase2"} {
+		if !kinds[kind] {
+			return fmt.Errorf("slow match timeline has no %s span (spans: %+v)", kind, tls[0].Spans)
+		}
+	}
+	if tls[0].DurationUS < 1000 {
+		return fmt.Errorf("slow match recorded %dµs, but was kept as slow at a 1ms threshold", tls[0].DurationUS)
+	}
+
+	// The list endpoint's outcome filter isolates the shed.
+	var list struct {
+		Requests []timeline `json:"requests"`
+	}
+	if err := d.do("GET", "/debug/requests?outcome=shed", "", &list); err != nil {
+		return err
+	}
+	if len(list.Requests) != 1 || list.Requests[0].RequestID != shedID {
+		return fmt.Errorf("outcome=shed returned %+v, want exactly the shed request %s", list.Requests, shedID)
+	}
+
+	mets, err := d.metrics()
+	if err != nil {
+		return err
+	}
+	if mets["subgeminid_slow_requests_total"] < 1 {
+		return fmt.Errorf("subgeminid_slow_requests_total = %v, want >= 1", mets["subgeminid_slow_requests_total"])
+	}
+	if mets[`subgeminid_flight_recorder_kept_total{reason="shed"}`] < 1 {
+		return fmt.Errorf("flight_recorder_kept_total{reason=shed} = %v, want >= 1",
+			mets[`subgeminid_flight_recorder_kept_total{reason="shed"}`])
+	}
+	fmt.Printf("  chaos: recorder kept shed=%s fault=%s slow=%s (slow took %dµs)\n",
+		shedID, faultID, slowID, tls[0].DurationUS)
 	return d.stop()
 }
 

@@ -1,0 +1,72 @@
+// Lintlogs enforces the structured-logging boundary: no package under
+// internal/ may import the legacy "log" package except internal/obs (which
+// owns the slog setup).  Printf-style logging loses the request_id
+// correlation the telemetry layer provides, so a stray log.Printf is a
+// regression the type system cannot catch — this gate can.
+//
+// Usage (wired into `make lint-logs`, part of tier-1):
+//
+//	go run ./scripts/lintlogs
+//
+// Exits non-zero listing every offending file.  Test files are exempt:
+// they log to *testing.T, and a test that imports "log" to capture output
+// is not a production logging path.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	bad, err := scan("internal")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintlogs:", err)
+		os.Exit(1)
+	}
+	if len(bad) > 0 {
+		for _, f := range bad {
+			fmt.Fprintf(os.Stderr, "lintlogs: %s imports %q; use *slog.Logger (internal/obs) so log lines carry request/job IDs\n", f, "log")
+		}
+		os.Exit(1)
+	}
+	fmt.Println("lintlogs: ok")
+}
+
+// scan walks root for non-test Go files outside internal/obs that import
+// the legacy "log" package.
+func scan(root string) ([]string, error) {
+	var bad []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if filepath.ToSlash(path) == "internal/obs" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			if p, _ := strconv.Unquote(imp.Path.Value); p == "log" {
+				bad = append(bad, path)
+			}
+		}
+		return nil
+	})
+	return bad, err
+}
